@@ -1,0 +1,78 @@
+package rumor_test
+
+import (
+	"fmt"
+
+	rumor "repro"
+	"repro/internal/expr"
+)
+
+// ExampleSystem shows the full lifecycle: declare a stream in the query
+// language, register two continuous queries that share a sliding-window
+// aggregate, optimize with the m-rules, and push tuples.
+func ExampleSystem() {
+	sys := rumor.New()
+	err := sys.ExecScript(`
+CREATE STREAM CPU(pid, load);
+LET smoothed := AGG(avg(load) OVER 60 BY pid FROM CPU);
+QUERY hot  := FILTER(load > 90, @smoothed);
+QUERY warm := FILTER(load > 50, @smoothed);
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys.OnResult(func(query string, ts int64, vals []int64) {
+		fmt.Printf("%s @%d pid=%d avg=%d\n", query, ts, vals[0], vals[1])
+	})
+	if err := sys.Optimize(rumor.Options{Channels: true}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys.Push("CPU", 0, 7, 95)
+	sys.Push("CPU", 1, 7, 40) // avg over window: (95+40)/2 = 67
+	// Output:
+	// hot @0 pid=7 avg=95
+	// warm @0 pid=7 avg=95
+	// warm @1 pid=7 avg=67
+}
+
+// ExampleSystem_builders registers an event-pattern query with the
+// programmatic builders instead of the query language: a Cayuga sequence
+// S ; T matching pairs with equal keys within a window.
+func ExampleSystem_builders() {
+	sys := rumor.New()
+	sys.DeclareStream("S", "", "key", "val")
+	sys.DeclareStream("T", "", "key", "val")
+	pattern := rumor.Seq(
+		expr.AttrCmp2{L: 0, Op: expr.Eq, R: 0}, // S.key = T.key
+		100,                                    // duration window
+		rumor.Scan("S"), rumor.Scan("T"),
+	)
+	sys.AddQuery("pairs", pattern)
+	sys.OnResult(func(query string, ts int64, vals []int64) {
+		fmt.Printf("%s @%d %v\n", query, ts, vals)
+	})
+	sys.Optimize(rumor.Options{})
+	sys.Push("S", 0, 1, 10)
+	sys.Push("T", 1, 1, 20) // matches and consumes the stored S tuple
+	sys.Push("T", 2, 1, 30) // nothing left to match
+	// Output:
+	// pairs @1 [1 10 1 20]
+}
+
+// ExampleSystem_planInfo shows how the m-rules collapse a workload: ten
+// equality filters over one stream become a single predicate-indexed m-op.
+func ExampleSystem_planInfo() {
+	sys := rumor.New()
+	sys.DeclareStream("S", "", "a")
+	for i := 0; i < 10; i++ {
+		sys.AddQuery(fmt.Sprintf("q%d", i),
+			rumor.Filter(expr.ConstCmp{Attr: 0, Op: expr.Eq, C: int64(i)}, rumor.Scan("S")))
+	}
+	sys.Optimize(rumor.Options{})
+	info := sys.PlanInfo()
+	fmt.Printf("%d queries, %d m-op, %d operators\n", info.Queries, info.MOps, info.Operators)
+	// Output:
+	// 10 queries, 1 m-op, 10 operators
+}

@@ -1,0 +1,64 @@
+// Quickstart: declare a stream, register two continuous queries in the
+// query language, optimize, push tuples, and read results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rumor "repro"
+)
+
+func main() {
+	sys := rumor.New()
+
+	// A stock tick stream and two continuous queries: the per-symbol
+	// 10-second moving average, and an alert on large trades of symbol 3.
+	err := sys.ExecScript(`
+CREATE STREAM Ticks(symbol, price, size);
+
+LET avgprice := AGG(avg(price) OVER 10 BY symbol FROM Ticks);
+
+QUERY movingAvg  := @avgprice;
+QUERY bigTrades  := FILTER(symbol = 3 AND size > 500, Ticks);
+QUERY cheapAvg   := FILTER(price < 100, @avgprice);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys.OnResult(func(query string, ts int64, vals []int64) {
+		fmt.Printf("  result %-10s @%-3d %v\n", query, ts, vals)
+	})
+
+	// The m-rules share the aggregate between movingAvg and cheapAvg and
+	// index the selection predicates.
+	if err := sys.Optimize(rumor.Options{Channels: true}); err != nil {
+		log.Fatal(err)
+	}
+	info := sys.PlanInfo()
+	fmt.Printf("optimized plan: %d queries → %d m-ops implementing %d operators\n",
+		info.Queries, info.MOps, info.Operators)
+
+	ticks := []struct {
+		ts                  int64
+		symbol, price, size int64
+	}{
+		{0, 3, 101, 200},
+		{1, 3, 99, 700}, // big trade
+		{2, 5, 42, 100},
+		{3, 3, 97, 100},
+		{4, 5, 44, 900},
+	}
+	for _, tk := range ticks {
+		fmt.Printf("push @%d symbol=%d price=%d size=%d\n", tk.ts, tk.symbol, tk.price, tk.size)
+		if err := sys.Push("Ticks", tk.ts, tk.symbol, tk.price, tk.size); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("totals: movingAvg=%d bigTrades=%d cheapAvg=%d\n",
+		sys.ResultCount("movingAvg"), sys.ResultCount("bigTrades"), sys.ResultCount("cheapAvg"))
+}

@@ -1,0 +1,153 @@
+// Package automaton implements a Cayuga-style event automaton engine
+// [7,8] — the paper's representative event engine (EE) and the baseline of
+// its Figures 9 and 10 — together with the §4.2 translation of automata
+// into RUMOR query plans.
+//
+// A query is a linear automaton: a start stage that admits events from an
+// input stream, followed by sequence (;) and iteration (µ) stages as in
+// Figure 4/5 of the paper. The engine implements Cayuga's three MQO
+// techniques natively:
+//
+//   - prefix state merging: automata inserted into the forest share the
+//     longest identical prefix (§4.3);
+//   - FR index: forward-edge equality constants of a state are hashed, so
+//     an incoming event activates only the matching edges;
+//   - AN index: states reading a stream whose forward predicates carry an
+//     equality constant on the event are indexed engine-wide;
+//   - AI index: instances stored at a state are hashed on the instance
+//     attribute of an equi-join predicate and probed with the event
+//     attribute.
+package automaton
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// StageKind distinguishes the automaton stage types.
+type StageKind int
+
+// Stage kinds. StageStart admits raw events; StageSeq is a Cayuga state
+// whose matched instance traverses the forward edge (and is therefore
+// deleted from the state, §5.2); StageMu is a state with a rebind edge
+// that extends the instance and emits each extension.
+const (
+	StageStart StageKind = iota
+	StageSeq
+	StageMu
+)
+
+// Stage is one state of a linear Cayuga automaton.
+type Stage struct {
+	Kind  StageKind
+	Input string // stream read by this stage
+
+	// StartPred filters admitted events (start stages only; nil = all).
+	StartPred expr.Pred
+
+	// Pred is the forward-edge predicate for ; stages and the rebind-edge
+	// predicate for µ stages, over (instance, event).
+	Pred expr.Pred2
+
+	// Filter is the µ filter-edge predicate θf (nil = no filter edge).
+	// For ; stages the Cayuga convention of the paper applies: an
+	// unmatched, unexpired instance stays at the state.
+	Filter expr.Pred2
+
+	// Window is the duration predicate: an instance expires once the event
+	// timestamp exceeds the instance's start by more than Window (0 = ∞).
+	Window int64
+
+	// FMap is the schema map function F on the forward edge (§4.2): it
+	// rewrites the concatenated (instance ++ event) tuple before it moves
+	// on. nil means the identity concatenation. In the plan translation it
+	// becomes a π operator above the ;/µ (Figure 5's πF1, πF2).
+	FMap *expr.SchemaMap
+}
+
+// Query is a linear automaton: Stages[0] must be a start stage; subsequent
+// stages are ; or µ states. The output of the last stage is the query
+// result stream.
+type Query struct {
+	Name   string
+	Stages []Stage
+}
+
+// Validate checks the stage sequence.
+func (q *Query) Validate() error {
+	if len(q.Stages) < 1 {
+		return fmt.Errorf("automaton %q: no stages", q.Name)
+	}
+	if q.Stages[0].Kind != StageStart {
+		return fmt.Errorf("automaton %q: first stage must be a start stage", q.Name)
+	}
+	for i, s := range q.Stages {
+		if i > 0 && s.Kind == StageStart {
+			return fmt.Errorf("automaton %q: start stage at position %d", q.Name, i)
+		}
+		if s.Input == "" {
+			return fmt.Errorf("automaton %q: stage %d has no input stream", q.Name, i)
+		}
+		if i > 0 && s.Pred == nil {
+			return fmt.Errorf("automaton %q: stage %d has no edge predicate", q.Name, i)
+		}
+	}
+	return nil
+}
+
+// stageKey is the identity of a stage for prefix state merging: two
+// automata share a state iff their paths up to and including this stage
+// are identical.
+func (s *Stage) stageKey() string {
+	k := fmt.Sprintf("%d|%s|w=%d", s.Kind, s.Input, s.Window)
+	if s.StartPred != nil {
+		k += "|sp:" + s.StartPred.Key()
+	}
+	if s.Pred != nil {
+		k += "|p:" + s.Pred.Key()
+	}
+	if s.Filter != nil {
+		k += "|f:" + s.Filter.Key()
+	}
+	if s.FMap != nil {
+		k += "|F:" + s.FMap.Key()
+	}
+	return k
+}
+
+// ToLogical translates the automaton into a RUMOR logical query plan
+// (§4.2, Figure 5): the start stage becomes σ over the scanned stream;
+// each ; stage becomes the binary ; operator, each µ stage the µ operator,
+// and each forward-edge schema map F becomes a π above it (Figure 5's
+// πF1, πF2). Stages without an F use the identity concatenation.
+func (q *Query) ToLogical() (*core.Logical, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	start := q.Stages[0]
+	node := core.Scan(start.Input)
+	if start.StartPred != nil {
+		node = core.SelectL(start.StartPred, node)
+	}
+	for _, s := range q.Stages[1:] {
+		right := core.Scan(s.Input)
+		switch s.Kind {
+		case StageSeq:
+			node = core.SeqL(s.Pred, s.Window, node, right)
+		case StageMu:
+			filter := s.Filter
+			if filter == nil {
+				filter = expr.False2{}
+			}
+			node = core.MuL(s.Pred, filter, s.Window, node, right)
+		default:
+			return nil, fmt.Errorf("automaton %q: unexpected stage kind %d", q.Name, s.Kind)
+		}
+		if s.FMap != nil {
+			node = core.ProjectL(s.FMap, node)
+		}
+	}
+	return node, nil
+}

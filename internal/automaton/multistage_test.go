@@ -1,0 +1,275 @@
+package automaton_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/rules"
+	"repro/internal/stream"
+)
+
+// threeStage builds S →θ1 T →θ2 S automata: a start on S, a sequence state
+// on T, and a second sequence state back on S (Figure 5's shape).
+func threeStage(c1, c2, c3 int64, w1, w2 int64) *automaton.Query {
+	return &automaton.Query{
+		Name: fmt.Sprintf("tri_%d_%d_%d", c1, c2, c3),
+		Stages: []automaton.Stage{
+			{Kind: automaton.StageStart, Input: "S",
+				StartPred: expr.ConstCmp{Attr: 0, Op: expr.Eq, C: c1}},
+			{Kind: automaton.StageSeq, Input: "T", Window: w1,
+				Pred: expr.NewAnd2(expr.Right{P: expr.ConstCmp{Attr: 0, Op: expr.Eq, C: c2}})},
+			{Kind: automaton.StageSeq, Input: "S", Window: w2,
+				Pred: expr.NewAnd2(expr.Right{P: expr.ConstCmp{Attr: 0, Op: expr.Eq, C: c3}})},
+		},
+	}
+}
+
+func TestThreeStageAutomaton(t *testing.T) {
+	e := automaton.NewEngine(schemas())
+	id, err := e.AddQuery(threeStage(1, 2, 3, 100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	e.OnResult = func(_ int, tu *stream.Tuple) { got = append(got, tu.ContentKey()) }
+	e.Process("S", stream.NewTuple(0, 1, 10)) // start
+	e.Process("T", stream.NewTuple(1, 2, 20)) // advance to stage 3
+	e.Process("S", stream.NewTuple(2, 3, 30)) // accept
+	e.Process("S", stream.NewTuple(3, 3, 40)) // state consumed: nothing
+	if e.ResultCount(id) != 1 {
+		t.Fatalf("results = %d, want 1 (%v)", e.ResultCount(id), got)
+	}
+	// Output is the concatenation of the three matched events.
+	want := "@2|1,10,2,20,3,30"
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("got %v, want [%s]", got, want)
+	}
+}
+
+func TestThreeStagePrefixSharing(t *testing.T) {
+	e := automaton.NewEngine(schemas())
+	// Same two first stages, divergent third stage: the first two states
+	// are shared (Figure 7's merge shape).
+	if _, err := e.AddQuery(threeStage(1, 2, 3, 100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddQuery(threeStage(1, 2, 4, 100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.StartEdges != 1 {
+		t.Fatalf("start edges = %d, want 1", st.StartEdges)
+	}
+	// Shared T-state + two divergent S-states = 3.
+	if st.States != 3 {
+		t.Fatalf("states = %d, want 3", st.States)
+	}
+	e.Process("S", stream.NewTuple(0, 1, 0))
+	e.Process("T", stream.NewTuple(1, 2, 0))
+	e.Process("S", stream.NewTuple(2, 4, 0)) // only the second query accepts
+	if e.ResultCount(0) != 0 || e.ResultCount(1) != 1 {
+		t.Fatalf("counts: %d, %d", e.ResultCount(0), e.ResultCount(1))
+	}
+}
+
+// TestThreeStageTranslationParity extends the §4.2 parity check to
+// three-stage automata, whose translation nests two ; operators.
+func TestThreeStageTranslationParity(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var qs []*automaton.Query
+		n := 2 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			qs = append(qs, threeStage(
+				int64(r.Intn(3)), int64(r.Intn(3)), int64(r.Intn(3)),
+				int64(4+r.Intn(10)), int64(4+r.Intn(10))))
+		}
+		aut := automaton.NewEngine(schemas())
+		ids := make([]int, n)
+		autRes := map[int][]string{}
+		aut.OnResult = func(q int, tu *stream.Tuple) { autRes[q] = append(autRes[q], tu.ContentKey()) }
+		for i, q := range qs {
+			id, err := aut.AddQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = id
+		}
+
+		catalog := map[string]core.SourceDecl{
+			"S": {Schema: stream.MustSchema("S", "a", "b")},
+			"T": {Schema: stream.MustSchema("T", "a", "b")},
+		}
+		p := core.NewPhysical(catalog)
+		var cqs []*core.Query
+		for _, q := range qs {
+			l, err := q.ToLogical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cq := core.NewQuery(q.Name, l)
+			if err := p.AddQuery(cq); err != nil {
+				t.Fatal(err)
+			}
+			cqs = append(cqs, cq)
+		}
+		if err := rules.Optimize(p, rules.Options{Channels: true}); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := engine.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rumorRes := map[int][]string{}
+		eng.OnResult = func(q int, tu *stream.Tuple) { rumorRes[q] = append(rumorRes[q], tu.ContentKey()) }
+
+		fr := rand.New(rand.NewSource(seed + 99))
+		for ts := 0; ts < 200; ts++ {
+			src := "S"
+			if ts%2 == 1 {
+				src = "T"
+			}
+			tu := stream.NewTuple(int64(ts), int64(fr.Intn(3)), int64(fr.Intn(4)))
+			aut.Process(src, tu)
+			if err := eng.Push(src, tu); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range qs {
+			a, b := autRes[ids[i]], rumorRes[cqs[i].ID]
+			sort.Strings(a)
+			sort.Strings(b)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d query %d: automaton %d vs RUMOR %d results", seed, i, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("seed %d query %d result %d: %q vs %q", seed, i, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRightNestedSequence: the paper (§4.3) notes Cayuga must implement
+// S1;(S2;S3) via resubscription (two automata, no inlining), while a RUMOR
+// query plan expresses it directly as one plan with a nested ; — creating
+// additional MQO opportunities. This checks the nested plan's semantics.
+func TestRightNestedSequence(t *testing.T) {
+	catalog := map[string]core.SourceDecl{
+		"S1": {Schema: stream.MustSchema("S1", "a", "b")},
+		"S2": {Schema: stream.MustSchema("S2", "a", "b")},
+		"S3": {Schema: stream.MustSchema("S3", "a", "b")},
+	}
+	inner := core.SeqL(expr.AttrCmp2{L: 0, Op: expr.Eq, R: 0}, 50,
+		core.Scan("S2"), core.Scan("S3"))
+	// Outer joins S1 to the inner pattern on b = inner's first b.
+	outer := core.SeqL(expr.AttrCmp2{L: 1, Op: expr.Eq, R: 1}, 50,
+		core.Scan("S1"), inner)
+	p := core.NewPhysical(catalog)
+	q := core.NewQuery("nested", outer)
+	if err := p.AddQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := rules.Optimize(p, rules.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	e.OnResult = func(_ int, tu *stream.Tuple) { got = append(got, tu.ContentKey()) }
+	e.Push("S1", stream.NewTuple(0, 7, 5))  // outer start (b=5)
+	e.Push("S2", stream.NewTuple(1, 9, 5))  // inner start (a=9, b=5)
+	e.Push("S3", stream.NewTuple(2, 9, 77)) // inner match → (9,5,9,77) @2
+	// Outer: S1(7,5) matched by inner output with b=5 at position 1.
+	if len(got) != 1 || got[0] != "@2|7,5,9,5,9,77" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestFMapTranslationParity: forward-edge schema maps (the F formulas of
+// §4.2) must behave identically in the automaton engine and in the
+// translated plan, where they appear as π operators (Figure 5).
+func TestFMapTranslationParity(t *testing.T) {
+	// F projects (S.a, T.b, S.b + T.a) out of the concatenation.
+	fmap := &expr.SchemaMap{Cols: []expr.Expr{
+		expr.Col{I: 0},
+		expr.Col{I: 3},
+		expr.Arith{Op: expr.Add, L: expr.Col{I: 1}, R: expr.Col{I: 2}},
+	}}
+	aq := &automaton.Query{Name: "fmap", Stages: []automaton.Stage{
+		{Kind: automaton.StageStart, Input: "S",
+			StartPred: expr.ConstCmp{Attr: 0, Op: expr.Eq, C: 1}},
+		{Kind: automaton.StageSeq, Input: "T", Window: 50,
+			Pred: expr.AttrCmp2{L: 0, Op: expr.Eq, R: 0}, FMap: fmap},
+	}}
+
+	ae := automaton.NewEngine(schemas())
+	if _, err := ae.AddQuery(aq); err != nil {
+		t.Fatal(err)
+	}
+	var autRes []string
+	ae.OnResult = func(_ int, tu *stream.Tuple) { autRes = append(autRes, tu.ContentKey()) }
+
+	catalog := map[string]core.SourceDecl{
+		"S": {Schema: stream.MustSchema("S", "a", "b")},
+		"T": {Schema: stream.MustSchema("T", "a", "b")},
+	}
+	p := core.NewPhysical(catalog)
+	l, err := aq.ToLogical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Def.Kind != core.KindProject {
+		t.Fatalf("translation must add π for FMap, got %s", l.Def.Kind)
+	}
+	cq := core.NewQuery("fmap", l)
+	if err := p.AddQuery(cq); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rumRes []string
+	eng.OnResult = func(_ int, tu *stream.Tuple) { rumRes = append(rumRes, tu.ContentKey()) }
+
+	fr := rand.New(rand.NewSource(7))
+	for ts := 0; ts < 120; ts++ {
+		src := "S"
+		if ts%2 == 1 {
+			src = "T"
+		}
+		tu := stream.NewTuple(int64(ts), int64(fr.Intn(3)), int64(fr.Intn(5)))
+		ae.Process(src, tu)
+		if err := eng.Push(src, tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(autRes)
+	sort.Strings(rumRes)
+	if len(autRes) == 0 {
+		t.Fatal("feed produced no matches; widen it")
+	}
+	if len(autRes) != len(rumRes) {
+		t.Fatalf("automaton %d vs RUMOR %d results", len(autRes), len(rumRes))
+	}
+	for i := range autRes {
+		if autRes[i] != rumRes[i] {
+			t.Fatalf("result %d: %q vs %q", i, autRes[i], rumRes[i])
+		}
+	}
+	// The mapped tuple has arity 3.
+	if len(autRes[0]) == 0 || !strings.Contains(autRes[0], ",") {
+		t.Fatalf("unexpected result shape %q", autRes[0])
+	}
+}

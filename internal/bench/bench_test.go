@@ -1,0 +1,94 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// tinyConfig keeps unit-test runs fast.
+func tinyConfig() bench.Config {
+	return bench.Config{Tuples: 600, Rounds: 60, TraceSeconds: 40, MaxQueries: 100, Seed: 1}
+}
+
+func TestAllFiguresRun(t *testing.T) {
+	cfg := tinyConfig()
+	results, err := cfg.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("got %d figures, want 10", len(results))
+	}
+	for _, r := range results {
+		if len(r.Points) == 0 {
+			t.Fatalf("figure %s has no points", r.Figure)
+		}
+		for _, p := range r.Points {
+			if p.A <= 0 || p.B <= 0 {
+				t.Fatalf("figure %s point %s has non-positive throughput: %v %v",
+					r.Figure, p.X, p.A, p.B)
+			}
+		}
+		var sb strings.Builder
+		r.Fprint(&sb)
+		if !strings.Contains(sb.String(), r.Figure) {
+			t.Fatalf("printout missing figure id: %s", sb.String())
+		}
+	}
+}
+
+func TestNormalizedSeriesPeakAtOne(t *testing.T) {
+	cfg := tinyConfig()
+	r, err := cfg.Fig9a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Normalized {
+		t.Fatal("figure 9(a) must be normalized")
+	}
+	var maxA, maxB float64
+	for _, p := range r.Points {
+		if p.A > maxA {
+			maxA = p.A
+		}
+		if p.B > maxB {
+			maxB = p.B
+		}
+		if p.A > 1.0001 || p.B > 1.0001 {
+			t.Fatalf("normalized value above 1: %v", p)
+		}
+	}
+	if maxA < 0.999 || maxB < 0.999 {
+		t.Fatalf("normalized series must peak at 1: %v %v", maxA, maxB)
+	}
+}
+
+func TestChannelBeatsPlainOnW3(t *testing.T) {
+	// Figure 10(c)'s claim at a modest size: the channel plan sustains
+	// higher throughput than the plain plan once enough queries share.
+	cfg := tinyConfig()
+	cfg.MaxQueries = 100
+	cfg.Rounds = 150
+	r, err := cfg.Fig10c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.A <= last.B {
+		t.Fatalf("with-channel (%.0f) should beat without-channel (%.0f) at %s queries",
+			last.A, last.B, last.X)
+	}
+}
+
+func TestByName(t *testing.T) {
+	cfg := tinyConfig()
+	f, ok := cfg.ByName("9a")
+	if !ok || f == nil {
+		t.Fatal("ByName(9a) failed")
+	}
+	if _, ok := cfg.ByName("nope"); ok {
+		t.Fatal("unknown figure must not resolve")
+	}
+}

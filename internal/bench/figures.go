@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/workload"
+)
+
+// fig9 runs one Workload 1 sweep: RUMOR query plans vs Cayuga automata,
+// normalized throughput (§5.2, Figure 9).
+func (cfg Config) fig9(vary func(x int, p *workload.Params), xs []int, fig, title, xlabel string) (*Result, error) {
+	res := &Result{
+		Figure: fig, Title: title, XLabel: xlabel,
+		ALabel: "RUMOR plan", BLabel: "Cayuga automata",
+	}
+	for _, x := range xs {
+		p := workload.DefaultParams()
+		p.Seed = cfg.Seed
+		vary(x, &p)
+		aqs := p.Workload1()
+		cqs, err := workload.ToRUMOR(aqs)
+		if err != nil {
+			return nil, err
+		}
+		events := p.GenStreams(cfg.Tuples)
+		a, err := rumorThroughput(p.Catalog(), cqs, events, false)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cayugaThroughput(p, aqs, events)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Point{X: fmt.Sprintf("%d", x), A: a, B: b})
+	}
+	res.normalize()
+	return res, nil
+}
+
+// Fig9a: Workload 1, varying the number of queries.
+func (cfg Config) Fig9a() (*Result, error) {
+	xs := cfg.capSweep([]int{1, 10, 100, 1000, 10000, 100000})
+	return cfg.fig9(func(x int, p *workload.Params) { p.NumQueries = x },
+		xs, "9(a)", "Workload 1 (AN+FR index), varying number of queries", "#queries")
+}
+
+// Fig9b: Workload 1, varying the constant domain size.
+func (cfg Config) Fig9b() (*Result, error) {
+	return cfg.fig9(func(x int, p *workload.Params) { p.ConstDomain = x },
+		[]int{10, 100, 1000, 10000, 100000},
+		"9(b)", "Workload 1, varying constant domain size", "const domain")
+}
+
+// Fig9c: Workload 1, varying the window-length domain size.
+func (cfg Config) Fig9c() (*Result, error) {
+	return cfg.fig9(func(x int, p *workload.Params) { p.WindowDomain = x },
+		[]int{10, 100, 1000, 10000, 100000},
+		"9(c)", "Workload 1, varying window length domain size", "window domain")
+}
+
+// Fig9d: Workload 1, varying the Zipf parameter (x is the parameter ×10).
+func (cfg Config) Fig9d() (*Result, error) {
+	res := &Result{
+		Figure: "9(d)", Title: "Workload 1, varying Zipf parameter", XLabel: "zipf",
+		ALabel: "RUMOR plan", BLabel: "Cayuga automata",
+	}
+	for _, z := range []float64{1.2, 1.4, 1.6, 1.8, 2.0} {
+		p := workload.DefaultParams()
+		p.Seed = cfg.Seed
+		p.Zipf = z
+		aqs := p.Workload1()
+		cqs, err := workload.ToRUMOR(aqs)
+		if err != nil {
+			return nil, err
+		}
+		events := p.GenStreams(cfg.Tuples)
+		a, err := rumorThroughput(p.Catalog(), cqs, events, false)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cayugaThroughput(p, aqs, events)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Point{X: fmt.Sprintf("%.1f", z), A: a, B: b})
+	}
+	res.normalize()
+	return res, nil
+}
+
+// fig10ab runs one Workload 2 sweep (AI index, §5.2, Figure 10(a,b)).
+func (cfg Config) fig10ab(mu bool) (*Result, error) {
+	fig, title := "10(a)", "Workload 2 (AI index), varying number of ; queries"
+	if mu {
+		fig, title = "10(b)", "Workload 2 (AI index), varying number of µ queries"
+	}
+	res := &Result{
+		Figure: fig, Title: title, XLabel: "#queries",
+		ALabel: "RUMOR plan", BLabel: "Cayuga automata",
+	}
+	xs := cfg.capSweep([]int{1, 10, 100, 1000, 10000})
+	for _, x := range xs {
+		p := workload.DefaultParams()
+		p.Seed = cfg.Seed
+		p.NumQueries = x
+		var aqs []*automaton.Query
+		if mu {
+			aqs = p.Workload2Mu()
+		} else {
+			aqs = p.Workload2Seq()
+		}
+		cqs, err := workload.ToRUMOR(aqs)
+		if err != nil {
+			return nil, err
+		}
+		events := p.GenStreams(cfg.Tuples)
+		a, err := rumorThroughput(p.Catalog(), cqs, events, false)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cayugaThroughput(p, aqs, events)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Point{X: fmt.Sprintf("%d", x), A: a, B: b})
+	}
+	res.normalize()
+	return res, nil
+}
+
+// Fig10a: Workload 2, sequence queries.
+func (cfg Config) Fig10a() (*Result, error) { return cfg.fig10ab(false) }
+
+// Fig10b: Workload 2, µ queries.
+func (cfg Config) Fig10b() (*Result, error) { return cfg.fig10ab(true) }
+
+// Fig10c: Workload 3, absolute throughput with vs without channels,
+// varying the number of queries (§5.2, Figure 10(c)).
+func (cfg Config) Fig10c() (*Result, error) {
+	res := &Result{
+		Figure: "10(c)", Title: "Workload 3, sequence queries with vs without channel",
+		XLabel: "#queries", ALabel: "Seq with channel", BLabel: "Seq w/o channel",
+	}
+	const k = 10 // default channel capacity (10 sharable streams, §5.2)
+	xs := cfg.capSweep([]int{1, 10, 100, 1000, 10000})
+	for _, x := range xs {
+		p := workload.DefaultParams()
+		p.Seed = cfg.Seed
+		p.NumQueries = x
+		a, err := w3Throughput(p, min(k, x), cfg.Rounds, true)
+		if err != nil {
+			return nil, err
+		}
+		b, err := w3Throughput(p, min(k, x), cfg.Rounds, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Point{X: fmt.Sprintf("%d", x), A: a, B: b})
+	}
+	return res, nil
+}
+
+// Fig10d: Workload 3, varying the channel capacity (number of sharable
+// streams encoded by the channel).
+func (cfg Config) Fig10d() (*Result, error) {
+	res := &Result{
+		Figure: "10(d)", Title: "Workload 3, varying channel capacity",
+		XLabel: "capacity", ALabel: "Seq with channel", BLabel: "Seq w/o channel",
+	}
+	nq := 1000
+	if nq > cfg.MaxQueries {
+		nq = cfg.MaxQueries
+	}
+	for _, k := range []int{5, 10, 15, 20, 25} {
+		p := workload.DefaultParams()
+		p.Seed = cfg.Seed
+		p.NumQueries = nq
+		a, err := w3Throughput(p, k, cfg.Rounds, true)
+		if err != nil {
+			return nil, err
+		}
+		b, err := w3Throughput(p, k, cfg.Rounds, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Point{X: fmt.Sprintf("%d", k), A: a, B: b})
+	}
+	return res, nil
+}
+
+// fig11 measures the hybrid workload over the D1-style trace.
+func (cfg Config) fig11(n int, sel float64) (withCh, withoutCh float64, err error) {
+	events := workload.D1(cfg.TraceSeconds).Events()
+	for _, channels := range []bool{true, false} {
+		qs := workload.DefaultHybrid(n, sel).Queries()
+		e, err := BuildRUMOR(workload.PerfCatalog(), qs, channels)
+		if err != nil {
+			return 0, 0, err
+		}
+		tps := throughput(events, func(ev workload.Event) {
+			if err := e.Push(ev.Source, ev.Tuple); err != nil {
+				panic(err)
+			}
+		})
+		if channels {
+			withCh = tps
+		} else {
+			withoutCh = tps
+		}
+	}
+	return withCh, withoutCh, nil
+}
+
+// Fig11a: hybrid queries on the D1-style trace, sel = 0.5, varying the
+// number of queries (§5.3, Figure 11(a)). Each query monitors all
+// processes, i.e. corresponds to 104 instances of Query 2.
+func (cfg Config) Fig11a() (*Result, error) {
+	res := &Result{
+		Figure: "11(a)", Title: "Hybrid queries on perfmon trace (sel=0.5), varying number of queries",
+		XLabel: "#queries", ALabel: "Hybrid with channel", BLabel: "Hybrid w/o channel",
+	}
+	for _, n := range []int{5, 10, 15, 20, 25} {
+		a, b, err := cfg.fig11(n, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Point{X: fmt.Sprintf("%d", n), A: a, B: b})
+	}
+	return res, nil
+}
+
+// Fig11b: hybrid queries, n = 10, varying the starting-condition
+// selectivity (§5.3, Figure 11(b)).
+func (cfg Config) Fig11b() (*Result, error) {
+	res := &Result{
+		Figure: "11(b)", Title: "Hybrid queries (n=10), varying starting-condition selectivity",
+		XLabel: "selectivity", ALabel: "Hybrid with channel", BLabel: "Hybrid w/o channel",
+	}
+	for _, sel := range []float64{0.0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		a, b, err := cfg.fig11(10, sel)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Point{X: fmt.Sprintf("%.1f", sel), A: a, B: b})
+	}
+	return res, nil
+}
+
+// All runs every figure in order.
+func (cfg Config) All() ([]*Result, error) {
+	runs := []func() (*Result, error){
+		cfg.Fig9a, cfg.Fig9b, cfg.Fig9c, cfg.Fig9d,
+		cfg.Fig10a, cfg.Fig10b, cfg.Fig10c, cfg.Fig10d,
+		cfg.Fig11a, cfg.Fig11b,
+	}
+	var out []*Result
+	for _, run := range runs {
+		r, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByName returns the runner for a figure name like "9a" or "11b".
+func (cfg Config) ByName(name string) (func() (*Result, error), bool) {
+	m := map[string]func() (*Result, error){
+		"9a": cfg.Fig9a, "9b": cfg.Fig9b, "9c": cfg.Fig9c, "9d": cfg.Fig9d,
+		"10a": cfg.Fig10a, "10b": cfg.Fig10b, "10c": cfg.Fig10c, "10d": cfg.Fig10d,
+		"11a": cfg.Fig11a, "11b": cfg.Fig11b,
+	}
+	f, ok := m[name]
+	return f, ok
+}

@@ -1,0 +1,298 @@
+// Package bitset provides a compact dynamic bit set used to represent
+// channel-tuple membership components (which streams a channel tuple
+// belongs to) and operator masks inside m-ops.
+//
+// The zero value of Set is an empty set ready to use. Sets grow on demand;
+// all operations treat missing words as zero. A nil *Set behaves like the
+// empty set for read operations.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a growable bit set. Bits are indexed from 0.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set with capacity for at least n bits preallocated.
+func New(n int) *Set {
+	if n <= 0 {
+		return &Set{}
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a set with exactly the given bits set.
+func FromIndices(idx ...int) *Set {
+	s := &Set{}
+	for _, i := range idx {
+		s.Set(i)
+	}
+	return s
+}
+
+// ensure grows the word slice so that bit i is addressable.
+func (s *Set) ensure(i int) {
+	w := i/wordBits + 1
+	if len(s.words) < w {
+		nw := make([]uint64, w)
+		copy(nw, s.words)
+		s.words = nw
+	}
+}
+
+// Set sets bit i. Panics if i is negative.
+func (s *Set) Set(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	s.ensure(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i. Clearing a bit beyond the current capacity is a no-op.
+func (s *Set) Clear(i int) {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	if s == nil || i < 0 || i/wordBits >= len(s.words) {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	if s == nil {
+		return true
+	}
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	if s == nil {
+		return &Set{}
+	}
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o.
+func (s *Set) CopyFrom(o *Set) {
+	if o == nil {
+		s.Reset()
+		return
+	}
+	if cap(s.words) < len(o.words) {
+		s.words = make([]uint64, len(o.words))
+	} else {
+		s.words = s.words[:len(o.words)]
+	}
+	copy(s.words, o.words)
+}
+
+// Reset clears all bits, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Union sets s = s ∪ o.
+func (s *Set) Union(o *Set) {
+	if o == nil {
+		return
+	}
+	if len(o.words) > len(s.words) {
+		s.ensure(len(o.words)*wordBits - 1)
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect sets s = s ∩ o.
+func (s *Set) Intersect(o *Set) {
+	if o == nil {
+		s.Reset()
+		return
+	}
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &= o.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// Difference sets s = s \ o.
+func (s *Set) Difference(o *Set) {
+	if o == nil {
+		return
+	}
+	for i := range s.words {
+		if i < len(o.words) {
+			s.words[i] &^= o.words[i]
+		}
+	}
+}
+
+// Intersects reports whether s ∩ o is non-empty, without allocating.
+func (s *Set) Intersects(o *Set) bool {
+	if s == nil || o == nil {
+		return false
+	}
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o contain exactly the same bits.
+func (s *Set) Equal(o *Set) bool {
+	sw, ow := []uint64(nil), []uint64(nil)
+	if s != nil {
+		sw = s.words
+	}
+	if o != nil {
+		ow = o.words
+	}
+	n := len(sw)
+	if len(ow) > n {
+		n = len(ow)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(sw) {
+			a = sw[i]
+		}
+		if i < len(ow) {
+			b = ow[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every bit of s is also set in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	if s == nil {
+		return true
+	}
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if o == nil || i >= len(o.words) || w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order. It stops early if
+// fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	if s == nil {
+		return
+	}
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Indices returns the set bits in ascending order.
+func (s *Set) Indices() []int {
+	if s == nil {
+		return nil
+	}
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Key returns a canonical string key for the set's contents, usable as a
+// map key (e.g. for fragment-keyed shared aggregation). Trailing zero words
+// do not affect the key.
+func (s *Set) Key() string {
+	if s == nil {
+		return ""
+	}
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(s.words[i], 16))
+	}
+	return b.String()
+}
+
+// String renders the set like "{1,4,9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

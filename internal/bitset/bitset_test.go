@@ -1,0 +1,242 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	s := New(0)
+	if s.Test(3) {
+		t.Fatal("fresh set should be empty")
+	}
+	s.Set(3)
+	s.Set(100)
+	if !s.Test(3) || !s.Test(100) {
+		t.Fatal("bits not set")
+	}
+	if s.Test(4) || s.Test(99) {
+		t.Fatal("unexpected bits set")
+	}
+	if got := s.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	s.Clear(3)
+	if s.Test(3) {
+		t.Fatal("bit 3 should be cleared")
+	}
+	s.Clear(100000) // beyond capacity: no-op
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+}
+
+func TestNegativeIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(-1) should panic")
+		}
+	}()
+	New(8).Set(-1)
+}
+
+func TestNilReceiverReads(t *testing.T) {
+	var s *Set
+	if s.Test(0) || s.Count() != 0 || !s.Empty() {
+		t.Fatal("nil set should behave as empty")
+	}
+	if s.Key() != "" {
+		t.Fatal("nil set key should be empty")
+	}
+	if !s.SubsetOf(New(4)) {
+		t.Fatal("nil ⊆ anything")
+	}
+	c := s.Clone()
+	if c == nil || !c.Empty() {
+		t.Fatal("Clone of nil should be usable empty set")
+	}
+}
+
+func TestFromIndicesAndIndices(t *testing.T) {
+	s := FromIndices(9, 2, 77, 2)
+	want := []int{2, 9, 77}
+	if got := s.Indices(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	a := FromIndices(1, 2, 3, 200)
+	b := FromIndices(2, 3, 4)
+	u := a.Clone()
+	u.Union(b)
+	if got := u.Indices(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 200}) {
+		t.Fatalf("union = %v", got)
+	}
+	i := a.Clone()
+	i.Intersect(b)
+	if got := i.Indices(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("intersect = %v", got)
+	}
+	d := a.Clone()
+	d.Difference(b)
+	if got := d.Indices(); !reflect.DeepEqual(got, []int{1, 200}) {
+		t.Fatalf("difference = %v", got)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromIndices(5, 64)
+	b := FromIndices(64)
+	c := FromIndices(6, 65)
+	if !a.Intersects(b) {
+		t.Fatal("a and b share bit 64")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a and c are disjoint")
+	}
+	if a.Intersects(nil) || (*Set)(nil).Intersects(a) {
+		t.Fatal("nil never intersects")
+	}
+}
+
+func TestEqualIgnoresTrailingZeros(t *testing.T) {
+	a := FromIndices(1)
+	b := New(1000)
+	b.Set(1)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("equality must ignore capacity")
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	b.Set(999)
+	if a.Equal(b) {
+		t.Fatal("sets differ")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := FromIndices(1, 2)
+	b := FromIndices(1, 2, 3)
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Fatal("subset relation wrong")
+	}
+	if !a.SubsetOf(a) {
+		t.Fatal("reflexive")
+	}
+}
+
+func TestCopyFromAndReset(t *testing.T) {
+	a := FromIndices(3, 4)
+	b := FromIndices(700)
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	b.Set(9)
+	if a.Test(9) {
+		t.Fatal("CopyFrom must not alias")
+	}
+	b.Reset()
+	if !b.Empty() {
+		t.Fatal("Reset should clear")
+	}
+	b.CopyFrom(nil)
+	if !b.Empty() {
+		t.Fatal("CopyFrom(nil) should clear")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(1, 2, 3)
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if !reflect.DeepEqual(seen, []int{1, 2}) {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(0, 65).String(); got != "{0,65}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(0).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// randSet builds a set from a seed, for property tests.
+func randSet(r *rand.Rand) *Set {
+	s := &Set{}
+	n := r.Intn(6)
+	for i := 0; i < n; i++ {
+		s.Set(r.Intn(192))
+	}
+	return s
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		a := randSet(rand.New(rand.NewSource(seed1)))
+		b := randSet(rand.New(rand.NewSource(seed2)))
+		ab := a.Clone()
+		ab.Union(b)
+		ba := b.Clone()
+		ba.Union(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectSubset(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		a := randSet(rand.New(rand.NewSource(seed1)))
+		b := randSet(rand.New(rand.NewSource(seed2)))
+		i := a.Clone()
+		i.Intersect(b)
+		return i.SubsetOf(a) && i.SubsetOf(b) && (i.Intersects(a) == !i.Empty())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// a \ b and a ∩ b partition a.
+	f := func(seed1, seed2 int64) bool {
+		a := randSet(rand.New(rand.NewSource(seed1)))
+		b := randSet(rand.New(rand.NewSource(seed2)))
+		d := a.Clone()
+		d.Difference(b)
+		i := a.Clone()
+		i.Intersect(b)
+		u := d.Clone()
+		u.Union(i)
+		return u.Equal(a) && !d.Intersects(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randSet(r)
+		b := a.Clone()
+		// Give b extra capacity; key must be identical.
+		b.ensure(1024)
+		return a.Key() == b.Key() && a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// Logical is a node in a logical query tree (§2.1: "a logical query is
+// specified by a user through a query language"). Leaves are stream scans;
+// interior nodes carry operator definitions.
+type Logical struct {
+	Def      *Def
+	Source   string // stream name when Def.Kind == KindSource
+	Children []*Logical
+}
+
+// Scan returns a logical scan of the named source stream.
+func Scan(name string) *Logical {
+	return &Logical{Def: &Def{Kind: KindSource}, Source: name}
+}
+
+// SelectL applies a selection predicate.
+func SelectL(p expr.Pred, in *Logical) *Logical {
+	return &Logical{Def: SelectDef(p), Children: []*Logical{in}}
+}
+
+// ProjectL applies a schema map.
+func ProjectL(m *expr.SchemaMap, in *Logical) *Logical {
+	return &Logical{Def: ProjectDef(m), Children: []*Logical{in}}
+}
+
+// AggL applies a sliding-window aggregate.
+func AggL(fn AggFn, attr int, window int64, groupBy []int, in *Logical) *Logical {
+	return &Logical{Def: AggDef(fn, attr, window, groupBy...), Children: []*Logical{in}}
+}
+
+// JoinL joins two inputs within a window.
+func JoinL(p expr.Pred2, window int64, l, r *Logical) *Logical {
+	return &Logical{Def: JoinDef(p, window), Children: []*Logical{l, r}}
+}
+
+// SeqL builds a Cayuga sequence l ;θ r with a duration window.
+func SeqL(p expr.Pred2, window int64, l, r *Logical) *Logical {
+	return &Logical{Def: SeqDef(p, window), Children: []*Logical{l, r}}
+}
+
+// MuL builds a Cayuga iteration l µ(rebind, filter) r with a duration window.
+func MuL(rebind, filter expr.Pred2, window int64, l, r *Logical) *Logical {
+	return &Logical{Def: MuDef(rebind, filter, window), Children: []*Logical{l, r}}
+}
+
+// Validate checks child arity recursively.
+func (l *Logical) Validate() error {
+	want := l.Def.Kind.Arity()
+	if len(l.Children) != want {
+		return fmt.Errorf("%s node has %d children, want %d", l.Def.Kind, len(l.Children), want)
+	}
+	if l.Def.Kind == KindSource && l.Source == "" {
+		return fmt.Errorf("scan with empty source name")
+	}
+	for _, c := range l.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query is a named continuous query: a logical tree whose root stream is
+// the query's output.
+type Query struct {
+	ID   int
+	Name string
+	Root *Logical
+}
+
+// NewQuery wraps a logical tree.
+func NewQuery(name string, root *Logical) *Query {
+	return &Query{Name: name, Root: root}
+}
+
+// SourceDecl declares an input stream: its schema and its sharable-source
+// label (§3.2 base case 2: sources with the same label are sharable).
+type SourceDecl struct {
+	Schema *stream.Schema
+	Label  string // non-empty label groups sharable sources
+}

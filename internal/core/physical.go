@@ -1,0 +1,637 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// StreamRef is a logical stream in a physical plan: the output of one
+// operator instance (or a source). Channels encode one or more StreamRefs
+// on a single Edge; a stream's position within its edge is its membership
+// bit index.
+type StreamRef struct {
+	ID       int
+	Schema   *stream.Schema
+	Producer *Op    // nil for source streams
+	Source   string // source name when Producer == nil
+	// ShareClass is the canonical signature of the paper's sharable-stream
+	// relation ∼ (§3.2): two streams are sharable iff their classes are
+	// equal.
+	ShareClass string
+}
+
+// Op is one physical operator instance, owned by a query. An m-op (Node)
+// implements a set of Ops.
+type Op struct {
+	ID      int
+	QueryID int
+	Def     *Def
+	In      []*StreamRef
+	Out     *StreamRef
+	Node    *Node // owning m-op
+}
+
+// Node is an m-op in the plan DAG: the scheduling and execution unit,
+// implementing one or more operators of the same kind (§2.2).
+type Node struct {
+	ID   int
+	Kind OpKind
+	Ops  []*Op
+}
+
+// Edge is a channel: the physical carrier of one or more streams (§3.1).
+// A fresh plan has single-stream edges; the cτ rules merge sharable
+// streams into multi-stream edges whose tuples carry membership vectors.
+type Edge struct {
+	ID      int
+	Streams []*StreamRef
+}
+
+// IsChannel reports whether the edge encodes more than one stream.
+func (e *Edge) IsChannel() bool { return len(e.Streams) > 1 }
+
+// Pos returns the membership index of stream s on the edge, or -1.
+func (e *Edge) Pos(s *StreamRef) int {
+	for i, t := range e.Streams {
+		if t == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Physical is a multi-query physical plan: a DAG of m-op Nodes connected
+// by channel Edges, implementing all currently active queries (§2.1).
+type Physical struct {
+	Catalog map[string]SourceDecl
+
+	Nodes map[int]*Node
+	Edges map[int]*Edge
+
+	Queries []*Query
+
+	streamEdge  map[int]*Edge    // stream ID → carrying edge
+	consumersOf map[int][]*Op    // stream ID → consuming ops
+	sourceNode  map[string]*Node // source name → source node
+	sourceRef   map[string]*StreamRef
+	outStream   map[int]*StreamRef // query ID → output stream
+
+	nextStream, nextOp, nextNode, nextEdge, nextQuery int
+}
+
+// NewPhysical creates an empty plan over the given source catalog.
+func NewPhysical(catalog map[string]SourceDecl) *Physical {
+	return &Physical{
+		Catalog:     catalog,
+		Nodes:       make(map[int]*Node),
+		Edges:       make(map[int]*Edge),
+		streamEdge:  make(map[int]*Edge),
+		consumersOf: make(map[int][]*Op),
+		sourceNode:  make(map[string]*Node),
+		sourceRef:   make(map[string]*StreamRef),
+		outStream:   make(map[int]*StreamRef),
+	}
+}
+
+// AddQuery plans q naively — one operator per m-op, one stream per edge —
+// and registers its output stream. The m-rules then rewrite the plan.
+func (p *Physical) AddQuery(q *Query) error {
+	if err := q.Root.Validate(); err != nil {
+		return fmt.Errorf("query %q: %w", q.Name, err)
+	}
+	// Pre-validate sources before mutating the plan.
+	if err := p.checkSources(q.Root); err != nil {
+		return fmt.Errorf("query %q: %w", q.Name, err)
+	}
+	q.ID = p.nextQuery
+	p.nextQuery++
+	out, err := p.build(q.ID, q.Root)
+	if err != nil {
+		return fmt.Errorf("query %q: %w", q.Name, err)
+	}
+	p.Queries = append(p.Queries, q)
+	p.outStream[q.ID] = out
+	return nil
+}
+
+func (p *Physical) checkSources(l *Logical) error {
+	if l.Def.Kind == KindSource {
+		if _, ok := p.Catalog[l.Source]; !ok {
+			return fmt.Errorf("unknown source stream %q", l.Source)
+		}
+		return nil
+	}
+	for _, c := range l.Children {
+		if err := p.checkSources(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// build recursively constructs operators for the logical tree and returns
+// the output stream of the root.
+func (p *Physical) build(queryID int, l *Logical) (*StreamRef, error) {
+	if l.Def.Kind == KindSource {
+		return p.ensureSource(l.Source), nil
+	}
+	ins := make([]*StreamRef, len(l.Children))
+	for i, c := range l.Children {
+		s, err := p.build(queryID, c)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = s
+	}
+	outSchema, err := outputSchema(l.Def, ins)
+	if err != nil {
+		return nil, err
+	}
+	op := &Op{ID: p.nextOp, QueryID: queryID, Def: l.Def, In: ins}
+	p.nextOp++
+	out := &StreamRef{ID: p.nextStream, Schema: outSchema, Producer: op}
+	p.nextStream++
+	out.ShareClass = p.shareClass(op, ins)
+	op.Out = out
+	node := &Node{ID: p.nextNode, Kind: l.Def.Kind, Ops: []*Op{op}}
+	p.nextNode++
+	op.Node = node
+	p.Nodes[node.ID] = node
+	p.addEdge(out)
+	for _, s := range ins {
+		p.consumersOf[s.ID] = append(p.consumersOf[s.ID], op)
+	}
+	return out, nil
+}
+
+// ensureSource returns the (shared) stream of a named source, creating its
+// node and edge on first use.
+func (p *Physical) ensureSource(name string) *StreamRef {
+	if s, ok := p.sourceRef[name]; ok {
+		return s
+	}
+	decl := p.Catalog[name]
+	op := &Op{ID: p.nextOp, QueryID: -1, Def: &Def{Kind: KindSource}}
+	p.nextOp++
+	s := &StreamRef{ID: p.nextStream, Schema: decl.Schema, Producer: op, Source: name}
+	p.nextStream++
+	if decl.Label != "" {
+		s.ShareClass = "src:" + decl.Label
+	} else {
+		s.ShareClass = "src#" + name
+	}
+	op.Out = s
+	node := &Node{ID: p.nextNode, Kind: KindSource, Ops: []*Op{op}}
+	p.nextNode++
+	op.Node = node
+	p.Nodes[node.ID] = node
+	p.sourceNode[name] = node
+	p.sourceRef[name] = s
+	p.addEdge(s)
+	return s
+}
+
+func (p *Physical) addEdge(s *StreamRef) *Edge {
+	e := &Edge{ID: p.nextEdge, Streams: []*StreamRef{s}}
+	p.nextEdge++
+	p.Edges[e.ID] = e
+	p.streamEdge[s.ID] = e
+	return e
+}
+
+// shareClass computes the ∼ signature of op's output (§3.2): a selection's
+// output is sharable with its input; otherwise the class is determined by
+// the operator definition and the classes of the inputs.
+func (p *Physical) shareClass(op *Op, ins []*StreamRef) string {
+	if op.Def.Kind == KindSelect {
+		return ins[0].ShareClass
+	}
+	parts := make([]string, 0, len(ins)+1)
+	parts = append(parts, op.Def.Key())
+	for _, s := range ins {
+		parts = append(parts, s.ShareClass)
+	}
+	return "(" + strings.Join(parts, "~") + ")"
+}
+
+// outputSchema derives the schema of an operator's output stream.
+func outputSchema(d *Def, ins []*StreamRef) (*stream.Schema, error) {
+	schemas := make([]*stream.Schema, len(ins))
+	for i, s := range ins {
+		schemas[i] = s.Schema
+	}
+	return OutputSchema(d, schemas)
+}
+
+// SchemaOf computes the output schema of a logical tree under a source
+// catalog (used by the query-language binder).
+func SchemaOf(l *Logical, catalog map[string]SourceDecl) (*stream.Schema, error) {
+	if l.Def.Kind == KindSource {
+		decl, ok := catalog[l.Source]
+		if !ok {
+			return nil, fmt.Errorf("unknown source stream %q", l.Source)
+		}
+		return decl.Schema, nil
+	}
+	ins := make([]*stream.Schema, len(l.Children))
+	for i, c := range l.Children {
+		s, err := SchemaOf(c, catalog)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = s
+	}
+	return OutputSchema(l.Def, ins)
+}
+
+// OutputSchema derives the schema of an operator's output from its input
+// schemas.
+func OutputSchema(d *Def, ins []*stream.Schema) (*stream.Schema, error) {
+	switch d.Kind {
+	case KindSelect:
+		return ins[0], nil
+	case KindProject:
+		attrs := make([]string, d.Map.Arity())
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("x%d", i)
+		}
+		return stream.NewSchema("proj", attrs...)
+	case KindAgg:
+		in := ins[0]
+		attrs := make([]string, 0, len(d.GroupBy)+1)
+		seen := map[string]bool{}
+		for _, g := range d.GroupBy {
+			if g < 0 || g >= in.Arity() {
+				return nil, fmt.Errorf("group-by attribute %d out of range for schema %s", g, in.Name)
+			}
+			attrs = append(attrs, in.Attrs[g])
+			seen[in.Attrs[g]] = true
+		}
+		if d.AggAttr < 0 || d.AggAttr >= in.Arity() {
+			return nil, fmt.Errorf("aggregate attribute %d out of range for schema %s", d.AggAttr, in.Name)
+		}
+		val := in.Attrs[d.AggAttr]
+		if seen[val] {
+			val = d.Agg.String() + "_" + val
+		}
+		attrs = append(attrs, val)
+		return stream.NewSchema("agg_"+in.Name, attrs...)
+	case KindJoin, KindSeq, KindMu:
+		return ins[0].Concat(ins[1], "r_"), nil
+	}
+	return nil, fmt.Errorf("no output schema for kind %s", d.Kind)
+}
+
+// ---------------------------------------------------------------------------
+// Accessors used by the rule engine, the lowering step, and tests
+// ---------------------------------------------------------------------------
+
+// EdgeOf returns the edge carrying stream s and the stream's membership
+// position on it.
+func (p *Physical) EdgeOf(s *StreamRef) (*Edge, int) {
+	e := p.streamEdge[s.ID]
+	if e == nil {
+		return nil, -1
+	}
+	return e, e.Pos(s)
+}
+
+// Consumers returns the operators reading stream s.
+func (p *Physical) Consumers(s *StreamRef) []*Op {
+	return p.consumersOf[s.ID]
+}
+
+// OutputOf returns the output stream of query id (nil if unknown).
+func (p *Physical) OutputOf(queryID int) *StreamRef { return p.outStream[queryID] }
+
+// OutputQueries returns, for stream s, the IDs of queries whose output is
+// s, in ascending order.
+func (p *Physical) OutputQueries(s *StreamRef) []int {
+	var ids []int
+	for qid, o := range p.outStream {
+		if o == s {
+			ids = append(ids, qid)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// SourceStream returns the stream of the named source (nil if unused).
+func (p *Physical) SourceStream(name string) *StreamRef { return p.sourceRef[name] }
+
+// SourceNode returns the node of the named source (nil if unused).
+func (p *Physical) SourceNode(name string) *Node { return p.sourceNode[name] }
+
+// ProducerNode returns the node producing edge e (nil for mixed/invalid).
+func (p *Physical) ProducerNode(e *Edge) *Node {
+	var n *Node
+	for _, s := range e.Streams {
+		if s.Producer == nil {
+			return nil
+		}
+		if n == nil {
+			n = s.Producer.Node
+		} else if n != s.Producer.Node {
+			return nil
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Plan rewriting primitives (the vocabulary of m-rule actions)
+// ---------------------------------------------------------------------------
+
+// MergeNodes merges the given nodes (all of the same kind) into a single
+// m-op node implementing the union of their operators. Edges are left
+// untouched: each operator keeps its own input and output streams. This is
+// the action of the sτ rules (§2.3): "replacing that set of operators with
+// a single m-op".
+func (p *Physical) MergeNodes(nodes []*Node) (*Node, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("MergeNodes: empty set")
+	}
+	kind := nodes[0].Kind
+	var ops []*Op
+	for _, n := range nodes {
+		if n.Kind != kind {
+			return nil, fmt.Errorf("MergeNodes: mixed kinds %s and %s", kind, n.Kind)
+		}
+		if _, ok := p.Nodes[n.ID]; !ok {
+			return nil, fmt.Errorf("MergeNodes: node %d not in plan", n.ID)
+		}
+		ops = append(ops, n.Ops...)
+	}
+	if len(nodes) == 1 {
+		return nodes[0], nil
+	}
+	merged := &Node{ID: p.nextNode, Kind: kind, Ops: ops}
+	p.nextNode++
+	for _, n := range nodes {
+		delete(p.Nodes, n.ID)
+		for name, sn := range p.sourceNode {
+			if sn == n {
+				p.sourceNode[name] = merged
+			}
+		}
+	}
+	for _, o := range ops {
+		o.Node = merged
+	}
+	p.Nodes[merged.ID] = merged
+	return merged, nil
+}
+
+// CollapseOps implements common-subexpression elimination: all ops must
+// have identical definitions and read the same streams. The first op is
+// kept; consumers of the others' outputs are rewired to the kept op's
+// output stream, query outputs are remapped, and the redundant ops are
+// removed from their nodes (empty nodes are deleted). Used by s; and sµ
+// (§4.3, prefix state merging) and to share identical aggregates (Fig 6).
+func (p *Physical) CollapseOps(ops []*Op) (*Op, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("CollapseOps: empty set")
+	}
+	keep := ops[0]
+	for _, o := range ops[1:] {
+		if o.Def.Key() != keep.Def.Key() {
+			return nil, fmt.Errorf("CollapseOps: definitions differ: %s vs %s", o.Def.Key(), keep.Def.Key())
+		}
+		if len(o.In) != len(keep.In) {
+			return nil, fmt.Errorf("CollapseOps: arity mismatch")
+		}
+		for i := range o.In {
+			if o.In[i] != keep.In[i] {
+				return nil, fmt.Errorf("CollapseOps: input streams differ")
+			}
+		}
+	}
+	for _, o := range ops[1:] {
+		dead := o.Out
+		// Rewire consumers of the dead stream to keep.Out.
+		for _, c := range p.consumersOf[dead.ID] {
+			for i, s := range c.In {
+				if s == dead {
+					c.In[i] = keep.Out
+				}
+			}
+			p.consumersOf[keep.Out.ID] = append(p.consumersOf[keep.Out.ID], c)
+		}
+		delete(p.consumersOf, dead.ID)
+		// Remap query outputs.
+		for qid, s := range p.outStream {
+			if s == dead {
+				p.outStream[qid] = keep.Out
+			}
+		}
+		// Remove the dead op from input-consumer indexes.
+		for _, in := range o.In {
+			p.consumersOf[in.ID] = removeOp(p.consumersOf[in.ID], o)
+		}
+		// Drop the dead edge and stream.
+		if e := p.streamEdge[dead.ID]; e != nil {
+			e.Streams = removeStream(e.Streams, dead)
+			if len(e.Streams) == 0 {
+				delete(p.Edges, e.ID)
+			}
+		}
+		delete(p.streamEdge, dead.ID)
+		// Remove the op from its node.
+		n := o.Node
+		n.Ops = removeOp(n.Ops, o)
+		if len(n.Ops) == 0 {
+			delete(p.Nodes, n.ID)
+		}
+	}
+	return keep, nil
+}
+
+// EncodeChannel merges the edges carrying the given streams into a single
+// channel edge (§3.1). All streams must currently be on single-stream (or
+// already-merged) edges produced by the same node, with union-compatible
+// schemas — the channel-based MQO sharing criteria (§3.2) are checked by
+// the rules, not here; this primitive only enforces structural sanity.
+func (p *Physical) EncodeChannel(streams []*StreamRef) (*Edge, error) {
+	if len(streams) < 2 {
+		return nil, fmt.Errorf("EncodeChannel: need at least 2 streams")
+	}
+	seenEdge := map[int]bool{}
+	var all []*StreamRef
+	for _, s := range streams {
+		e := p.streamEdge[s.ID]
+		if e == nil {
+			return nil, fmt.Errorf("EncodeChannel: stream %d has no edge", s.ID)
+		}
+		if !seenEdge[e.ID] {
+			seenEdge[e.ID] = true
+			all = append(all, e.Streams...)
+		}
+	}
+	for _, s := range all[1:] {
+		if !s.Schema.UnionCompatible(all[0].Schema) {
+			return nil, fmt.Errorf("EncodeChannel: schemas not union-compatible (%d vs %d attrs)",
+				s.Schema.Arity(), all[0].Schema.Arity())
+		}
+	}
+	ch := &Edge{ID: p.nextEdge, Streams: all}
+	p.nextEdge++
+	for eid := range seenEdge {
+		delete(p.Edges, eid)
+	}
+	p.Edges[ch.ID] = ch
+	for _, s := range all {
+		p.streamEdge[s.ID] = ch
+	}
+	return ch, nil
+}
+
+func removeOp(s []*Op, o *Op) []*Op {
+	out := s[:0]
+	for _, x := range s {
+		if x != o {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func removeStream(s []*StreamRef, r *StreamRef) []*StreamRef {
+	out := s[:0]
+	for _, x := range s {
+		if x != r {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+// Stats summarizes a plan.
+type Stats struct {
+	Queries  int
+	Nodes    int
+	Ops      int
+	Edges    int
+	Channels int // edges encoding >1 stream
+	Streams  int
+}
+
+// Stats returns summary counts for the plan.
+func (p *Physical) Stats() Stats {
+	st := Stats{Queries: len(p.Queries), Nodes: len(p.Nodes), Edges: len(p.Edges)}
+	for _, n := range p.Nodes {
+		st.Ops += len(n.Ops)
+	}
+	for _, e := range p.Edges {
+		st.Streams += len(e.Streams)
+		if e.IsChannel() {
+			st.Channels++
+		}
+	}
+	return st
+}
+
+// Validate checks structural invariants: every op input stream is carried
+// by an edge, every node's ops agree with its kind, every query has an
+// output stream that exists, and the op graph is acyclic.
+func (p *Physical) Validate() error {
+	for _, n := range p.Nodes {
+		for _, o := range n.Ops {
+			if o.Node != n {
+				return fmt.Errorf("op %d has stale node pointer", o.ID)
+			}
+			if o.Def.Kind != n.Kind {
+				return fmt.Errorf("node %d kind %s holds op %d of kind %s", n.ID, n.Kind, o.ID, o.Def.Kind)
+			}
+			for _, in := range o.In {
+				if p.streamEdge[in.ID] == nil {
+					return fmt.Errorf("op %d reads stream %d with no edge", o.ID, in.ID)
+				}
+			}
+			if o.Out != nil && p.streamEdge[o.Out.ID] == nil {
+				return fmt.Errorf("op %d writes stream %d with no edge", o.ID, o.Out.ID)
+			}
+		}
+	}
+	for _, q := range p.Queries {
+		out := p.outStream[q.ID]
+		if out == nil {
+			return fmt.Errorf("query %d has no output stream", q.ID)
+		}
+		if p.streamEdge[out.ID] == nil {
+			return fmt.Errorf("query %d output stream %d has no edge", q.ID, out.ID)
+		}
+	}
+	// Acyclicity over nodes via producer links.
+	state := map[*Node]int{} // 0 unvisited, 1 in stack, 2 done
+	var visit func(n *Node) error
+	visit = func(n *Node) error {
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("cycle through node %d", n.ID)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		for _, o := range n.Ops {
+			for _, in := range o.In {
+				if in.Producer != nil {
+					if err := visit(in.Producer.Node); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[n] = 2
+		return nil
+	}
+	for _, n := range p.Nodes {
+		if err := visit(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders a compact plan description, deterministic across runs.
+func (p *Physical) String() string {
+	var b strings.Builder
+	ids := make([]int, 0, len(p.Nodes))
+	for id := range p.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n := p.Nodes[id]
+		fmt.Fprintf(&b, "node %d [%s] ops=%d\n", n.ID, n.Kind, len(n.Ops))
+		for _, o := range n.Ops {
+			ins := make([]string, len(o.In))
+			for i, s := range o.In {
+				ins[i] = fmt.Sprintf("s%d", s.ID)
+			}
+			fmt.Fprintf(&b, "  op %d q%d %s (%s) -> s%d\n",
+				o.ID, o.QueryID, o.Def.Key(), strings.Join(ins, ","), o.Out.ID)
+		}
+	}
+	eids := make([]int, 0, len(p.Edges))
+	for id := range p.Edges {
+		eids = append(eids, id)
+	}
+	sort.Ints(eids)
+	for _, id := range eids {
+		e := p.Edges[id]
+		ss := make([]string, len(e.Streams))
+		for i, s := range e.Streams {
+			ss[i] = fmt.Sprintf("s%d", s.ID)
+		}
+		fmt.Fprintf(&b, "edge %d {%s}\n", e.ID, strings.Join(ss, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package cql_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cql"
+	"repro/internal/engine"
+	"repro/internal/rules"
+	"repro/internal/stream"
+)
+
+const perfmonScript = `
+-- The paper's Query 1 (§4.1): smooth, then find a monotone ramp.
+CREATE STREAM CPU(pid, load);
+LET smoothed := AGG(avg(load) OVER 5 BY pid FROM CPU);
+-- The µ output concatenates the pattern start (pid, load) with the last
+-- event (r_pid, r_load); the stop condition applies to the last event.
+QUERY ramp := FILTER(r_load > 9,
+    MU(FILTER(load < 3, @smoothed), @smoothed
+       ON LAST.pid = EVENT.pid AND LAST.load < EVENT.load
+       KEEP LAST.pid != EVENT.pid
+       WINDOW 3600));
+`
+
+func TestParsePerfmonScript(t *testing.T) {
+	s, err := cql.Parse(perfmonScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Queries) != 1 || s.Queries[0].Name != "ramp" {
+		t.Fatalf("queries = %v", s.Queries)
+	}
+	if _, ok := s.Catalog["CPU"]; !ok {
+		t.Fatal("CPU not declared")
+	}
+	root := s.Queries[0].Root
+	if root.Def.Kind != core.KindSelect {
+		t.Fatalf("root kind = %s", root.Def.Kind)
+	}
+	if root.Children[0].Def.Kind != core.KindMu {
+		t.Fatalf("child kind = %s", root.Children[0].Def.Kind)
+	}
+}
+
+func TestEndToEndRampDetection(t *testing.T) {
+	s, err := cql.Parse(perfmonScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewPhysical(s.Catalog)
+	for _, q := range s.Queries {
+		if err := p.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rules.Optimize(p, rules.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qid := s.Queries[0].ID
+	// pid 7 ramps 1 → 5 → 10; window 5 keeps averages rising; the start
+	// condition admits the low sample, the stop condition load > 9 fires
+	// on the last average iff it exceeds 9.
+	loads := []int64{1, 2, 4, 8, 16, 32}
+	for i, v := range loads {
+		e.Push("CPU", stream.NewTuple(int64(i*10), 7, v)) // spaced beyond the window: avg = v
+	}
+	if e.ResultCount(qid) == 0 {
+		t.Fatal("ramp not detected")
+	}
+}
+
+func TestParseSeqJoinProject(t *testing.T) {
+	src := `
+CREATE STREAM S(a, b);
+CREATE STREAM T(a, b);
+QUERY q1 := SEQ(FILTER(a = 3, S), T ON EVENT.a = 4 AND LEFT.b < EVENT.b WINDOW 100);
+QUERY q2 := JOIN(S, T ON LEFT.a = EVENT.a WINDOW 50);
+QUERY q3 := PROJECT(b, a + 1, b * 2 FROM S);
+QUERY q4 := FILTER(a > 1 AND (b = 2 OR b = 3), S);
+QUERY q5 := FILTER(NOT a = 5, S);
+QUERY q6 := AGG(count(a) FROM S);
+`
+	s, err := cql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Queries) != 6 {
+		t.Fatalf("got %d queries", len(s.Queries))
+	}
+	p := core.NewPhysical(s.Catalog)
+	for _, q := range s.Queries {
+		if err := p.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rules.Optimize(p, rules.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Push("S", stream.NewTuple(0, 3, 1))
+	e.Push("T", stream.NewTuple(1, 4, 5))
+	if e.ResultCount(s.Queries[0].ID) != 1 {
+		t.Fatalf("q1 = %d, want 1", e.ResultCount(s.Queries[0].ID))
+	}
+	if e.ResultCount(s.Queries[2].ID) != 1 { // project over S tuple
+		t.Fatalf("q3 = %d, want 1", e.ResultCount(s.Queries[2].ID))
+	}
+	if e.ResultCount(s.Queries[5].ID) != 1 { // count
+		t.Fatalf("q6 = %d, want 1", e.ResultCount(s.Queries[5].ID))
+	}
+}
+
+func TestSharableDeclaration(t *testing.T) {
+	src := `
+CREATE STREAM S1(a, b) SHARABLE grp;
+CREATE STREAM S2(a, b) SHARABLE grp;
+CREATE STREAM T(a, b);
+QUERY q1 := SEQ(S1, T ON LEFT.a = EVENT.a WINDOW 10);
+QUERY q2 := SEQ(S2, T ON LEFT.a = EVENT.a WINDOW 10);
+`
+	s, err := cql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewPhysical(s.Catalog)
+	for _, q := range s.Queries {
+		if err := p.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rules.Optimize(p, rules.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Channels != 1 {
+		t.Fatalf("expected the sharable sources to channelize:\n%s", p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", "", "no QUERY"},
+		{"badTop", "FROB;", "expected CREATE"},
+		{"dupStream", "CREATE STREAM S(a); CREATE STREAM S(a); QUERY q := S;", "already declared"},
+		{"dupAttr", "CREATE STREAM S(a, a); QUERY q := S;", "duplicate attribute"},
+		{"unknownStream", "QUERY q := S;", "unknown stream"},
+		{"unknownRef", "CREATE STREAM S(a); QUERY q := @nope;", "undefined reference"},
+		{"dupName", "CREATE STREAM S(a); QUERY q := S; QUERY q := S;", "already defined"},
+		{"badAttr", "CREATE STREAM S(a); QUERY q := FILTER(zzz > 1, S);", "unknown attribute"},
+		{"qualInUnary", "CREATE STREAM S(a); QUERY q := FILTER(LEFT.a > 1, S);", "not allowed"},
+		{"unqualifiedPred2", "CREATE STREAM S(a); CREATE STREAM T(a); QUERY q := SEQ(S, T ON a = 1);", "must be qualified"},
+		{"lastOutsideMu", "CREATE STREAM S(a); CREATE STREAM T(a); QUERY q := SEQ(S, T ON LAST.a = 1);", "only valid inside MU"},
+		{"badAggFn", "CREATE STREAM S(a); QUERY q := AGG(median(a) FROM S);", "unknown aggregate"},
+		{"badAggAttr", "CREATE STREAM S(a); QUERY q := AGG(sum(zzz) FROM S);", "unknown attribute"},
+		{"badGroupBy", "CREATE STREAM S(a); QUERY q := AGG(sum(a) BY zzz FROM S);", "unknown group-by"},
+		{"badChar", "CREATE STREAM S(a); QUERY q := FILTER(a ? 1, S);", "unexpected character"},
+		{"loneColon", "CREATE STREAM S(a); QUERY q : S;", "unexpected ':'"},
+		{"missingSemi", "CREATE STREAM S(a) QUERY q := S;", "expected"},
+		{"badEventAttr", "CREATE STREAM S(a); CREATE STREAM T(a); QUERY q := SEQ(S, T ON EVENT.zzz = 1);", "unknown attribute EVENT.zzz"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := cql.Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndCase(t *testing.T) {
+	src := `
+-- a comment line
+create stream S(a); -- trailing comment
+query q := filter(a >= 0, S);
+`
+	s, err := cql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Queries) != 1 {
+		t.Fatal("case-insensitive keywords failed")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := `
+CREATE STREAM S(a);
+CREATE STREAM T(a);
+QUERY q1 := FILTER(1 < 2, S);
+QUERY q2 := FILTER(2 < 1, S);
+QUERY q3 := SEQ(S, T ON 1 = 1 WINDOW 5);
+QUERY q4 := FILTER(TRUE, S);
+QUERY q5 := FILTER(5 > a, S);
+`
+	s, err := cql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewPhysical(s.Catalog)
+	for _, q := range s.Queries {
+		if err := p.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := engine.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Push("S", stream.NewTuple(0, 3))
+	if e.ResultCount(s.Queries[0].ID) != 1 || e.ResultCount(s.Queries[1].ID) != 0 {
+		t.Fatal("constant predicates folded wrong")
+	}
+	if e.ResultCount(s.Queries[3].ID) != 1 {
+		t.Fatal("TRUE filter should pass")
+	}
+	if e.ResultCount(s.Queries[4].ID) != 1 { // 5 > 3 flipped to a < 5
+		t.Fatal("flipped comparison wrong")
+	}
+}

@@ -1,0 +1,68 @@
+package cql_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cql"
+)
+
+// TestParseNeverPanics throws random token soup at the parser: it must
+// return an error or a script, never panic. The corpus mixes valid
+// fragments with junk so the error paths deep in the grammar are reached.
+func TestParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		"CREATE", "STREAM", "QUERY", "LET", "FILTER", "PROJECT", "AGG",
+		"JOIN", "SEQ", "MU", "ON", "KEEP", "WINDOW", "OVER", "BY", "FROM",
+		"AND", "OR", "NOT", "TRUE", "FALSE", "SHARABLE",
+		"S", "T", "q", "a", "b", "load", "pid", "@", "(", ")", ",", ";",
+		":=", "=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", ".",
+		"0", "1", "42", "9999999999", "LEFT", "EVENT", "LAST", "START",
+		"CREATE STREAM S(a, b);", "QUERY q := S;",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := r.Intn(40)
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[r.Intn(len(fragments))])
+			b.WriteByte(' ')
+		}
+		// Must not panic; result is irrelevant.
+		_, _ = cql.Parse(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseRandomBytesNeverPanics feeds raw random bytes.
+func TestParseRandomBytesNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = cql.Parse(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncationErrors parses every prefix of a valid script: all prefixes
+// must either parse (unlikely) or produce a clean error.
+func TestTruncationErrors(t *testing.T) {
+	src := `
+CREATE STREAM CPU(pid, load) SHARABLE grp;
+LET smoothed := AGG(avg(load) OVER 5 BY pid FROM CPU);
+QUERY ramp := FILTER(r_load > 9,
+    MU(FILTER(load < 3, @smoothed), @smoothed
+       ON LAST.pid = EVENT.pid AND LAST.load < EVENT.load
+       KEEP LAST.pid != EVENT.pid
+       WINDOW 3600));
+`
+	for i := 0; i <= len(src); i++ {
+		_, _ = cql.Parse(src[:i])
+	}
+}

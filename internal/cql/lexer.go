@@ -1,0 +1,153 @@
+// Package cql implements a small continuous query language for RUMOR. A
+// script declares source streams and continuous queries; queries compile
+// to logical plans (package core) ready for multi-query optimization.
+//
+// Grammar (case-insensitive keywords):
+//
+//	script  := stmt*
+//	stmt    := create | let | query
+//	create  := CREATE STREAM name '(' attr (',' attr)* ')' [SHARABLE label] ';'
+//	let     := LET name ':=' node ';'          -- named subplan (inlined)
+//	query   := QUERY name ':=' node ';'        -- registered output query
+//	node    := name                            -- source stream scan
+//	         | '@' name                        -- reference to a LET/QUERY
+//	         | FILTER '(' pred ',' node ')'
+//	         | PROJECT '(' expr (',' expr)* FROM node ')'
+//	         | AGG '(' fn '(' attr ')' [OVER n] [BY attr (',' attr)*] FROM node ')'
+//	         | JOIN '(' node ',' node ON pred2 [WINDOW n] ')'
+//	         | SEQ '(' node ',' node ON pred2 [WINDOW n] ')'
+//	         | MU '(' node ',' node ON pred2 [KEEP pred2] [WINDOW n] ')'
+//	pred    := disjunction over comparisons of attr/number expressions
+//	pred2   := like pred, with qualified refs LEFT.x / START.x, LAST.x,
+//	           EVENT.x and the special term AGE <= n (duration predicate)
+//
+// Example (the paper's Query 1, §4.1):
+//
+//	CREATE STREAM CPU(pid, load);
+//	LET smoothed := AGG(avg(load) OVER 5 BY pid FROM CPU);
+//	QUERY ramp := FILTER(load > 90,
+//	    MU(FILTER(load < 20, @smoothed), @smoothed
+//	       ON LAST.pid = EVENT.pid AND LAST.load < EVENT.load
+//	       KEEP LAST.pid != EVENT.pid
+//	       WINDOW 3600));
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokSemi
+	tokAssign // :=
+	tokDot
+	tokAt
+	tokOp // comparison or arithmetic operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+// lexer tokenizes a script.
+type lexer struct {
+	src  string
+	i    int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		switch {
+		case c == '\n':
+			l.line++
+			l.i++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.i++
+		case c == '-' && l.i+1 < len(l.src) && l.src[l.i+1] == '-':
+			for l.i < len(l.src) && l.src[l.i] != '\n' {
+				l.i++
+			}
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == ';':
+			l.emit(tokSemi, ";")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '@':
+			l.emit(tokAt, "@")
+		case c == ':':
+			if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
+				l.toks = append(l.toks, token{kind: tokAssign, text: ":=", pos: l.i, line: l.line})
+				l.i += 2
+			} else {
+				return nil, fmt.Errorf("line %d: unexpected ':'", l.line)
+			}
+		case strings.ContainsRune("=<>!+-*/", rune(c)):
+			l.lexOp()
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.i, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.i, line: l.line})
+	l.i += len(text)
+}
+
+func (l *lexer) lexOp() {
+	start := l.i
+	c := l.src[l.i]
+	l.i++
+	if (c == '<' || c == '>' || c == '!' || c == '=') && l.i < len(l.src) && l.src[l.i] == '=' {
+		l.i++
+	}
+	l.toks = append(l.toks, token{kind: tokOp, text: l.src[start:l.i], pos: start, line: l.line})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.i
+	for l.i < len(l.src) && unicode.IsDigit(rune(l.src[l.i])) {
+		l.i++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.i], pos: start, line: l.line})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.i
+	for l.i < len(l.src) {
+		c := rune(l.src[l.i])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.i++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.i], pos: start, line: l.line})
+}

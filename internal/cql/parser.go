@@ -1,0 +1,510 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// Script is the result of parsing: the declared source catalog and the
+// registered output queries.
+type Script struct {
+	Catalog map[string]core.SourceDecl
+	Queries []*core.Query
+}
+
+// Parse compiles a CQL script.
+func Parse(src string) (*Script, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:    toks,
+		catalog: make(map[string]core.SourceDecl),
+		named:   make(map[string]*core.Logical),
+	}
+	s := &Script{Catalog: p.catalog}
+	for !p.at(tokEOF) {
+		switch {
+		case p.atKeyword("CREATE"):
+			if err := p.parseCreate(); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("LET"):
+			if _, err := p.parseNamed(false); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("QUERY"):
+			q, err := p.parseNamed(true)
+			if err != nil {
+				return nil, err
+			}
+			s.Queries = append(s.Queries, q)
+		default:
+			return nil, p.errf("expected CREATE, LET or QUERY, got %q", p.cur().text)
+		}
+	}
+	if len(s.Queries) == 0 {
+		return nil, fmt.Errorf("cql: script declares no QUERY")
+	}
+	return s, nil
+}
+
+type parser struct {
+	toks    []token
+	pos     int
+	catalog map[string]core.SourceDecl
+	named   map[string]*core.Logical
+}
+
+func (p *parser) cur() token        { return p.toks[p.pos] }
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %s, got %q", what, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("cql: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// parseCreate parses CREATE STREAM name(attrs...) [SHARABLE label] ;
+func (p *parser) parseCreate() error {
+	p.advance() // CREATE
+	if err := p.expectKeyword("STREAM"); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent, "stream name")
+	if err != nil {
+		return err
+	}
+	if _, dup := p.catalog[name.text]; dup {
+		return p.errf("stream %q already declared", name.text)
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return err
+	}
+	var attrs []string
+	for {
+		a, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return err
+		}
+		attrs = append(attrs, a.text)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return err
+	}
+	label := ""
+	if p.atKeyword("SHARABLE") {
+		p.advance()
+		lt, err := p.expect(tokIdent, "sharable label")
+		if err != nil {
+			return err
+		}
+		label = lt.text
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return err
+	}
+	sch, err := stream.NewSchema(name.text, attrs...)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	p.catalog[name.text] = core.SourceDecl{Schema: sch, Label: label}
+	return nil
+}
+
+// parseNamed parses LET/QUERY name := node ;
+func (p *parser) parseNamed(isQuery bool) (*core.Query, error) {
+	p.advance() // LET or QUERY
+	name, err := p.expect(tokIdent, "query name")
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := p.named[name.text]; dup {
+		return nil, p.errf("name %q already defined", name.text)
+	}
+	if _, err := p.expect(tokAssign, "':='"); err != nil {
+		return nil, err
+	}
+	node, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	p.named[name.text] = node
+	if isQuery {
+		return core.NewQuery(name.text, node), nil
+	}
+	return nil, nil
+}
+
+// schemaOf resolves the output schema of a parsed subplan.
+func (p *parser) schemaOf(l *core.Logical) (*stream.Schema, error) {
+	s, err := core.SchemaOf(l, p.catalog)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	return s, nil
+}
+
+// parseNode parses one plan expression.
+func (p *parser) parseNode() (*core.Logical, error) {
+	switch {
+	case p.atKeyword("FILTER"):
+		return p.parseFilter()
+	case p.atKeyword("PROJECT"):
+		return p.parseProject()
+	case p.atKeyword("AGG"):
+		return p.parseAgg()
+	case p.atKeyword("JOIN"), p.atKeyword("SEQ"):
+		return p.parseBinary(strings.ToUpper(p.cur().text))
+	case p.atKeyword("MU"):
+		return p.parseMu()
+	case p.at(tokAt):
+		p.advance()
+		name, err := p.expect(tokIdent, "reference name")
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := p.named[name.text]
+		if !ok {
+			return nil, p.errf("undefined reference @%s", name.text)
+		}
+		return ref, nil
+	case p.at(tokIdent):
+		name := p.advance()
+		if _, ok := p.catalog[name.text]; !ok {
+			return nil, p.errf("unknown stream %q (declare it with CREATE STREAM)", name.text)
+		}
+		return core.Scan(name.text), nil
+	}
+	return nil, p.errf("expected a plan expression, got %q", p.cur().text)
+}
+
+func (p *parser) parseFilter() (*core.Logical, error) {
+	p.advance() // FILTER
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	pred, err := p.parsePredAST()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, "','"); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	sch, err := p.schemaOf(sub)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := bindPred(pred, sch)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	return core.SelectL(bound, sub), nil
+}
+
+func (p *parser) parseProject() (*core.Logical, error) {
+	p.advance() // PROJECT
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var exprs []*arithAST
+	for {
+		e, err := p.parseArithAST()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	sch, err := p.schemaOf(sub)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]expr.Expr, len(exprs))
+	for i, e := range exprs {
+		c, err := bindArith(e, sch)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		cols[i] = c
+	}
+	return core.ProjectL(&expr.SchemaMap{Cols: cols}, sub), nil
+}
+
+func (p *parser) parseAgg() (*core.Logical, error) {
+	p.advance() // AGG
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	fnTok, err := p.expect(tokIdent, "aggregate function")
+	if err != nil {
+		return nil, err
+	}
+	var fn core.AggFn
+	switch strings.ToLower(fnTok.text) {
+	case "sum":
+		fn = core.AggSum
+	case "count":
+		fn = core.AggCount
+	case "avg":
+		fn = core.AggAvg
+	case "min":
+		fn = core.AggMin
+	case "max":
+		fn = core.AggMax
+	default:
+		return nil, p.errf("unknown aggregate function %q", fnTok.text)
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	attrTok, err := p.expect(tokIdent, "aggregated attribute")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	window := int64(0)
+	if p.atKeyword("OVER") {
+		p.advance()
+		n, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		window = n
+	}
+	var groupNames []string
+	if p.atKeyword("BY") {
+		p.advance()
+		for {
+			g, err := p.expect(tokIdent, "group-by attribute")
+			if err != nil {
+				return nil, err
+			}
+			groupNames = append(groupNames, g.text)
+			if p.at(tokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	sch, err := p.schemaOf(sub)
+	if err != nil {
+		return nil, err
+	}
+	attr := sch.Index(attrTok.text)
+	if attr < 0 {
+		return nil, p.errf("unknown attribute %q", attrTok.text)
+	}
+	groupBy := make([]int, len(groupNames))
+	for i, g := range groupNames {
+		idx := sch.Index(g)
+		if idx < 0 {
+			return nil, p.errf("unknown group-by attribute %q", g)
+		}
+		groupBy[i] = idx
+	}
+	return core.AggL(fn, attr, window, groupBy, sub), nil
+}
+
+// parseBinary parses JOIN(l, r ON pred2 [WINDOW n]) and SEQ(...).
+func (p *parser) parseBinary(kw string) (*core.Logical, error) {
+	p.advance() // JOIN or SEQ
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	left, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, "','"); err != nil {
+		return nil, err
+	}
+	right, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	pred, err := p.parsePredAST()
+	if err != nil {
+		return nil, err
+	}
+	window := int64(0)
+	if p.atKeyword("WINDOW") {
+		p.advance()
+		window, err = p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	ls, err := p.schemaOf(left)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := p.schemaOf(right)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := bindPred2(pred, ls, rs, false)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	if kw == "JOIN" {
+		return core.JoinL(bound, window, left, right), nil
+	}
+	return core.SeqL(bound, window, left, right), nil
+}
+
+// parseMu parses MU(l, r ON rebind [KEEP filter] [WINDOW n]).
+func (p *parser) parseMu() (*core.Logical, error) {
+	p.advance() // MU
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	left, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, "','"); err != nil {
+		return nil, err
+	}
+	right, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	rebindAST, err := p.parsePredAST()
+	if err != nil {
+		return nil, err
+	}
+	var keepAST *predAST
+	if p.atKeyword("KEEP") {
+		p.advance()
+		keepAST, err = p.parsePredAST()
+		if err != nil {
+			return nil, err
+		}
+	}
+	window := int64(0)
+	if p.atKeyword("WINDOW") {
+		p.advance()
+		window, err = p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	ls, err := p.schemaOf(left)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := p.schemaOf(right)
+	if err != nil {
+		return nil, err
+	}
+	rebind, err := bindPred2(rebindAST, ls, rs, true)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	var filter expr.Pred2 = expr.False2{}
+	if keepAST != nil {
+		filter, err = bindPred2(keepAST, ls, rs, true)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+	}
+	return core.MuL(rebind, filter, window, left, right), nil
+}
+
+func (p *parser) parseNumber() (int64, error) {
+	t, err := p.expect(tokNumber, "number")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", t.text)
+	}
+	return n, nil
+}

@@ -1,0 +1,454 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// predAST is an unbound predicate tree; binding resolves attribute names
+// against schemas once the operand subplans are known.
+type predAST struct {
+	kind string // "cmp", "and", "or", "not", "true", "false"
+	op   string
+	l, r termAST
+	kids []*predAST
+}
+
+// termAST is a comparison operand: a possibly-qualified attribute
+// reference or an integer literal.
+type termAST struct {
+	qual  string // "", "LEFT", "START", "LAST", "EVENT"
+	name  string
+	num   int64
+	isNum bool
+}
+
+// parsePredAST parses a disjunction.
+func (p *parser) parsePredAST() (*predAST, error) {
+	left, err := p.parsePredAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		right, err := p.parsePredAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &predAST{kind: "or", kids: []*predAST{left, right}}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePredAnd() (*predAST, error) {
+	left, err := p.parsePredUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		right, err := p.parsePredUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &predAST{kind: "and", kids: []*predAST{left, right}}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePredUnary() (*predAST, error) {
+	switch {
+	case p.atKeyword("NOT"):
+		p.advance()
+		sub, err := p.parsePredUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &predAST{kind: "not", kids: []*predAST{sub}}, nil
+	case p.atKeyword("TRUE"):
+		p.advance()
+		return &predAST{kind: "true"}, nil
+	case p.atKeyword("FALSE"):
+		p.advance()
+		return &predAST{kind: "false"}, nil
+	case p.at(tokLParen):
+		p.advance()
+		sub, err := p.parsePredAST()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	opTok, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &predAST{kind: "cmp", op: opTok.text, l: l, r: r}, nil
+}
+
+func (p *parser) parseTerm() (termAST, error) {
+	if p.at(tokNumber) {
+		t := p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return termAST{}, p.errf("bad number %q", t.text)
+		}
+		return termAST{num: n, isNum: true}, nil
+	}
+	id, err := p.expect(tokIdent, "attribute or number")
+	if err != nil {
+		return termAST{}, err
+	}
+	up := strings.ToUpper(id.text)
+	if (up == "LEFT" || up == "START" || up == "LAST" || up == "EVENT") && p.at(tokDot) {
+		p.advance()
+		name, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return termAST{}, err
+		}
+		return termAST{qual: up, name: name.text}, nil
+	}
+	return termAST{name: id.text}, nil
+}
+
+// arithAST is an unbound projection expression.
+type arithAST struct {
+	kind string // "num", "attr", "bin"
+	num  int64
+	name string
+	op   string
+	l, r *arithAST
+}
+
+func (p *parser) parseArithAST() (*arithAST, error) {
+	left, err := p.parseArithMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp) && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.advance().text
+		right, err := p.parseArithMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &arithAST{kind: "bin", op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseArithMul() (*arithAST, error) {
+	left, err := p.parseArithPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp) && (p.cur().text == "*" || p.cur().text == "/") {
+		op := p.advance().text
+		right, err := p.parseArithPrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &arithAST{kind: "bin", op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseArithPrimary() (*arithAST, error) {
+	switch {
+	case p.at(tokNumber):
+		t := p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &arithAST{kind: "num", num: n}, nil
+	case p.at(tokIdent):
+		return &arithAST{kind: "attr", name: p.advance().text}, nil
+	case p.at(tokLParen):
+		p.advance()
+		sub, err := p.parseArithAST()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	}
+	return nil, p.errf("expected expression, got %q", p.cur().text)
+}
+
+// ---------------------------------------------------------------------------
+// Binding
+// ---------------------------------------------------------------------------
+
+func cmpOpOf(op string) (expr.CmpOp, error) {
+	switch op {
+	case "=", "==":
+		return expr.Eq, nil
+	case "!=":
+		return expr.Ne, nil
+	case "<":
+		return expr.Lt, nil
+	case "<=":
+		return expr.Le, nil
+	case ">":
+		return expr.Gt, nil
+	case ">=":
+		return expr.Ge, nil
+	}
+	return 0, fmt.Errorf("unknown comparison operator %q", op)
+}
+
+// flipOp mirrors a comparison when its operands are swapped.
+func flipOp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.Lt:
+		return expr.Gt
+	case expr.Le:
+		return expr.Ge
+	case expr.Gt:
+		return expr.Lt
+	case expr.Ge:
+		return expr.Le
+	}
+	return op
+}
+
+// bindPred resolves a unary predicate against one schema.
+func bindPred(a *predAST, sch *stream.Schema) (expr.Pred, error) {
+	switch a.kind {
+	case "true":
+		return expr.True{}, nil
+	case "false":
+		return expr.False{}, nil
+	case "not":
+		sub, err := bindPred(a.kids[0], sch)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{P: sub}, nil
+	case "and":
+		l, err := bindPred(a.kids[0], sch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindPred(a.kids[1], sch)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewAnd(l, r), nil
+	case "or":
+		l, err := bindPred(a.kids[0], sch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindPred(a.kids[1], sch)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Or{Parts: []expr.Pred{l, r}}, nil
+	}
+	op, err := cmpOpOf(a.op)
+	if err != nil {
+		return nil, err
+	}
+	resolve := func(t termAST) (int, int64, bool, error) {
+		if t.isNum {
+			return 0, t.num, true, nil
+		}
+		if t.qual != "" {
+			return 0, 0, false, fmt.Errorf("qualifier %s.%s not allowed in a unary predicate", t.qual, t.name)
+		}
+		idx := sch.Index(t.name)
+		if idx < 0 {
+			return 0, 0, false, fmt.Errorf("unknown attribute %q in schema %s(%s)",
+				t.name, sch.Name, strings.Join(sch.Attrs, ","))
+		}
+		return idx, 0, false, nil
+	}
+	li, lc, lNum, err := resolve(a.l)
+	if err != nil {
+		return nil, err
+	}
+	ri, rc, rNum, err := resolve(a.r)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case !lNum && rNum:
+		return expr.ConstCmp{Attr: li, Op: op, C: rc}, nil
+	case lNum && !rNum:
+		return expr.ConstCmp{Attr: ri, Op: flipOp(op), C: lc}, nil
+	case !lNum && !rNum:
+		return expr.AttrCmp{A: li, Op: op, B: ri}, nil
+	default:
+		if op.Apply(lc, rc) {
+			return expr.True{}, nil
+		}
+		return expr.False{}, nil
+	}
+}
+
+// side classifies a bound binary-predicate operand.
+type side int
+
+const (
+	sideConst side = iota
+	sideLeft       // index into the stored/state tuple
+	sideRight      // index into the incoming event
+)
+
+// bindPred2 resolves a binary predicate: LEFT/START reference the stored
+// tuple (for µ, the pattern prefix), LAST the last bound event of a µ
+// instance, EVENT the incoming tuple.
+func bindPred2(a *predAST, ls, rs *stream.Schema, isMu bool) (expr.Pred2, error) {
+	switch a.kind {
+	case "true":
+		return expr.True2{}, nil
+	case "false":
+		return expr.False2{}, nil
+	case "not":
+		sub, err := bindPred2(a.kids[0], ls, rs, isMu)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not2{P: sub}, nil
+	case "and":
+		l, err := bindPred2(a.kids[0], ls, rs, isMu)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindPred2(a.kids[1], ls, rs, isMu)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewAnd2(l, r), nil
+	case "or":
+		l, err := bindPred2(a.kids[0], ls, rs, isMu)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindPred2(a.kids[1], ls, rs, isMu)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Or2{Parts: []expr.Pred2{l, r}}, nil
+	}
+	op, err := cmpOpOf(a.op)
+	if err != nil {
+		return nil, err
+	}
+	resolve := func(t termAST) (side, int, int64, error) {
+		if t.isNum {
+			return sideConst, 0, t.num, nil
+		}
+		switch t.qual {
+		case "LEFT", "START":
+			idx := ls.Index(t.name)
+			if idx < 0 {
+				return 0, 0, 0, fmt.Errorf("unknown attribute %s.%s (left schema %s)", t.qual, t.name, ls.Name)
+			}
+			return sideLeft, idx, 0, nil
+		case "LAST":
+			if !isMu {
+				return 0, 0, 0, fmt.Errorf("LAST.%s is only valid inside MU", t.name)
+			}
+			idx := rs.Index(t.name)
+			if idx < 0 {
+				return 0, 0, 0, fmt.Errorf("unknown attribute LAST.%s (event schema %s)", t.name, rs.Name)
+			}
+			return sideLeft, ls.Arity() + idx, 0, nil
+		case "EVENT":
+			idx := rs.Index(t.name)
+			if idx < 0 {
+				return 0, 0, 0, fmt.Errorf("unknown attribute EVENT.%s (event schema %s)", t.name, rs.Name)
+			}
+			return sideRight, idx, 0, nil
+		case "":
+			return 0, 0, 0, fmt.Errorf("attribute %q must be qualified (LEFT./START./LAST./EVENT.)", t.name)
+		}
+		return 0, 0, 0, fmt.Errorf("unknown qualifier %q", t.qual)
+	}
+	lSide, li, lc, err := resolve(a.l)
+	if err != nil {
+		return nil, err
+	}
+	rSide, ri, rc, err := resolve(a.r)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case lSide == sideLeft && rSide == sideRight:
+		return expr.AttrCmp2{L: li, Op: op, R: ri}, nil
+	case lSide == sideRight && rSide == sideLeft:
+		return expr.AttrCmp2{L: ri, Op: flipOp(op), R: li}, nil
+	case lSide == sideLeft && rSide == sideConst:
+		return expr.Left{P: expr.ConstCmp{Attr: li, Op: op, C: rc}}, nil
+	case lSide == sideConst && rSide == sideLeft:
+		return expr.Left{P: expr.ConstCmp{Attr: ri, Op: flipOp(op), C: lc}}, nil
+	case lSide == sideRight && rSide == sideConst:
+		return expr.Right{P: expr.ConstCmp{Attr: li, Op: op, C: rc}}, nil
+	case lSide == sideConst && rSide == sideRight:
+		return expr.Right{P: expr.ConstCmp{Attr: ri, Op: flipOp(op), C: lc}}, nil
+	case lSide == sideLeft && rSide == sideLeft:
+		return expr.Left{P: expr.AttrCmp{A: li, Op: op, B: ri}}, nil
+	case lSide == sideRight && rSide == sideRight:
+		return expr.Right{P: expr.AttrCmp{A: li, Op: op, B: ri}}, nil
+	default:
+		if op.Apply(lc, rc) {
+			return expr.True2{}, nil
+		}
+		return expr.False2{}, nil
+	}
+}
+
+// bindArith resolves a projection expression against a schema.
+func bindArith(a *arithAST, sch *stream.Schema) (expr.Expr, error) {
+	switch a.kind {
+	case "num":
+		return expr.Lit{C: a.num}, nil
+	case "attr":
+		idx := sch.Index(a.name)
+		if idx < 0 {
+			return nil, fmt.Errorf("unknown attribute %q in schema %s", a.name, sch.Name)
+		}
+		return expr.Col{I: idx}, nil
+	case "bin":
+		l, err := bindArith(a.l, sch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindArith(a.r, sch)
+		if err != nil {
+			return nil, err
+		}
+		var op expr.ArithOp
+		switch a.op {
+		case "+":
+			op = expr.Add
+		case "-":
+			op = expr.Sub
+		case "*":
+			op = expr.Mul
+		case "/":
+			op = expr.Div
+		}
+		return expr.Arith{Op: op, L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("bad expression node %q", a.kind)
+}

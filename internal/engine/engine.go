@@ -1,0 +1,229 @@
+// Package engine executes RUMOR physical plans: it lowers every plan node
+// to an executable m-op, wires the channel edges, and pushes source tuples
+// through the DAG in timestamp order. M-ops are the scheduling units
+// (§2.2); propagation is a FIFO work queue, single-threaded, matching the
+// paper's prototype execution model and its events/second throughput
+// metric (§5).
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/mop"
+	"repro/internal/stream"
+)
+
+// portRef addresses one input port of a lowered node.
+type portRef struct {
+	node *runtimeNode
+	port int
+}
+
+type runtimeNode struct {
+	id        int
+	m         mop.MOp
+	out       []*core.Edge // output port → edge
+	processed int64        // tuples delivered to this m-op
+	emitted   int64        // tuples produced by this m-op
+}
+
+// sink records that a stream on an edge is the output of some queries.
+type sink struct {
+	pos     int // membership position on the edge, -1 for plain
+	queries []int
+}
+
+// Engine is an executable instance of a physical plan.
+type Engine struct {
+	plan      *core.Physical
+	consumers map[int][]portRef // edge ID → consuming ports
+	sinks     map[int][]sink    // edge ID → query sinks
+	sourceOf  map[string]*core.Edge
+
+	// OnResult, if set, receives every query result tuple.
+	OnResult func(queryID int, t *stream.Tuple)
+
+	counts map[int]int64 // query ID → result count
+
+	queue []queued
+}
+
+type queued struct {
+	edge *core.Edge
+	t    *stream.Tuple
+}
+
+// New lowers the plan. The plan must not be mutated afterwards.
+func New(p *core.Physical) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: invalid plan: %w", err)
+	}
+	e := &Engine{
+		plan:      p,
+		consumers: make(map[int][]portRef),
+		sinks:     make(map[int][]sink),
+		sourceOf:  make(map[string]*core.Edge),
+		counts:    make(map[int]int64),
+	}
+	for _, n := range p.Nodes {
+		if n.Kind == core.KindSource {
+			continue // sources are injected directly onto their edges
+		}
+		low, err := mop.Lower(p, n)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		rn := &runtimeNode{id: n.ID, m: low.MOp, out: low.OutEdges}
+		for port, in := range low.InEdges {
+			e.consumers[in.ID] = append(e.consumers[in.ID], portRef{node: rn, port: port})
+		}
+	}
+	// Source edges, indexed by every source name they carry.
+	for name := range p.Catalog {
+		if s := p.SourceStream(name); s != nil {
+			edge, _ := p.EdgeOf(s)
+			e.sourceOf[name] = edge
+		}
+	}
+	// Query sinks.
+	for _, q := range p.Queries {
+		out := p.OutputOf(q.ID)
+		edge, pos := p.EdgeOf(out)
+		if !edge.IsChannel() {
+			pos = -1
+		}
+		ss := e.sinks[edge.ID]
+		found := false
+		for i := range ss {
+			if ss[i].pos == pos {
+				ss[i].queries = append(ss[i].queries, q.ID)
+				found = true
+				break
+			}
+		}
+		if !found {
+			e.sinks[edge.ID] = append(ss, sink{pos: pos, queries: []int{q.ID}})
+		}
+	}
+	return e, nil
+}
+
+// Push injects a tuple into the named source stream and drains the plan.
+// If the source has been encoded into a channel and the tuple carries no
+// membership, the singleton membership of that source's position is added.
+func (e *Engine) Push(source string, t *stream.Tuple) error {
+	edge, ok := e.sourceOf[source]
+	if !ok {
+		return fmt.Errorf("engine: source %q not in plan", source)
+	}
+	if edge.IsChannel() && t.Member == nil {
+		s := e.plan.SourceStream(source)
+		t = t.WithMember(bitset.FromIndices(edge.Pos(s)))
+	}
+	e.enqueue(edge, t)
+	e.drain()
+	return nil
+}
+
+// PushChannel injects a channel tuple carrying its own membership into the
+// (channelized) source that the named stream belongs to.
+func (e *Engine) PushChannel(source string, t *stream.Tuple) error {
+	if t.Member == nil {
+		return fmt.Errorf("engine: PushChannel requires a membership component")
+	}
+	edge, ok := e.sourceOf[source]
+	if !ok {
+		return fmt.Errorf("engine: source %q not in plan", source)
+	}
+	e.enqueue(edge, t)
+	e.drain()
+	return nil
+}
+
+func (e *Engine) enqueue(edge *core.Edge, t *stream.Tuple) {
+	e.queue = append(e.queue, queued{edge: edge, t: t})
+}
+
+// drain propagates queued tuples until quiescence. The queue's backing
+// array is reused across calls.
+func (e *Engine) drain() {
+	for i := 0; i < len(e.queue); i++ {
+		q := e.queue[i]
+		e.queue[i] = queued{} // release references early
+		e.deliver(q.edge, q.t)
+	}
+	e.queue = e.queue[:0]
+}
+
+func (e *Engine) deliver(edge *core.Edge, t *stream.Tuple) {
+	if ss := e.sinks[edge.ID]; ss != nil {
+		for i := range ss {
+			s := &ss[i]
+			if s.pos >= 0 && !t.Member.Test(s.pos) {
+				continue
+			}
+			for _, qid := range s.queries {
+				e.counts[qid]++
+				if e.OnResult != nil {
+					e.OnResult(qid, t)
+				}
+			}
+		}
+	}
+	for _, c := range e.consumers[edge.ID] {
+		n := c.node
+		n.processed++
+		n.m.Process(c.port, t, func(outPort int, out *stream.Tuple) {
+			n.emitted++
+			e.enqueue(n.out[outPort], out)
+		})
+	}
+}
+
+// NodeStats reports, per m-op node ID, the number of tuples delivered to
+// and emitted by the node — the per-m-op load visibility an operator of
+// the system needs to judge where sharing pays off.
+type NodeStats struct {
+	NodeID    int
+	Processed int64
+	Emitted   int64
+}
+
+// NodeStats returns per-node counters sorted by node ID.
+func (e *Engine) NodeStats() []NodeStats {
+	seen := map[int]bool{}
+	var out []NodeStats
+	for _, refs := range e.consumers {
+		for _, r := range refs {
+			if seen[r.node.id] {
+				continue
+			}
+			seen[r.node.id] = true
+			out = append(out, NodeStats{NodeID: r.node.id, Processed: r.node.processed, Emitted: r.node.emitted})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
+	return out
+}
+
+// ResultCount returns the number of result tuples produced for a query.
+func (e *Engine) ResultCount(queryID int) int64 { return e.counts[queryID] }
+
+// TotalResults returns the number of result tuples across all queries.
+func (e *Engine) TotalResults() int64 {
+	var n int64
+	for _, c := range e.counts {
+		n += c
+	}
+	return n
+}
+
+// ResetCounts clears result counters (e.g. after a warm-up pass).
+func (e *Engine) ResetCounts() {
+	for k := range e.counts {
+		delete(e.counts, k)
+	}
+}

@@ -1,0 +1,317 @@
+package mop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// aggState is the running state of one sliding-window aggregate group.
+type aggState struct {
+	sum    int64
+	count  int64
+	counts map[int64]int64 // value multiset, kept for min/max only
+}
+
+func newAggState(fn core.AggFn) *aggState {
+	st := &aggState{}
+	if fn == core.AggMin || fn == core.AggMax {
+		st.counts = make(map[int64]int64)
+	}
+	return st
+}
+
+func (st *aggState) add(v int64) {
+	st.sum += v
+	st.count++
+	if st.counts != nil {
+		st.counts[v]++
+	}
+}
+
+func (st *aggState) remove(v int64) {
+	st.sum -= v
+	st.count--
+	if st.counts != nil {
+		if st.counts[v] <= 1 {
+			delete(st.counts, v)
+		} else {
+			st.counts[v]--
+		}
+	}
+}
+
+// value computes the aggregate. Avg uses integer division (attribute
+// values are integers throughout the benchmark schema, §5.1). Min/max scan
+// the value multiset; the benchmark domains are small (Table 3).
+func (st *aggState) value(fn core.AggFn) int64 {
+	switch fn {
+	case core.AggSum:
+		return st.sum
+	case core.AggCount:
+		return st.count
+	case core.AggAvg:
+		if st.count == 0 {
+			return 0
+		}
+		return st.sum / st.count
+	case core.AggMin, core.AggMax:
+		first := true
+		var ext int64
+		for v := range st.counts {
+			if first {
+				ext = v
+				first = false
+				continue
+			}
+			if (fn == core.AggMin && v < ext) || (fn == core.AggMax && v > ext) {
+				ext = v
+			}
+		}
+		return ext
+	}
+	return 0
+}
+
+// aggEntry is one buffered input contribution, kept until it leaves the
+// window.
+type aggEntry struct {
+	ts    int64
+	group string
+	frag  string // fragment (membership) key; "" in plain mode
+	val   int64
+}
+
+// aggGroup is a set of aggregation operators with identical definitions
+// reading the same input port.
+//
+// Plain mode implements shared aggregate evaluation (sα): one running
+// state per group key serves every operator in the group.
+//
+// Channel mode implements shared fragment aggregation (cα, [15]): partial
+// aggregates are maintained per (membership fragment, group key); operator
+// i's answer combines the partials of every fragment containing i, so
+// maintenance costs one fragment update per tuple instead of one update
+// per query.
+type aggGroup struct {
+	fn      core.AggFn
+	attr    int
+	groupBy []int
+	window  int64
+	channel bool
+
+	ops []selOp
+
+	buf   []aggEntry                      // FIFO within window (input is timestamp-ordered)
+	state map[string]*aggState            // plain: group → state
+	frags map[string]map[string]*aggState // channel: frag → group → state
+	fsets map[string]*bitset.Set          // frag key → membership
+}
+
+// AggMOp is the sliding-window aggregation m-op.
+type AggMOp struct {
+	ports [][]*aggGroup
+	ce    *chanEmitter
+}
+
+func newAggMOp(p *core.Physical, n *core.Node, pm *portMap) (*AggMOp, error) {
+	m := &AggMOp{
+		ports: make([][]*aggGroup, len(pm.inEdges)),
+		ce:    newChanEmitter(len(pm.outEdges)),
+	}
+	type gkey struct {
+		port int
+		def  string
+	}
+	groups := make(map[gkey]*aggGroup)
+	for _, o := range n.Ops {
+		port, pos := pm.inLoc(p, o.In[0])
+		k := gkey{port: port, def: o.Def.Key()}
+		g, ok := groups[k]
+		if !ok {
+			g = &aggGroup{
+				fn:      o.Def.Agg,
+				attr:    o.Def.AggAttr,
+				groupBy: o.Def.GroupBy,
+				window:  o.Def.Window,
+				state:   make(map[string]*aggState),
+			}
+			groups[k] = g
+			m.ports[port] = append(m.ports[port], g)
+		}
+		if pos >= 0 {
+			g.channel = true
+		}
+		g.ops = append(g.ops, selOp{inPos: pos, tg: pm.outLoc(p, o.Out)})
+	}
+	for _, gs := range m.ports {
+		for _, g := range gs {
+			if g.channel {
+				g.frags = make(map[string]map[string]*aggState)
+				g.fsets = make(map[string]*bitset.Set)
+			}
+		}
+	}
+	return m, nil
+}
+
+// groupKey renders the group-by attribute values of t.
+func (g *aggGroup) groupKey(t *stream.Tuple) string {
+	if len(g.groupBy) == 0 {
+		return ""
+	}
+	if len(g.groupBy) == 1 {
+		return fmt.Sprintf("%d", t.Vals[g.groupBy[0]])
+	}
+	var b strings.Builder
+	for i, a := range g.groupBy {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d", t.Vals[a])
+	}
+	return b.String()
+}
+
+// expire removes contributions that fell out of the window at time now.
+// A tuple with timestamp e.ts is in the window of a tuple at now iff
+// now - e.ts < window.
+func (g *aggGroup) expire(now int64) {
+	i := 0
+	for ; i < len(g.buf); i++ {
+		e := &g.buf[i]
+		if g.window <= 0 || now-e.ts < g.window {
+			break
+		}
+		if g.channel {
+			byGroup := g.frags[e.frag]
+			if st := byGroup[e.group]; st != nil {
+				st.remove(e.val)
+				if st.count == 0 {
+					delete(byGroup, e.group)
+					if len(byGroup) == 0 {
+						delete(g.frags, e.frag)
+						delete(g.fsets, e.frag)
+					}
+				}
+			}
+		} else {
+			if st := g.state[e.group]; st != nil {
+				st.remove(e.val)
+				if st.count == 0 {
+					delete(g.state, e.group)
+				}
+			}
+		}
+	}
+	if i > 0 {
+		g.buf = g.buf[i:]
+	}
+}
+
+// combined computes, in channel mode, the aggregate for an operator at
+// membership position pos and group key gk by combining matching fragments.
+func (g *aggGroup) combined(pos int, gk string) (int64, bool) {
+	var total aggState
+	if g.fn == core.AggMin || g.fn == core.AggMax {
+		total.counts = make(map[int64]int64)
+	}
+	found := false
+	for fk, member := range g.fsets {
+		if !member.Test(pos) {
+			continue
+		}
+		st := g.frags[fk][gk]
+		if st == nil {
+			continue
+		}
+		found = true
+		total.sum += st.sum
+		total.count += st.count
+		if total.counts != nil {
+			for v, c := range st.counts {
+				total.counts[v] += c
+			}
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return total.value(g.fn), true
+}
+
+// Process implements MOp.
+func (m *AggMOp) Process(port int, t *stream.Tuple, emit Emit) {
+	for _, g := range m.ports[port] {
+		g.expire(t.TS)
+		gk := g.groupKey(t)
+		v := t.Vals[g.attr]
+		if g.channel {
+			fk := t.Member.Key()
+			byGroup := g.frags[fk]
+			if byGroup == nil {
+				byGroup = make(map[string]*aggState)
+				g.frags[fk] = byGroup
+				g.fsets[fk] = t.Member.Clone()
+			}
+			st := byGroup[gk]
+			if st == nil {
+				st = newAggState(g.fn)
+				byGroup[gk] = st
+			}
+			st.add(v)
+			g.buf = append(g.buf, aggEntry{ts: t.TS, group: gk, frag: fk, val: v})
+			for _, o := range g.ops {
+				if o.inPos >= 0 && !t.Member.Test(o.inPos) {
+					continue
+				}
+				av, ok := g.combined(o.inPos, gk)
+				if !ok {
+					continue
+				}
+				g.emitOne(o, t, gk, av, emit)
+			}
+		} else {
+			st := g.state[gk]
+			if st == nil {
+				st = newAggState(g.fn)
+				g.state[gk] = st
+			}
+			st.add(v)
+			g.buf = append(g.buf, aggEntry{ts: t.TS, group: gk, val: v})
+			av := st.value(g.fn)
+			out := g.outTuple(t, gk, av)
+			for _, o := range g.ops {
+				if o.tg.pos < 0 {
+					emit(o.tg.port, out)
+				} else {
+					m.ce.add(o.tg)
+				}
+			}
+			m.ce.flush(out, emit)
+		}
+	}
+}
+
+// outTuple builds the [group attrs..., aggregate] output tuple.
+func (g *aggGroup) outTuple(t *stream.Tuple, _ string, av int64) *stream.Tuple {
+	vals := make([]int64, 0, len(g.groupBy)+1)
+	for _, a := range g.groupBy {
+		vals = append(vals, t.Vals[a])
+	}
+	vals = append(vals, av)
+	return &stream.Tuple{TS: t.TS, Vals: vals}
+}
+
+// emitOne emits a per-operator output (channel mode; values can differ per
+// operator, so each output carries its own singleton membership).
+func (g *aggGroup) emitOne(o selOp, t *stream.Tuple, gk string, av int64, emit Emit) {
+	out := g.outTuple(t, gk, av)
+	if o.tg.pos >= 0 {
+		out.Member = bitset.FromIndices(o.tg.pos)
+	}
+	emit(o.tg.port, out)
+}

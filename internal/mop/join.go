@@ -1,0 +1,232 @@
+package mop
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// joinEntry is one buffered input tuple on a join side.
+type joinEntry struct {
+	t    *stream.Tuple
+	dead bool
+}
+
+// joinSide is one side of a shared symmetric window join: a FIFO buffer
+// bounded by the group's maximum window, with an optional hash index on
+// the equi-join attribute.
+type joinSide struct {
+	buf  []*joinEntry
+	hash map[int64][]*joinEntry // nil when not equi-indexed
+	attr int                    // indexed attribute
+}
+
+func (s *joinSide) insert(e *joinEntry) {
+	s.buf = append(s.buf, e)
+	if s.hash != nil {
+		v := e.t.Vals[s.attr]
+		s.hash[v] = append(s.hash[v], e)
+	}
+}
+
+func (s *joinSide) expire(now, window int64) {
+	i := 0
+	for ; i < len(s.buf); i++ {
+		e := s.buf[i]
+		if window <= 0 || now-e.t.TS <= window {
+			break
+		}
+		e.dead = true
+		if s.hash != nil {
+			v := e.t.Vals[s.attr]
+			b := pruneDead(s.hash[v])
+			if len(b) == 0 {
+				delete(s.hash, v)
+			} else {
+				s.hash[v] = b
+			}
+		}
+	}
+	if i > 0 {
+		s.buf = s.buf[i:]
+	}
+}
+
+// candidates returns live entries matching probe value v (indexed) or the
+// whole live buffer (unindexed).
+func (s *joinSide) candidates(v int64) []*joinEntry {
+	if s.hash != nil {
+		b := pruneDead(s.hash[v])
+		if len(b) == 0 {
+			delete(s.hash, v)
+			return nil
+		}
+		s.hash[v] = b
+		return b
+	}
+	return s.buf
+}
+
+func pruneDead(b []*joinEntry) []*joinEntry {
+	out := b[:0]
+	for _, e := range b {
+		if !e.dead {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// joinOp is one join operator within a group: its window length and
+// input/output wiring.
+type joinOp struct {
+	leftPos, rightPos int
+	window            int64
+	tg                target
+}
+
+// joinGroup is a set of join operators with the same join predicate
+// reading the same pair of edges. Shared window join (s⨝, [12]): one
+// shared state bounded by the maximum window; each operator filters
+// matches by its own window on emission. Precision sharing join (c⨝,
+// [14]): the inputs are channels, the predicate is evaluated once per
+// tuple pair, and output membership is derived from the input memberships.
+type joinGroup struct {
+	pred      expr.Pred2
+	hasEq     bool
+	lAttr     int
+	rAttr     int
+	maxWindow int64
+	left      joinSide
+	right     joinSide
+	ops       []joinOp
+}
+
+// JoinMOp is the windowed join m-op.
+type JoinMOp struct {
+	// portGroups[p] lists (group, side-is-left) pairs fed by input port p.
+	portGroups [][]portGroup
+	ce         *chanEmitter
+}
+
+type portGroup struct {
+	g      *joinGroup
+	isLeft bool
+}
+
+func newJoinMOp(p *core.Physical, n *core.Node, pm *portMap) (*JoinMOp, error) {
+	m := &JoinMOp{
+		portGroups: make([][]portGroup, len(pm.inEdges)),
+		ce:         newChanEmitter(len(pm.outEdges)),
+	}
+	type gkey struct {
+		lport, rport int
+		def          string
+	}
+	groups := make(map[gkey]*joinGroup)
+	for _, o := range n.Ops {
+		lport, lpos := pm.inLoc(p, o.In[0])
+		rport, rpos := pm.inLoc(p, o.In[1])
+		if lport == rport {
+			return nil, fmt.Errorf("join op %d reads both sides from one edge", o.ID)
+		}
+		k := gkey{lport: lport, rport: rport, def: o.Def.KeyModuloWindow()}
+		g, ok := groups[k]
+		if !ok {
+			g = &joinGroup{pred: o.Def.Pred2}
+			if la, ra, res, isEq := expr.EqJoinParts(o.Def.Pred2); isEq {
+				g.hasEq, g.lAttr, g.rAttr, g.pred = true, la, ra, res
+				g.left.hash = make(map[int64][]*joinEntry)
+				g.left.attr = la
+				g.right.hash = make(map[int64][]*joinEntry)
+				g.right.attr = ra
+			}
+			groups[k] = g
+			m.portGroups[lport] = append(m.portGroups[lport], portGroup{g: g, isLeft: true})
+			m.portGroups[rport] = append(m.portGroups[rport], portGroup{g: g, isLeft: false})
+		}
+		if o.Def.Window > g.maxWindow {
+			g.maxWindow = o.Def.Window
+		}
+		g.ops = append(g.ops, joinOp{
+			leftPos:  lpos,
+			rightPos: rpos,
+			window:   o.Def.Window,
+			tg:       pm.outLoc(p, o.Out),
+		})
+	}
+	return m, nil
+}
+
+// Process implements MOp.
+func (m *JoinMOp) Process(port int, t *stream.Tuple, emit Emit) {
+	for _, pg := range m.portGroups[port] {
+		g := pg.g
+		g.left.expire(t.TS, g.maxWindow)
+		g.right.expire(t.TS, g.maxWindow)
+		e := &joinEntry{t: t}
+		var probe *joinSide
+		var probeVal int64
+		if pg.isLeft {
+			g.left.insert(e)
+			probe = &g.right
+			if g.hasEq {
+				probeVal = t.Vals[g.lAttr]
+			}
+		} else {
+			g.right.insert(e)
+			probe = &g.left
+			if g.hasEq {
+				probeVal = t.Vals[g.rAttr]
+			}
+		}
+		for _, c := range probe.candidates(probeVal) {
+			if c.dead {
+				continue
+			}
+			var l, r *stream.Tuple
+			if pg.isLeft {
+				l, r = t, c.t
+			} else {
+				l, r = c.t, t
+			}
+			if !g.pred.Eval2(l, r) {
+				continue
+			}
+			age := t.TS - c.t.TS
+			var out *stream.Tuple
+			for _, o := range g.ops {
+				if o.window > 0 && age > o.window {
+					continue
+				}
+				if o.leftPos >= 0 && !l.Member.Test(o.leftPos) {
+					continue
+				}
+				if o.rightPos >= 0 && !r.Member.Test(o.rightPos) {
+					continue
+				}
+				if out == nil {
+					out = concatTuples(l, r, t.TS)
+				}
+				if o.tg.pos < 0 {
+					emit(o.tg.port, out)
+				} else {
+					m.ce.add(o.tg)
+				}
+			}
+			if out != nil {
+				m.ce.flush(out, emit)
+			}
+		}
+	}
+}
+
+// concatTuples builds the joined/sequenced output tuple l ++ r at time ts.
+func concatTuples(l, r *stream.Tuple, ts int64) *stream.Tuple {
+	vals := make([]int64, 0, len(l.Vals)+len(r.Vals))
+	vals = append(vals, l.Vals...)
+	vals = append(vals, r.Vals...)
+	return &stream.Tuple{TS: ts, Vals: vals}
+}

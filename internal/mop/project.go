@@ -1,0 +1,69 @@
+package mop
+
+import (
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// projGroup is a set of projection operators with the same schema map
+// reading the same input port: the map is applied once per tuple (§3.1's
+// π example — one evaluation and one output channel tuple for n operators).
+type projGroup struct {
+	m   *expr.SchemaMap
+	ops []selOp
+}
+
+// ProjectMOp is the projection m-op.
+type ProjectMOp struct {
+	ports [][]*projGroup
+	ce    *chanEmitter
+}
+
+func newProjectMOp(p *core.Physical, n *core.Node, pm *portMap) (*ProjectMOp, error) {
+	m := &ProjectMOp{
+		ports: make([][]*projGroup, len(pm.inEdges)),
+		ce:    newChanEmitter(len(pm.outEdges)),
+	}
+	type gkey struct {
+		port int
+		def  string
+	}
+	groups := make(map[gkey]*projGroup)
+	for _, o := range n.Ops {
+		port, pos := pm.inLoc(p, o.In[0])
+		k := gkey{port: port, def: o.Def.Key()}
+		g, ok := groups[k]
+		if !ok {
+			g = &projGroup{m: o.Def.Map}
+			groups[k] = g
+			m.ports[port] = append(m.ports[port], g)
+		}
+		g.ops = append(g.ops, selOp{inPos: pos, tg: pm.outLoc(p, o.Out)})
+	}
+	return m, nil
+}
+
+// Process implements MOp.
+func (m *ProjectMOp) Process(port int, t *stream.Tuple, emit Emit) {
+	for _, g := range m.ports[port] {
+		var out *stream.Tuple
+		for _, o := range g.ops {
+			if o.inPos >= 0 && !t.Member.Test(o.inPos) {
+				continue
+			}
+			if out == nil {
+				out = g.m.Apply(t)
+				out.Member = nil
+			}
+			if o.tg.pos < 0 {
+				emit(o.tg.port, out)
+			} else {
+				m.ce.add(o.tg)
+			}
+		}
+		if out != nil {
+			m.ce.flush(out, emit)
+		}
+	}
+}

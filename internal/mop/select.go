@@ -1,0 +1,136 @@
+package mop
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// newMember builds a membership set from bit positions.
+func newMember(bits []int) *bitset.Set {
+	return bitset.FromIndices(bits...)
+}
+
+// selGroup is a set of selection operators with the same definition reading
+// the same input port. The predicate is evaluated once per tuple for the
+// whole group; each operator then contributes its output subject to its
+// input-membership gate (the decoding step of §3.1).
+type selGroup struct {
+	pred     expr.Pred // residual predicate (after any indexed conjunct)
+	residual bool      // pred is non-trivial
+	ops      []selOp
+}
+
+type selOp struct {
+	inPos int // membership position on the input channel, -1 for plain
+	tg    target
+}
+
+// selIndex is one per-attribute hash index over equality predicates.
+type selIndex struct {
+	attr    int
+	byConst map[int64][]*selGroup
+}
+
+// selPort holds the per-input-port predicate index: equality predicates on
+// the same attribute are kept in hash maps probed once per tuple ([10,16]);
+// everything else is evaluated sequentially.
+type selPort struct {
+	indexed []selIndex
+	seq     []*selGroup
+}
+
+// SelectMOp is the selection m-op: predicate indexing (sσ), the FR index
+// of §4.3 when placed above a translated automaton state, and channel
+// selection (cσ) when its input or outputs are channels.
+type SelectMOp struct {
+	ports []selPort
+	ce    *chanEmitter
+}
+
+func newSelectMOp(p *core.Physical, n *core.Node, pm *portMap) (*SelectMOp, error) {
+	m := &SelectMOp{
+		ports: make([]selPort, len(pm.inEdges)),
+		ce:    newChanEmitter(len(pm.outEdges)),
+	}
+	// Group ops by (port, def key) so equal predicates are evaluated once.
+	type gkey struct {
+		port int
+		def  string
+	}
+	groups := make(map[gkey]*selGroup)
+	order := make([]gkey, 0, len(n.Ops))
+	ginfo := make(map[gkey]int) // port
+	for _, o := range n.Ops {
+		port, pos := pm.inLoc(p, o.In[0])
+		k := gkey{port: port, def: o.Def.Key()}
+		g, ok := groups[k]
+		if !ok {
+			g = &selGroup{pred: o.Def.Pred}
+			groups[k] = g
+			order = append(order, k)
+			ginfo[k] = port
+		}
+		g.ops = append(g.ops, selOp{inPos: pos, tg: pm.outLoc(p, o.Out)})
+	}
+	for _, k := range order {
+		g := groups[k]
+		port := ginfo[k]
+		sp := &m.ports[port]
+		if attr, c, res, ok := expr.IndexableEq(g.pred); ok {
+			g.pred = res
+			_, isTrue := res.(expr.True)
+			g.residual = !isTrue
+			var byConst map[int64][]*selGroup
+			for i := range sp.indexed {
+				if sp.indexed[i].attr == attr {
+					byConst = sp.indexed[i].byConst
+					break
+				}
+			}
+			if byConst == nil {
+				byConst = make(map[int64][]*selGroup)
+				sp.indexed = append(sp.indexed, selIndex{attr: attr, byConst: byConst})
+			}
+			byConst[c] = append(byConst[c], g)
+		} else {
+			g.residual = true
+			sp.seq = append(sp.seq, g)
+		}
+	}
+	return m, nil
+}
+
+// Process implements MOp.
+func (m *SelectMOp) Process(port int, t *stream.Tuple, emit Emit) {
+	sp := &m.ports[port]
+	fire := func(g *selGroup) {
+		if g.residual && !g.pred.Eval(t) {
+			return
+		}
+		for _, o := range g.ops {
+			if o.inPos >= 0 && !t.Member.Test(o.inPos) {
+				continue
+			}
+			if o.tg.pos < 0 {
+				emit(o.tg.port, &stream.Tuple{TS: t.TS, Vals: t.Vals})
+			} else {
+				m.ce.add(o.tg)
+			}
+		}
+	}
+	for i := range sp.indexed {
+		idx := &sp.indexed[i]
+		if idx.attr >= len(t.Vals) {
+			continue
+		}
+		for _, g := range idx.byConst[t.Vals[idx.attr]] {
+			fire(g)
+		}
+	}
+	for _, g := range sp.seq {
+		fire(g)
+	}
+	m.ce.flush(t, emit)
+}

@@ -1,0 +1,558 @@
+package mop
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// seqInst is one stored automaton instance: for ; it is the buffered left
+// tuple awaiting a match; for µ it additionally tracks the last event bound
+// into the pattern. state is the tuple edge predicates evaluate against —
+// the left tuple itself for ;, and start ++ last for µ (§4.2).
+type seqInst struct {
+	start  *stream.Tuple
+	state  *stream.Tuple
+	member *bitset.Set
+	dead   bool
+}
+
+// seqOpInfo is one operator implemented by the group: its duration window
+// and wiring.
+type seqOpInfo struct {
+	window   int64
+	leftPos  int // membership position on the left channel, -1 for plain
+	rightPos int // membership position on the right channel, -1 for plain
+	tg       target
+}
+
+// stateGroup is a set of ;/µ operators sharing stored state: same left
+// edge, same right edge, same definition modulo duration window. One
+// instance store serves every operator; each operator filters emissions by
+// its own window (the s⨝-style window sharing applied to sequence
+// operators) and, in channel mode (c;/cµ, §4.4), by instance membership.
+type stateGroup struct {
+	mu bool
+
+	pred   expr.Pred2 // residual predicate over (state, event)
+	filter expr.Pred2 // µ filter-edge predicate θf
+
+	// AI index [7,8]: instances hashed on the left attribute of an
+	// equi-join conjunct, probed with the right attribute.
+	hasEq        bool
+	lAttr, rAttr int
+	hashStable   bool // lAttr refers to the start part (µ) or any attr (;)
+
+	// Insertion-time (FR-style) unary predicate on the arriving left tuple.
+	leftPred expr.Pred
+
+	startArity, rightArity int
+	maxWindow              int64
+
+	insts     []*seqInst
+	hash      map[int64][]*seqInst
+	deadCount int
+
+	ops []seqOpInfo
+	// posOps indexes ops by their left-channel membership position when
+	// every op reads a channel stream, so an emission visits only the
+	// operators an instance can belong to (O(|membership|), not O(|ops|)).
+	posOps [][]int
+	// leftMask is the union of the ops' left membership positions; a
+	// channel tuple is stored only if its membership intersects the mask
+	// (the decoding step of §3.1 applied at insertion time).
+	leftMask *bitset.Set
+}
+
+// seal builds the membership→operator index once all ops are registered.
+func (g *stateGroup) seal() {
+	for i := range g.ops {
+		if g.ops[i].leftPos < 0 {
+			g.posOps = nil
+			return
+		}
+	}
+	maxPos := 0
+	for i := range g.ops {
+		if g.ops[i].leftPos > maxPos {
+			maxPos = g.ops[i].leftPos
+		}
+	}
+	g.posOps = make([][]int, maxPos+1)
+	g.leftMask = bitset.New(maxPos + 1)
+	for i := range g.ops {
+		p := g.ops[i].leftPos
+		g.posOps[p] = append(g.posOps[p], i)
+		g.leftMask.Set(p)
+	}
+}
+
+// groupIndex is one per-attribute hash index from constants to groups.
+type groupIndex struct {
+	attr    int
+	byConst map[int64][]*stateGroup
+}
+
+// addTo registers a group under (attr, c) in an index list.
+func addGroupIndex(list []groupIndex, attr int, c int64, g *stateGroup) []groupIndex {
+	for i := range list {
+		if list[i].attr == attr {
+			list[i].byConst[c] = append(list[i].byConst[c], g)
+			return list
+		}
+	}
+	byConst := map[int64][]*stateGroup{c: {g}}
+	return append(list, groupIndex{attr: attr, byConst: byConst})
+}
+
+// rightDispatch routes an incoming right tuple to candidate groups: the AN
+// (active node) index maps right-side equality constants to groups [7,8];
+// groups without an AN-indexable constant are scanned sequentially.
+type rightDispatch struct {
+	an   []groupIndex
+	rest []*stateGroup
+}
+
+// leftDispatch routes an incoming left tuple: the FR index maps left-side
+// equality constants to groups; the rest are checked sequentially.
+type leftDispatch struct {
+	fr   []groupIndex
+	rest []*stateGroup
+}
+
+// SeqMOp executes a set of Cayuga sequence (;) or iteration (µ) operators.
+type SeqMOp struct {
+	mu     bool
+	lefts  map[int]*leftDispatch
+	rights map[int]*rightDispatch
+	ce     *chanEmitter
+}
+
+func newSeqMOp(p *core.Physical, n *core.Node, pm *portMap, mu bool) (*SeqMOp, error) {
+	m := &SeqMOp{
+		mu:     mu,
+		lefts:  make(map[int]*leftDispatch),
+		rights: make(map[int]*rightDispatch),
+		ce:     newChanEmitter(len(pm.outEdges)),
+	}
+	type gkey struct {
+		lport, rport int
+		def          string
+	}
+	groups := make(map[gkey]*stateGroup)
+	for _, o := range n.Ops {
+		lport, lpos := pm.inLoc(p, o.In[0])
+		rport, rpos := pm.inLoc(p, o.In[1])
+		if lport == rport {
+			return nil, fmt.Errorf("seq op %d reads both inputs from one edge", o.ID)
+		}
+		k := gkey{lport: lport, rport: rport, def: o.Def.KeyModuloWindow()}
+		g, ok := groups[k]
+		if !ok {
+			g = &stateGroup{
+				mu:         mu,
+				startArity: o.In[0].Schema.Arity(),
+				rightArity: o.In[1].Schema.Arity(),
+				filter:     o.Def.Filter2,
+			}
+			var info seqGroupInfo
+			pred := o.Def.Pred2
+			// Peel off the AN-indexable right constant.
+			if a, c, res, isRC := expr.RightIndexableEq(pred); isRC {
+				info.rightConstA, info.rightConstV, info.hasRight = a, c, true
+				pred = res
+			}
+			// Peel off insertion-time left predicates (; only: for µ the
+			// state tuple mutates, so left conjuncts must stay in the
+			// residual unless they reference the immutable start part —
+			// we keep it simple and only extract for ;).
+			if !mu {
+				pred = g.extractLeftPred(pred, &info)
+			}
+			// Peel off the AI-indexable equi-join conjunct.
+			if la, ra, res, isEq := expr.EqJoinParts(pred); isEq {
+				g.hasEq, g.lAttr, g.rAttr = true, la, ra
+				g.hashStable = !mu || la < g.startArity
+				if g.hashStable {
+					g.hash = make(map[int64][]*seqInst)
+				}
+				pred = res
+			}
+			g.pred = pred
+			groups[k] = g
+			// Register with the left dispatcher.
+			ld := m.lefts[lport]
+			if ld == nil {
+				ld = &leftDispatch{}
+				m.lefts[lport] = ld
+			}
+			if info.hasLeftConst {
+				ld.fr = addGroupIndex(ld.fr, info.leftConstA, info.leftConstV, g)
+			} else {
+				ld.rest = append(ld.rest, g)
+			}
+			// Register with the right dispatcher.
+			rd := m.rights[rport]
+			if rd == nil {
+				rd = &rightDispatch{}
+				m.rights[rport] = rd
+			}
+			if info.hasRight {
+				rd.an = addGroupIndex(rd.an, info.rightConstA, info.rightConstV, g)
+			} else {
+				rd.rest = append(rd.rest, g)
+			}
+		}
+		if o.Def.Window > g.maxWindow {
+			g.maxWindow = o.Def.Window
+		}
+		g.ops = append(g.ops, seqOpInfo{
+			window:   o.Def.Window,
+			leftPos:  lpos,
+			rightPos: rpos,
+			tg:       pm.outLoc(p, o.Out),
+		})
+	}
+	for _, g := range groups {
+		g.seal()
+	}
+	return m, nil
+}
+
+// seqGroupInfo collects the indexable parts peeled off a group's predicate
+// during construction: the AN-indexable right constant and the
+// FR-indexable left constant.
+type seqGroupInfo struct {
+	rightConstA  int
+	rightConstV  int64
+	hasRight     bool
+	leftConstA   int
+	leftConstV   int64
+	hasLeftConst bool
+}
+
+// extractLeftPred removes Left(...) conjuncts from pred, folding them into
+// g.leftPred (evaluated once when a left tuple is inserted) and recording
+// an FR-indexable constant in info if present.
+func (g *stateGroup) extractLeftPred(pred expr.Pred2, info *seqGroupInfo) expr.Pred2 {
+	var leftParts []expr.Pred
+	var rest []expr.Pred2
+	parts := []expr.Pred2{pred}
+	if a, ok := pred.(expr.And2); ok {
+		parts = a.Parts
+	}
+	for _, part := range parts {
+		if lp, ok := part.(expr.Left); ok {
+			leftParts = append(leftParts, lp.P)
+			continue
+		}
+		rest = append(rest, part)
+	}
+	if len(leftParts) == 0 {
+		return pred
+	}
+	lp := expr.NewAnd(leftParts...)
+	if attr, c, res, ok := expr.IndexableEq(lp); ok {
+		info.leftConstA, info.leftConstV, info.hasLeftConst = attr, c, true
+		lp = res
+	}
+	if _, isTrue := lp.(expr.True); !isTrue {
+		g.leftPred = lp
+	}
+	return expr.NewAnd2(rest...)
+}
+
+// Process implements MOp.
+func (m *SeqMOp) Process(port int, t *stream.Tuple, emit Emit) {
+	if ld, ok := m.lefts[port]; ok {
+		m.processLeft(ld, t)
+	}
+	if rd, ok := m.rights[port]; ok {
+		m.processRight(rd, t, emit)
+	}
+}
+
+// processLeft inserts the arriving tuple as a new instance into every
+// group whose insertion predicate it satisfies.
+func (m *SeqMOp) processLeft(ld *leftDispatch, t *stream.Tuple) {
+	for i := range ld.fr {
+		idx := &ld.fr[i]
+		if idx.attr >= len(t.Vals) {
+			continue
+		}
+		for _, g := range idx.byConst[t.Vals[idx.attr]] {
+			g.insert(t)
+		}
+	}
+	for _, g := range ld.rest {
+		g.insert(t)
+	}
+}
+
+func (g *stateGroup) insert(t *stream.Tuple) {
+	if g.leftMask != nil && !t.Member.Intersects(g.leftMask) {
+		return
+	}
+	if g.leftPred != nil && !g.leftPred.Eval(t) {
+		return
+	}
+	inst := &seqInst{start: t, state: t}
+	if t.Member != nil {
+		inst.member = t.Member.Clone()
+	}
+	if g.mu {
+		// state = start ++ last, with last initialised from the start
+		// tuple (padded/truncated to the right schema's arity).
+		vals := make([]int64, g.startArity+g.rightArity)
+		copy(vals, t.Vals)
+		for i := 0; i < g.rightArity; i++ {
+			if i < len(t.Vals) {
+				vals[g.startArity+i] = t.Vals[i]
+			}
+		}
+		inst.state = &stream.Tuple{TS: t.TS, Vals: vals}
+	}
+	g.insts = append(g.insts, inst)
+	if g.hash != nil {
+		v := inst.state.Vals[g.lAttr]
+		g.hash[v] = append(g.hash[v], inst)
+	}
+}
+
+// processRight matches the arriving tuple against stored instances of all
+// candidate groups: those found via the AN index plus the unindexed rest.
+func (m *SeqMOp) processRight(rd *rightDispatch, t *stream.Tuple, emit Emit) {
+	for i := range rd.an {
+		idx := &rd.an[i]
+		if idx.attr >= len(t.Vals) {
+			continue
+		}
+		for _, g := range idx.byConst[t.Vals[idx.attr]] {
+			m.matchGroup(g, t, emit)
+		}
+	}
+	for _, g := range rd.rest {
+		m.matchGroup(g, t, emit)
+	}
+}
+
+func (m *SeqMOp) matchGroup(g *stateGroup, t *stream.Tuple, emit Emit) {
+	g.expire(t.TS)
+	if g.hash != nil {
+		v := t.Vals[g.rAttr]
+		bucket := g.hash[v]
+		live := bucket[:0]
+		for _, inst := range bucket {
+			if !inst.dead {
+				live = append(live, inst)
+			}
+		}
+		if len(live) == 0 {
+			delete(g.hash, v)
+		} else {
+			g.hash[v] = live
+		}
+		n := len(live)
+		for i := 0; i < n; i++ {
+			g.matchInst(live[i], t, m.ce, emit)
+		}
+	} else {
+		n := len(g.insts)
+		for i := 0; i < n; i++ {
+			inst := g.insts[i]
+			if inst.dead {
+				continue
+			}
+			if g.hasEq && inst.state.Vals[g.lAttr] != t.Vals[g.rAttr] {
+				// Unstable-hash µ equi-join: evaluated inline.
+				continue
+			}
+			g.matchInst(inst, t, m.ce, emit)
+		}
+	}
+	g.maybeCompact()
+}
+
+// matchInst applies the group's edge predicates to one instance.
+func (g *stateGroup) matchInst(inst *seqInst, t *stream.Tuple, ce *chanEmitter, emit Emit) {
+	if g.hash != nil && g.hasEq && inst.state.Vals[g.lAttr] != t.Vals[g.rAttr] {
+		return
+	}
+	matched := g.pred.Eval2(inst.state, t)
+	if !g.mu {
+		if !matched {
+			return
+		}
+		g.emitMatch(inst, t, ce, emit)
+		// Cayuga ; deletes a state tuple once matched (§5.2).
+		inst.dead = true
+		g.deadCount++
+		return
+	}
+	// µ: non-deterministic traversal of filter and rebind edges (§4.2).
+	filterOK := g.filter != nil && g.filter.Eval2(inst.state, t)
+	switch {
+	case matched && filterOK:
+		// Duplicate: one copy stays at the state unchanged, one rebinds.
+		stay := &seqInst{start: inst.start, state: inst.state.Clone(), member: inst.member}
+		g.insts = append(g.insts, stay)
+		if g.hash != nil {
+			v := stay.state.Vals[g.lAttr]
+			g.hash[v] = append(g.hash[v], stay)
+		}
+		g.rebind(inst, t)
+		g.emitMatch(inst, t, ce, emit)
+	case matched:
+		g.rebind(inst, t)
+		g.emitMatch(inst, t, ce, emit)
+	case filterOK:
+		// Filter edge: instance remains unchanged.
+	default:
+		// No edge predicate satisfied: the instance is deleted.
+		inst.dead = true
+		g.deadCount++
+	}
+}
+
+// rebind folds the matched event into the instance's "last" slot.
+func (g *stateGroup) rebind(inst *seqInst, t *stream.Tuple) {
+	copy(inst.state.Vals[g.startArity:], t.Vals[:g.rightArity])
+}
+
+// emitMatch emits start ++ event to every operator of the group whose
+// window covers the instance age and whose memberships include the pair.
+func (g *stateGroup) emitMatch(inst *seqInst, t *stream.Tuple, ce *chanEmitter, emit Emit) {
+	age := t.TS - inst.start.TS
+	var out *stream.Tuple
+	fire := func(o *seqOpInfo) {
+		if o.window > 0 && age > o.window {
+			return
+		}
+		if o.rightPos >= 0 && !t.Member.Test(o.rightPos) {
+			return
+		}
+		if out == nil {
+			out = concatTuples(inst.start, t, t.TS)
+		}
+		if o.tg.pos < 0 {
+			emit(o.tg.port, out)
+		} else {
+			ce.add(o.tg)
+		}
+	}
+	if g.posOps != nil && inst.member != nil {
+		// Channel mode: visit only the operators of the instance's streams.
+		inst.member.ForEach(func(pos int) bool {
+			if pos < len(g.posOps) {
+				for _, i := range g.posOps[pos] {
+					fire(&g.ops[i])
+				}
+			}
+			return true
+		})
+	} else {
+		for i := range g.ops {
+			o := &g.ops[i]
+			if o.leftPos >= 0 && !inst.member.Test(o.leftPos) {
+				continue
+			}
+			fire(o)
+		}
+	}
+	if out != nil {
+		ce.flush(out, emit)
+	}
+}
+
+// expire deletes instances older than the group's maximum window.
+func (g *stateGroup) expire(now int64) {
+	if g.maxWindow <= 0 {
+		return
+	}
+	i := 0
+	for ; i < len(g.insts); i++ {
+		inst := g.insts[i]
+		if now-inst.start.TS <= g.maxWindow {
+			break
+		}
+		if !inst.dead {
+			inst.dead = true
+			g.deadCount++
+		}
+	}
+	if i > 0 {
+		g.insts = g.insts[i:]
+	}
+}
+
+// maybeCompact drops tombstones once they dominate the store.
+func (g *stateGroup) maybeCompact() {
+	if g.deadCount < 32 || g.deadCount*2 < len(g.insts) {
+		return
+	}
+	live := g.insts[:0]
+	for _, inst := range g.insts {
+		if !inst.dead {
+			live = append(live, inst)
+		}
+	}
+	g.insts = live
+	g.deadCount = 0
+	if g.hash != nil {
+		for v, bucket := range g.hash {
+			lb := bucket[:0]
+			for _, inst := range bucket {
+				if !inst.dead {
+					lb = append(lb, inst)
+				}
+			}
+			if len(lb) == 0 {
+				delete(g.hash, v)
+			} else {
+				g.hash[v] = lb
+			}
+		}
+	}
+}
+
+// Size reports the number of live stored instances (for tests).
+func (m *SeqMOp) Size() int {
+	seen := map[*stateGroup]bool{}
+	n := 0
+	count := func(g *stateGroup) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		for _, inst := range g.insts {
+			if !inst.dead {
+				n++
+			}
+		}
+	}
+	for _, ld := range m.lefts {
+		for _, g := range ld.rest {
+			count(g)
+		}
+		for _, idx := range ld.fr {
+			for _, gs := range idx.byConst {
+				for _, g := range gs {
+					count(g)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Compile-time interface checks.
+var (
+	_ MOp = (*SeqMOp)(nil)
+	_ MOp = (*SelectMOp)(nil)
+	_ MOp = (*ProjectMOp)(nil)
+	_ MOp = (*AggMOp)(nil)
+	_ MOp = (*JoinMOp)(nil)
+)

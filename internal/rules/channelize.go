@@ -1,0 +1,174 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Channelize implements the cτ rules (§3.3, §4.4) for every operator kind:
+// selections, projections, aggregations (shared fragment aggregation,
+// [15]), joins (precision sharing join, [14] — both join sides are
+// considered), and the sequence operators ; and µ (the paper's new
+// channel-based MQO, §4.4 — left side, as the paper requires the second
+// input stream to be identical).
+//
+// Condition — the channel-based MQO sharing criteria of §3.2: a set of
+// operators of the same kind and the same definition whose candidate input
+// streams (a) belong to the same ∼ equivalence class, (b) are produced by
+// the same m-op (or by source streams declared sharable by label, which
+// the rule first merges into one source m-op), and (c) read the same
+// remaining input stream (binary kinds).
+//
+// Action: encode the candidate input streams into a single channel and
+// merge the consumer operators into one m-op.
+//
+// MinStreams (default 2) is a lightweight profitability gate reflecting
+// the paper's §3.2 tradeoff discussion ("streams should only be mapped to
+// the same channel if there is a large enough fraction of channel tuples
+// that belong to multiple streams"): groups encoding fewer distinct
+// streams than the threshold are left alone. Cost-based selection is
+// future work in the paper and here.
+type Channelize struct {
+	MinStreams int
+}
+
+// Name implements Rule.
+func (Channelize) Name() string { return "channelize" }
+
+// Apply implements Rule.
+func (r Channelize) Apply(p *core.Physical) (bool, error) {
+	minStreams := r.MinStreams
+	if minStreams < 2 {
+		minStreams = 2
+	}
+	groups := make(map[string][]*core.Op)
+	joinSides := make(map[string]bool) // group keys that channelize both inputs
+	for _, n := range p.Nodes {
+		if n.Kind == core.KindSource {
+			continue
+		}
+		for _, o := range n.Ops {
+			var k string
+			switch o.Def.Kind {
+			case core.KindJoin:
+				// c⨝ (Table 1): "join operators which read sharable
+				// streams, with the same definition" — both sides are
+				// grouped by share class and channelized together.
+				k = fmt.Sprintf("join|%s|%s|%s", o.Def.Key(), o.In[0].ShareClass, o.In[1].ShareClass)
+				joinSides[k] = true
+			case core.KindSeq, core.KindMu:
+				// c;/cµ (§4.4): sharable first inputs, identical second
+				// input stream.
+				oe, _ := p.EdgeOf(o.In[1])
+				k = fmt.Sprintf("%s|%s|%s|re%d", o.Def.Kind, o.Def.Key(), o.In[0].ShareClass, oe.ID)
+			default:
+				k = fmt.Sprintf("%s|%s|%s", o.Def.Kind, o.Def.Key(), o.In[0].ShareClass)
+			}
+			groups[k] = append(groups[k], o)
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	changed := false
+	for _, k := range keys {
+		ops := groups[k]
+		if len(ops) < minStreams {
+			continue
+		}
+		sides := []int{0}
+		if joinSides[k] {
+			sides = []int{0, 1}
+		}
+		for _, idx := range sides {
+			c, err := channelizeGroup(p, ops, idx, minStreams)
+			if err != nil {
+				return changed, err
+			}
+			changed = changed || c
+		}
+	}
+	return changed, nil
+}
+
+// channelizeGroup applies the channel action to one candidate operator
+// set. It returns false without error when the group is already fully
+// channelized or fails a structural precondition (e.g. streams produced by
+// different non-source m-ops).
+func channelizeGroup(p *core.Physical, ops []*core.Op, inIdx, minStreams int) (bool, error) {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
+
+	// Distinct input streams and the edges carrying them.
+	var streams []*core.StreamRef
+	seenStream := map[int]bool{}
+	edgeIDs := map[int]bool{}
+	for _, o := range ops {
+		s := o.In[inIdx]
+		if !seenStream[s.ID] {
+			seenStream[s.ID] = true
+			streams = append(streams, s)
+		}
+		e, _ := p.EdgeOf(s)
+		edgeIDs[e.ID] = true
+	}
+	if len(streams) < minStreams {
+		return false, nil
+	}
+
+	// Producer check (§3.2 criterion (b)).
+	producers := map[*core.Node]bool{}
+	for _, s := range streams {
+		if s.Producer == nil {
+			return false, nil
+		}
+		producers[s.Producer.Node] = true
+	}
+	if len(producers) > 1 {
+		// Only sharable-labelled sources may be unified into one producer.
+		var srcNodes []*core.Node
+		for n := range producers {
+			if n.Kind != core.KindSource {
+				return false, nil
+			}
+			srcNodes = append(srcNodes, n)
+		}
+		if !strings.HasPrefix(streams[0].ShareClass, "src:") {
+			return false, nil
+		}
+		sort.Slice(srcNodes, func(i, j int) bool { return srcNodes[i].ID < srcNodes[j].ID })
+		if _, err := p.MergeNodes(srcNodes); err != nil {
+			return false, err
+		}
+	}
+
+	changed := false
+	if len(edgeIDs) > 1 {
+		if _, err := p.EncodeChannel(streams); err != nil {
+			return changed, err
+		}
+		changed = true
+	}
+
+	// Merge the consumer operators into one m-op.
+	consumerNodes := map[int]*core.Node{}
+	for _, o := range ops {
+		consumerNodes[o.Node.ID] = o.Node
+	}
+	if len(consumerNodes) > 1 {
+		var nodes []*core.Node
+		for _, n := range consumerNodes {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+		if _, err := p.MergeNodes(nodes); err != nil {
+			return changed, err
+		}
+		changed = true
+	}
+	return changed, nil
+}

@@ -1,0 +1,152 @@
+package rules_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/rules"
+	"repro/internal/stream"
+)
+
+// The paper (§7) raises rule-application order as an open issue: different
+// orderings may yield different optimized plans. Whatever plan the rule
+// system converges to, the observable input/output behaviour must not
+// depend on the order. This test permutes the rule list and checks that
+// per-query results are identical across orderings.
+
+func deepGens() []queryGen {
+	// Deeper, mixed-shape queries than the basic equivalence test.
+	selOverJoin := func(r *rand.Rand, _ int) *core.Logical {
+		j := core.JoinL(expr.AttrCmp2{L: 0, Op: expr.Eq, R: 0}, int64(2+r.Intn(8)),
+			core.Scan("S"), core.Scan("T"))
+		return core.SelectL(expr.ConstCmp{Attr: 1, Op: expr.Gt, C: int64(r.Intn(4))}, j)
+	}
+	aggOverSel := func(r *rand.Rand, _ int) *core.Logical {
+		s := core.SelectL(expr.ConstCmp{Attr: 0, Op: expr.Lt, C: int64(2 + r.Intn(3))}, core.Scan("S"))
+		return core.AggL(core.AggSum, 1, int64(2+r.Intn(8)), []int{0}, s)
+	}
+	seqOverAgg := func(r *rand.Rand, _ int) *core.Logical {
+		a := core.AggL(core.AggAvg, 1, int64(3+r.Intn(5)), []int{0}, core.Scan("S"))
+		return core.SeqL(expr.AttrCmp2{L: 0, Op: expr.Eq, R: 0}, int64(4+r.Intn(10)), a, core.Scan("T"))
+	}
+	projOverSeq := func(r *rand.Rand, _ int) *core.Logical {
+		sq := core.SeqL(expr.AttrCmp2{L: 0, Op: expr.Eq, R: 0}, int64(4+r.Intn(10)),
+			core.Scan("S"), core.Scan("T"))
+		m := &expr.SchemaMap{Cols: []expr.Expr{expr.Col{I: 0}, expr.Col{I: 3}}}
+		return core.ProjectL(m, sq)
+	}
+	return append([]queryGen{selOverJoin, aggOverSel, seqOverAgg, projOverSeq}, gens...)
+}
+
+func buildRandomPlan(t *testing.T, seed int64, nq int) (*core.Physical, []*core.Query) {
+	t.Helper()
+	p := core.NewPhysical(catalog())
+	g := deepGens()
+	rq := rand.New(rand.NewSource(seed))
+	var qs []*core.Query
+	for i := 0; i < nq; i++ {
+		q := core.NewQuery(fmt.Sprintf("q%d", i), g[rq.Intn(len(g))](rq, i))
+		if err := p.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q)
+	}
+	return p, qs
+}
+
+func runFeed(t *testing.T, p *core.Physical, seed int64) map[int][]string {
+	t.Helper()
+	e, err := engine.New(p)
+	if err != nil {
+		t.Fatalf("engine: %v\n%s", err, p.String())
+	}
+	got := map[int][]string{}
+	e.OnResult = func(q int, tu *stream.Tuple) { got[q] = append(got[q], tu.ContentKey()) }
+	r := rand.New(rand.NewSource(seed))
+	for ts := 0; ts < 120; ts++ {
+		src := "S"
+		if ts%2 == 1 {
+			src = "T"
+		}
+		tu := stream.NewTuple(int64(ts), int64(r.Intn(4)), int64(r.Intn(5)))
+		if err := e.Push(src, tu); err != nil {
+			continue
+		}
+	}
+	for q := range got {
+		sort.Strings(got[q])
+	}
+	return got
+}
+
+func TestRuleOrderConfluence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		nq := 4 + int(seed%5)
+		var baseline map[int][]string
+		for perm := 0; perm < 4; perm++ {
+			p, qs := buildRandomPlan(t, seed, nq)
+			ruleSet := rules.Default(rules.Options{Channels: true})
+			pr := rand.New(rand.NewSource(int64(perm) * 77))
+			pr.Shuffle(len(ruleSet), func(i, j int) { ruleSet[i], ruleSet[j] = ruleSet[j], ruleSet[i] })
+			opt := &rules.Optimizer{Rules: ruleSet}
+			if _, err := opt.Run(p); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("seed %d perm %d: invalid plan: %v", seed, perm, err)
+			}
+			got := runFeed(t, p, seed+500)
+			// Re-key by query position (IDs are per-plan but assigned in
+			// registration order, so they coincide across permutations).
+			if baseline == nil {
+				baseline = got
+				_ = qs
+				continue
+			}
+			for i := range qs {
+				a, b := baseline[qs[i].ID], got[qs[i].ID]
+				if len(a) != len(b) {
+					t.Fatalf("seed %d perm %d query %d: %d vs %d results", seed, perm, i, len(a), len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("seed %d perm %d query %d result %d: %q vs %q", seed, perm, i, j, a[j], b[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeepEquivalence extends the basic naive-vs-optimized equivalence to
+// nested query shapes (selections over joins, aggregates under sequences,
+// projections of patterns).
+func TestDeepEquivalence(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		nq := 3 + int(seed%6)
+		naive, qsN := buildRandomPlan(t, seed, nq)
+		opt, qsO := buildRandomPlan(t, seed, nq)
+		if err := rules.Optimize(opt, rules.Options{Channels: true}); err != nil {
+			t.Fatal(err)
+		}
+		gotN := runFeed(t, naive, seed+900)
+		gotO := runFeed(t, opt, seed+900)
+		for i := range qsN {
+			a, b := gotN[qsN[i].ID], gotO[qsO[i].ID]
+			if len(a) != len(b) {
+				t.Fatalf("seed %d query %d: naive %d vs optimized %d results\n%s",
+					seed, i, len(a), len(b), opt.String())
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("seed %d query %d result %d: %q vs %q", seed, i, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}

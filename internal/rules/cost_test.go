@@ -1,0 +1,111 @@
+package rules_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/rules"
+)
+
+// TestCostDropsUnderOptimization: the structural cost model must rank the
+// optimized plan at or below the naive plan, for every workload shape the
+// rules target.
+func TestCostDropsUnderOptimization(t *testing.T) {
+	builders := map[string]func(p *core.Physical){
+		"selections": func(p *core.Physical) {
+			for i := 0; i < 50; i++ {
+				q := core.NewQuery(fmt.Sprintf("q%d", i),
+					core.SelectL(expr.ConstCmp{Attr: 0, Op: expr.Eq, C: int64(i)}, core.Scan("S")))
+				if err := p.AddQuery(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+		"w1-patterns": func(p *core.Physical) {
+			for i := 0; i < 30; i++ {
+				sel := core.SelectL(expr.ConstCmp{Attr: 0, Op: expr.Eq, C: int64(i)}, core.Scan("S"))
+				pred := expr.NewAnd2(expr.Right{P: expr.ConstCmp{Attr: 0, Op: expr.Eq, C: int64(i + 1)}})
+				q := core.NewQuery(fmt.Sprintf("q%d", i), core.SeqL(pred, 10, sel, core.Scan("T")))
+				if err := p.AddQuery(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+		"joins": func(p *core.Physical) {
+			for i := 0; i < 20; i++ {
+				q := core.NewQuery(fmt.Sprintf("q%d", i),
+					core.JoinL(expr.AttrCmp2{L: 0, Op: expr.Eq, R: 0}, int64(10+i),
+						core.Scan("S"), core.Scan("T")))
+				if err := p.AddQuery(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+		"sharable-seq": func(p *core.Physical) {
+			for i := 0; i < 8; i++ {
+				src := fmt.Sprintf("S%d", 1+i%4)
+				q := core.NewQuery(fmt.Sprintf("q%d", i),
+					core.SeqL(expr.AttrCmp2{L: 0, Op: expr.Eq, R: 0}, 10,
+						core.Scan(src), core.Scan("T")))
+				if err := p.AddQuery(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			naive := core.NewPhysical(catalog())
+			build(naive)
+			opt := core.NewPhysical(catalog())
+			build(opt)
+			if err := rules.Optimize(opt, rules.Options{Channels: true}); err != nil {
+				t.Fatal(err)
+			}
+			cn := rules.EstimateCost(naive)
+			co := rules.EstimateCost(opt)
+			if co.PerEvent > cn.PerEvent {
+				t.Fatalf("optimized cost %.1f exceeds naive cost %.1f", co.PerEvent, cn.PerEvent)
+			}
+			if co.PerEvent <= 0 || cn.PerEvent <= 0 {
+				t.Fatal("costs must be positive")
+			}
+			if len(co.ByNode) == 0 {
+				t.Fatal("breakdown missing")
+			}
+		})
+	}
+}
+
+// TestCostMonotoneAcrossRounds: cost never increases as individual rules
+// fire (a sanity condition for using the model to gate rule application).
+func TestCostMonotoneAcrossRounds(t *testing.T) {
+	p := core.NewPhysical(catalog())
+	for i := 0; i < 20; i++ {
+		sel := core.SelectL(expr.ConstCmp{Attr: 0, Op: expr.Eq, C: int64(i % 7)}, core.Scan("S"))
+		pred := expr.NewAnd2(expr.Right{P: expr.ConstCmp{Attr: 0, Op: expr.Eq, C: int64(i % 5)}})
+		q := core.NewQuery(fmt.Sprintf("q%d", i), core.SeqL(pred, 10, sel, core.Scan("T")))
+		if err := p.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := rules.EstimateCost(p).PerEvent
+	for _, rule := range rules.Default(rules.Options{Channels: true}) {
+		for {
+			changed, err := rule.Apply(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !changed {
+				break
+			}
+			cur := rules.EstimateCost(p).PerEvent
+			if cur > prev+1e-9 {
+				t.Fatalf("rule %s increased cost: %.2f → %.2f", rule.Name(), prev, cur)
+			}
+			prev = cur
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// CSE collapses operators with identical definitions reading identical
+// streams into a single operator whose output fans out to all former
+// consumers. The paper shows this subsumes Cayuga prefix state merging
+// when applied to the translated ; and µ operators (§4.3), and it is how
+// the identical smoothing aggregates of Fig. 6 become one α.
+type CSE struct{}
+
+// Name implements Rule.
+func (CSE) Name() string { return "cse" }
+
+// Apply implements Rule.
+func (CSE) Apply(p *core.Physical) (bool, error) {
+	groups := make(map[string][]*core.Op)
+	for _, n := range p.Nodes {
+		if n.Kind == core.KindSource {
+			continue
+		}
+		for _, o := range n.Ops {
+			k := o.Def.Key() + "|" + inStreamKey(o)
+			groups[k] = append(groups[k], o)
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	changed := false
+	for _, k := range keys {
+		ops := groups[k]
+		if len(ops) < 2 {
+			continue
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
+		if _, err := p.CollapseOps(ops); err != nil {
+			return changed, err
+		}
+		changed = true
+	}
+	return changed, nil
+}
+
+// MergeSameInput is the sτ rule for unary operator kinds: operators of
+// kind τ reading the same edge are merged into one m-op. For selections
+// this is predicate indexing (sσ, [10,16]); for projections the shared π
+// of §3.1.
+type MergeSameInput struct {
+	Kind core.OpKind
+}
+
+// Name implements Rule.
+func (r MergeSameInput) Name() string { return "s" + r.Kind.String() }
+
+// Apply implements Rule.
+func (r MergeSameInput) Apply(p *core.Physical) (bool, error) {
+	groups := make(map[string][]*core.Node)
+	for _, n := range liveNodes(p, r.Kind) {
+		for _, o := range n.Ops {
+			e, _ := p.EdgeOf(o.In[0])
+			groups[fmt.Sprintf("e%d", e.ID)] = append(groups[fmt.Sprintf("e%d", e.ID)], n)
+		}
+	}
+	return mergeNodeGroups(p, groups)
+}
+
+// MergeAgg is sα (shared aggregate evaluation, [22]): aggregation
+// operators reading the same edge with the same aggregate function,
+// aggregated attribute, and window — but potentially different group-by
+// specifications — merge into one m-op.
+type MergeAgg struct{}
+
+// Name implements Rule.
+func (MergeAgg) Name() string { return "sagg" }
+
+// Apply implements Rule.
+func (MergeAgg) Apply(p *core.Physical) (bool, error) {
+	groups := make(map[string][]*core.Node)
+	for _, n := range liveNodes(p, core.KindAgg) {
+		for _, o := range n.Ops {
+			e, _ := p.EdgeOf(o.In[0])
+			k := fmt.Sprintf("e%d|%s|a%d|w%d", e.ID, o.Def.Agg, o.Def.AggAttr, o.Def.Window)
+			groups[k] = append(groups[k], n)
+		}
+	}
+	return mergeNodeGroups(p, groups)
+}
+
+// MergeJoin is s⨝ (shared join evaluation, [12]): join operators reading
+// the same two edges with the same join predicate — but potentially
+// different window lengths — merge into one m-op with shared state bounded
+// by the maximum window.
+type MergeJoin struct{}
+
+// Name implements Rule.
+func (MergeJoin) Name() string { return "sjoin" }
+
+// Apply implements Rule.
+func (MergeJoin) Apply(p *core.Physical) (bool, error) {
+	groups := make(map[string][]*core.Node)
+	for _, n := range liveNodes(p, core.KindJoin) {
+		for _, o := range n.Ops {
+			k := inEdgeKey(p, o) + "|" + o.Def.KeyModuloWindow()
+			groups[k] = append(groups[k], n)
+		}
+	}
+	return mergeNodeGroups(p, groups)
+}
+
+// MergeSeq merges ; (or µ) operators that read the same right stream into
+// a single m-op. Inside the m-op (package mop), operators equal up to
+// their duration window share instance state; right-side equality
+// constants are AN-indexed; equi-join conjuncts are AI-indexed; left-side
+// constants are FR-indexed (§4.3: "all the MQO techniques employed by
+// Cayuga can be expressed … as m-rules"). Operators whose left streams
+// differ keep separate per-operator state inside the m-op, exactly like
+// distinct automaton states sharing the engine-wide Cayuga indexes.
+type MergeSeq struct {
+	Kind core.OpKind // KindSeq or KindMu
+}
+
+// Name implements Rule.
+func (r MergeSeq) Name() string {
+	if r.Kind == core.KindMu {
+		return "smu"
+	}
+	return "sseq"
+}
+
+// Apply implements Rule.
+func (r MergeSeq) Apply(p *core.Physical) (bool, error) {
+	groups := make(map[string][]*core.Node)
+	for _, n := range liveNodes(p, r.Kind) {
+		for _, o := range n.Ops {
+			e, _ := p.EdgeOf(o.In[1])
+			k := fmt.Sprintf("e%d", e.ID)
+			groups[k] = append(groups[k], n)
+		}
+	}
+	return mergeNodeGroups(p, groups)
+}

@@ -1,0 +1,210 @@
+// Package rules implements RUMOR's m-rules (§2.3): transformation rules
+// over physical plans composed of m-ops. Each rule is a condition/action
+// pair: the condition identifies a set of operators with a sharing
+// opportunity; the action replaces them with a single m-op (and, for the
+// channel rules, encodes their input streams into a channel).
+//
+// Rules implemented (paper Table 1):
+//
+//	CSE          — common subexpression elimination: identical operators
+//	               reading identical streams collapse into one (s; and sµ,
+//	               which the paper shows equal Cayuga prefix state merging,
+//	               §4.3; also shares identical aggregates, Fig 6).
+//	sσ, sπ       — predicate indexing [10,16]: selections (projections)
+//	               reading the same edge merge into one m-op.
+//	sα           — shared aggregate evaluation [22]: same aggregate
+//	               function, same window, group-by may differ.
+//	s⨝           — shared join evaluation [12]: same join predicate,
+//	               windows may differ.
+//	s;AN, sµAN   — Cayuga AN/AI index sharing: ;/µ operators reading the
+//	               same right stream merge into one m-op whose internals
+//	               index right-side constants (AN), hash stored instances
+//	               on equi-join attributes (AI), and share state among
+//	               operators equal up to their duration windows.
+//	cσ,cπ,cα,c⨝, — channel-based MQO (§3.3, §4.4): operators of equal
+//	c;,cµ          definition reading sharable streams produced by the
+//	               same m-op have those streams encoded into a channel and
+//	               are merged into a single m-op. Includes shared fragment
+//	               aggregation [15] and precision sharing join [14].
+//
+// The optimizer applies rules in priority order to a fixpoint (§7's
+// conflict-resolution strategy).
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Rule is an m-rule: Apply scans the plan for operator sets satisfying the
+// rule's condition and performs the merge action, reporting whether the
+// plan changed.
+type Rule interface {
+	Name() string
+	Apply(p *core.Physical) (bool, error)
+}
+
+// Options selects which rule families the optimizer uses.
+type Options struct {
+	// Channels enables the cτ rules (§3.3/§4.4). Disabling them yields the
+	// paper's "without channel" comparison plans (Figures 10(c,d), 11).
+	Channels bool
+	// ChannelMinStreams is the minimum number of distinct sharable streams
+	// a candidate group must encode before the channel rules fire (§3.2's
+	// overhead tradeoff; 0 means the default, 2).
+	ChannelMinStreams int
+	// MaxRounds bounds fixpoint iteration (0 means the default, 32).
+	MaxRounds int
+}
+
+// Default returns the standard rule set in priority order.
+func Default(opt Options) []Rule {
+	rs := []Rule{
+		CSE{},
+		MergeSameInput{Kind: core.KindSelect},
+		MergeSameInput{Kind: core.KindProject},
+		MergeAgg{},
+		MergeJoin{},
+		MergeSeq{Kind: core.KindSeq},
+		MergeSeq{Kind: core.KindMu},
+	}
+	if opt.Channels {
+		rs = append(rs, Channelize{MinStreams: opt.ChannelMinStreams})
+	}
+	return rs
+}
+
+// Optimizer applies a rule list to a fixpoint.
+type Optimizer struct {
+	Rules []Rule
+	// Trace, if non-nil, receives one line per rule application.
+	Trace func(string)
+}
+
+// NewOptimizer builds an optimizer with the default rules for opt.
+func NewOptimizer(opt Options) *Optimizer {
+	return &Optimizer{Rules: Default(opt)}
+}
+
+// Run rewrites the plan until no rule applies (or the round cap is hit).
+// It returns the number of rounds in which at least one rule fired.
+func (o *Optimizer) Run(p *core.Physical) (int, error) {
+	return o.run(p, 32)
+}
+
+// RunWithCap is Run with an explicit round cap.
+func (o *Optimizer) RunWithCap(p *core.Physical, maxRounds int) (int, error) {
+	return o.run(p, maxRounds)
+}
+
+func (o *Optimizer) run(p *core.Physical, maxRounds int) (int, error) {
+	if maxRounds <= 0 {
+		maxRounds = 32
+	}
+	rounds := 0
+	for r := 0; r < maxRounds; r++ {
+		changed := false
+		for _, rule := range o.Rules {
+			c, err := rule.Apply(p)
+			if err != nil {
+				return rounds, fmt.Errorf("rule %s: %w", rule.Name(), err)
+			}
+			if c {
+				changed = true
+				if o.Trace != nil {
+					o.Trace(rule.Name())
+				}
+			}
+		}
+		if !changed {
+			return rounds, nil
+		}
+		rounds++
+	}
+	return rounds, nil
+}
+
+// Optimize is the one-call entry point: apply the default rules for opt to
+// plan p.
+func Optimize(p *core.Physical, opt Options) error {
+	_, err := NewOptimizer(opt).Run(p)
+	if err != nil {
+		return err
+	}
+	return p.Validate()
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+// liveNodes returns plan nodes of a kind in deterministic order.
+func liveNodes(p *core.Physical, kind core.OpKind) []*core.Node {
+	var out []*core.Node
+	for _, n := range p.Nodes {
+		if n.Kind == kind {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// mergeNodeGroups merges each group of ≥2 distinct live nodes.
+func mergeNodeGroups(p *core.Physical, groups map[string][]*core.Node) (bool, error) {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	changed := false
+	for _, k := range keys {
+		nodes := dedupeLive(p, groups[k])
+		if len(nodes) < 2 {
+			continue
+		}
+		if _, err := p.MergeNodes(nodes); err != nil {
+			return changed, err
+		}
+		changed = true
+	}
+	return changed, nil
+}
+
+func dedupeLive(p *core.Physical, nodes []*core.Node) []*core.Node {
+	seen := map[int]bool{}
+	var out []*core.Node
+	for _, n := range nodes {
+		if seen[n.ID] {
+			continue
+		}
+		if _, ok := p.Nodes[n.ID]; !ok {
+			continue
+		}
+		seen[n.ID] = true
+		out = append(out, n)
+	}
+	return out
+}
+
+// inEdgeKey renders the input edge IDs of an op.
+func inEdgeKey(p *core.Physical, o *core.Op) string {
+	parts := make([]string, len(o.In))
+	for i, s := range o.In {
+		e, _ := p.EdgeOf(s)
+		parts[i] = fmt.Sprintf("e%d", e.ID)
+	}
+	return strings.Join(parts, ",")
+}
+
+// inStreamKey renders the input stream IDs of an op.
+func inStreamKey(o *core.Op) string {
+	parts := make([]string, len(o.In))
+	for i, s := range o.In {
+		parts[i] = fmt.Sprintf("s%d", s.ID)
+	}
+	return strings.Join(parts, ",")
+}

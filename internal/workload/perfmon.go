@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// PerfTrace substitutes the paper's Windows Performance Monitor datasets
+// (§5.3): D1 recorded the CPU usage of 104 long-running processes over 24
+// hours at one sample per process per second; D2 recorded 28 processes.
+//
+// The synthetic trace preserves what Figure 11 exercises: per-process
+// keying, the 1 Hz per-process cadence, and load values that cross the
+// hybrid queries' start/stop thresholds with controllable frequency. Each
+// process has a base load with noise, plus occasional "ramp episodes"
+// during which its load increases monotonically — the pattern Query 1
+// detects.
+type PerfTrace struct {
+	NumProcs int
+	Seconds  int
+	Seed     int64
+}
+
+// D1 returns the generator configured like dataset D1 (104 processes),
+// truncated to the given number of seconds.
+func D1(seconds int) PerfTrace { return PerfTrace{NumProcs: 104, Seconds: seconds, Seed: 41} }
+
+// D2 returns the generator configured like dataset D2 (28 processes).
+func D2(seconds int) PerfTrace { return PerfTrace{NumProcs: 28, Seconds: seconds, Seed: 43} }
+
+// Events generates the trace: one CPU(pid, load) tuple per process per
+// second, timestamps in seconds.
+func (tr PerfTrace) Events() []Event {
+	r := rand.New(rand.NewSource(tr.Seed))
+	base := make([]int64, tr.NumProcs)
+	rampLeft := make([]int, tr.NumProcs)
+	load := make([]int64, tr.NumProcs)
+	for p := range base {
+		base[p] = int64(r.Intn(30))
+		load[p] = base[p]
+	}
+	events := make([]Event, 0, tr.NumProcs*tr.Seconds)
+	for sec := 0; sec < tr.Seconds; sec++ {
+		for p := 0; p < tr.NumProcs; p++ {
+			if rampLeft[p] > 0 {
+				// Monotone ramp: climb toward 100.
+				load[p] += 3 + int64(r.Intn(5))
+				if load[p] > 100 {
+					load[p] = 100
+				}
+				rampLeft[p]--
+				if rampLeft[p] == 0 {
+					load[p] = base[p]
+				}
+			} else {
+				// Noise around the base load.
+				load[p] = base[p] + int64(r.Intn(7)) - 3
+				if load[p] < 0 {
+					load[p] = 0
+				}
+				// Start a ramp episode roughly every two minutes.
+				if r.Intn(120) == 0 {
+					rampLeft[p] = 10 + r.Intn(20)
+				}
+			}
+			events = append(events, Event{
+				Source: "CPU",
+				Tuple:  stream.NewTuple(int64(sec), int64(p), load[p]),
+			})
+		}
+	}
+	return events
+}
+
+// PerfCatalog returns the CPU(pid, load) source catalog of §4.1.
+func PerfCatalog() map[string]core.SourceDecl {
+	return map[string]core.SourceDecl{
+		"CPU": {Schema: stream.MustSchema("CPU", "pid", "load")},
+	}
+}
+
+// HybridParams configures the §5.3 hybrid query workload: n instances of
+// Query 2 modified as in the paper — every query monitors all processes,
+// the smoothing window is 60 seconds, the stopping condition is
+// load > 10, and the starting-condition selectivity is controlled by sel.
+type HybridParams struct {
+	NumQueries int
+	Sel        float64 // starting-condition selectivity in [0, 1]
+	Window     int64   // smoothing window (paper: 60)
+	MuWindow   int64   // pattern window
+	StopAbove  int64   // stopping condition threshold (paper: 10)
+}
+
+// DefaultHybrid returns the §5.3 configuration.
+func DefaultHybrid(n int, sel float64) HybridParams {
+	return HybridParams{NumQueries: n, Sel: sel, Window: 60, MuWindow: 3600, StopAbove: 10}
+}
+
+// Queries builds the n hybrid queries. Each query smooths CPU load per
+// process (shared α), applies its starting condition θs (load below a
+// selectivity-derived threshold; the thresholds differ per query so the
+// conditions are distinct and non-indexable, as the paper assumes), runs
+// the monotone-increase µ pattern per process, and applies the stopping
+// condition (Fig 6).
+func (h HybridParams) Queries() []*core.Query {
+	qs := make([]*core.Query, h.NumQueries)
+	for i := range qs {
+		// Loads are in [0, 100]; a "load < t" admission has selectivity
+		// roughly t/100 on the smoothed stream. Spread the per-query
+		// thresholds a little so the starting conditions differ (Query 2).
+		t := int64(h.Sel*100) + int64(i%5)
+		smoothed := core.AggL(core.AggAvg, 1, h.Window, []int{0}, core.Scan("CPU"))
+		start := core.SelectL(expr.ConstCmp{Attr: 1, Op: expr.Lt, C: t}, smoothed)
+		// µ state = (pid, load, last_pid, last_load): indices 2 and 3 are
+		// the last bound event.
+		rebind := expr.NewAnd2(
+			expr.AttrCmp2{L: 2, Op: expr.Eq, R: 0}, // same process
+			expr.AttrCmp2{L: 3, Op: expr.Lt, R: 1}, // monotone increase
+		)
+		filter := expr.Not2{P: expr.AttrCmp2{L: 2, Op: expr.Eq, R: 0}}
+		smoothed2 := core.AggL(core.AggAvg, 1, h.Window, []int{0}, core.Scan("CPU"))
+		mu := core.MuL(rebind, filter, h.MuWindow, start, smoothed2)
+		// Stop on the last event's load (attr 3 of the µ output).
+		stop := core.SelectL(expr.ConstCmp{Attr: 3, Op: expr.Gt, C: h.StopAbove}, mu)
+		qs[i] = core.NewQuery(fmt.Sprintf("hybrid_%d", i), stop)
+	}
+	return qs
+}

@@ -1,0 +1,277 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+func TestGenStreamsInterleaved(t *testing.T) {
+	p := workload.DefaultParams()
+	evs := p.GenStreams(100)
+	if len(evs) != 100 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Tuple.TS != int64(i) {
+			t.Fatalf("timestamps must be consecutive: %d at %d", e.Tuple.TS, i)
+		}
+		want := "S"
+		if i%2 == 1 {
+			want = "T"
+		}
+		if e.Source != want {
+			t.Fatalf("event %d source = %s, want %s", i, e.Source, want)
+		}
+		if len(e.Tuple.Vals) != p.NumAttrs {
+			t.Fatalf("arity = %d", len(e.Tuple.Vals))
+		}
+		for _, v := range e.Tuple.Vals {
+			if v < 0 || v >= int64(p.ConstDomain) {
+				t.Fatalf("value %d out of domain", v)
+			}
+		}
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	p := workload.DefaultParams()
+	a := p.GenStreams(50)
+	b := p.GenStreams(50)
+	for i := range a {
+		if !a[i].Tuple.ContentEqual(b[i].Tuple) {
+			t.Fatal("generation must be deterministic")
+		}
+	}
+}
+
+func TestWorkload1Shape(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 20
+	qs := p.Workload1()
+	if len(qs) != 20 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Stages) != 2 {
+			t.Fatal("workload 1 queries have 2 stages")
+		}
+	}
+	// Translation must produce plannable queries.
+	cqs, err := workload.ToRUMOR(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := core.NewPhysical(p.Catalog())
+	for _, q := range cqs {
+		if err := plan.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rules.Optimize(plan, rules.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Predicate index + AN merge: one select node, one seq node.
+	nSel, nSeq := 0, 0
+	for _, n := range plan.Nodes {
+		switch n.Kind {
+		case core.KindSelect:
+			nSel++
+		case core.KindSeq:
+			nSeq++
+		}
+	}
+	if nSel != 1 || nSeq != 1 {
+		t.Fatalf("select=%d seq=%d, want 1/1", nSel, nSeq)
+	}
+}
+
+func TestWorkload2Shapes(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 10
+	for _, qs := range [][]*core.Query{mustRUMOR(t, p.Workload2Seq()), mustRUMOR(t, p.Workload2Mu())} {
+		plan := core.NewPhysical(p.Catalog())
+		for _, q := range qs {
+			if err := plan.AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rules.Optimize(plan, rules.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		// CSE + seq merge: one binary node total.
+		n := 0
+		for _, nd := range plan.Nodes {
+			if nd.Kind == core.KindSeq || nd.Kind == core.KindMu {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("binary nodes = %d, want 1", n)
+		}
+	}
+}
+
+func mustRUMOR(t *testing.T, qs []*automaton.Query) []*core.Query {
+	t.Helper()
+	out, err := workload.ToRUMOR(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestWorkload3RoundsContent(t *testing.T) {
+	p := workload.DefaultParams()
+	k := 5
+	evs := p.Workload3Rounds(k, 3)
+	if len(evs) != 3*(k+1) {
+		t.Fatalf("len = %d", len(evs))
+	}
+	// First k tuples of each round share content; last is from T.
+	for r := 0; r < 3; r++ {
+		base := evs[r*(k+1)]
+		for i := 1; i < k; i++ {
+			e := evs[r*(k+1)+i]
+			if string(e.Source[0]) != "S" {
+				t.Fatalf("expected S source, got %s", e.Source)
+			}
+			for j, v := range e.Tuple.Vals {
+				if v != base.Tuple.Vals[j] {
+					t.Fatal("round tuples must share content")
+				}
+			}
+		}
+		if evs[r*(k+1)+k].Source != "T" {
+			t.Fatal("round must end with a T tuple")
+		}
+	}
+}
+
+func TestWorkload3PlanChannelizes(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 30
+	k := 5
+	qs := p.Workload3(k)
+	plan := core.NewPhysical(p.Workload3Catalog(k))
+	for _, q := range qs {
+		if err := plan.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rules.Optimize(plan, rules.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats().Channels < 1 {
+		t.Fatalf("workload 3 must channelize:\n%s", plan.String())
+	}
+}
+
+func TestPerfTrace(t *testing.T) {
+	tr := workload.D2(30)
+	evs := tr.Events()
+	if len(evs) != 28*30 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	seenRamp := false
+	for _, e := range evs {
+		if e.Source != "CPU" || len(e.Tuple.Vals) != 2 {
+			t.Fatal("bad event shape")
+		}
+		pid, load := e.Tuple.Vals[0], e.Tuple.Vals[1]
+		if pid < 0 || pid >= 28 || load < 0 || load > 100 {
+			t.Fatalf("out of range: pid=%d load=%d", pid, load)
+		}
+		if load > 50 {
+			seenRamp = true
+		}
+	}
+	if !seenRamp {
+		t.Fatal("trace should contain ramp episodes")
+	}
+	// Deterministic.
+	evs2 := tr.Events()
+	for i := range evs {
+		if !evs[i].Tuple.ContentEqual(evs2[i].Tuple) {
+			t.Fatal("trace must be deterministic")
+		}
+	}
+}
+
+func TestHybridQueriesRun(t *testing.T) {
+	h := workload.DefaultHybrid(4, 0.5)
+	qs := h.Queries()
+	if len(qs) != 4 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, channels := range []bool{false, true} {
+		plan := core.NewPhysical(workload.PerfCatalog())
+		for _, q := range qs {
+			if err := plan.AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Fresh queries per plan: IDs are assigned by AddQuery.
+		if err := rules.Optimize(plan, rules.Options{Channels: channels}); err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.New(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range workload.D2(60).Events() {
+			if err := e.Push(ev.Source, ev.Tuple); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e.TotalResults() == 0 {
+			t.Fatalf("hybrid workload produced no results (channels=%v)", channels)
+		}
+	}
+}
+
+// TestHybridChannelEquivalence: channel and non-channel hybrid plans must
+// produce identical per-query result counts on the same trace.
+func TestHybridChannelEquivalence(t *testing.T) {
+	run := func(channels bool) []int64 {
+		h := workload.DefaultHybrid(5, 0.4)
+		qs := h.Queries()
+		plan := core.NewPhysical(workload.PerfCatalog())
+		for _, q := range qs {
+			if err := plan.AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rules.Optimize(plan, rules.Options{Channels: channels}); err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.New(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range workload.D2(120).Events() {
+			if err := e.Push(ev.Source, ev.Tuple); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts := make([]int64, len(qs))
+		for i, q := range qs {
+			counts[i] = e.ResultCount(q.ID)
+		}
+		return counts
+	}
+	a := run(false)
+	b := run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d: without channel %d results, with channel %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package rumor is a Go implementation of RUMOR, the rule-based
+// multi-query optimization (MQO) framework for data stream systems of
+// Hong et al., "Rule-Based Multi-Query Optimization", EDBT 2009.
+//
+// RUMOR generalizes the three core abstractions of a stream engine:
+// physical operators become m-ops (each implementing a set of operators),
+// transformation rules become m-rules (which merge operator sets into
+// m-ops), and streams become channels (stream unions whose tuples carry
+// membership bit vectors). A single engine then evaluates CQL-style
+// relational stream queries, Cayuga-style event pattern queries, and
+// hybrid queries, sharing state and computation across all of them.
+//
+// The System type is the embedding API: declare streams, register
+// continuous queries (via the query language or programmatically with the
+// re-exported builders), optimize, and push tuples:
+//
+//	sys := rumor.New()
+//	err := sys.ExecScript(`
+//	    CREATE STREAM CPU(pid, load);
+//	    LET smoothed := AGG(avg(load) OVER 60 BY pid FROM CPU);
+//	    QUERY hot := FILTER(load > 90, @smoothed);
+//	`)
+//	sys.OnResult(func(q string, ts int64, vals []int64) { ... })
+//	err = sys.Optimize(rumor.Options{Channels: true})
+//	err = sys.Push("CPU", 0, 17, 95)
+//
+// Subpackages (internal): core (plans, m-ops as plan nodes, channels),
+// rules (the m-rules and optimizer), mop (executable m-ops: predicate
+// indexing, shared aggregation/join, the Cayuga ; and µ operators with
+// FR/AN/AI indexes, channel modes), engine (execution), automaton (the
+// Cayuga baseline and the §4.2 automaton→plan translation), cql (query
+// language), workload and bench (the paper's evaluation).
+package rumor
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/cql"
+	"repro/internal/engine"
+	"repro/internal/rules"
+	"repro/internal/stream"
+)
+
+// Logical is a logical query plan node; build trees with Scan, Filter,
+// Project, Agg, Join, Seq and Mu (re-exported from the core package).
+type Logical = core.Logical
+
+// Builders for programmatic query construction.
+var (
+	// Scan reads a declared source stream.
+	Scan = core.Scan
+	// Filter applies a selection predicate (package expr).
+	Filter = core.SelectL
+	// Project applies a schema map.
+	Project = core.ProjectL
+	// Agg applies a sliding-window aggregate.
+	Agg = core.AggL
+	// Join is a windowed two-stream join.
+	Join = core.JoinL
+	// Seq is the Cayuga sequence operator (;).
+	Seq = core.SeqL
+	// Mu is the Cayuga iteration operator (µ).
+	Mu = core.MuL
+)
+
+// Aggregate functions for Agg.
+const (
+	Sum   = core.AggSum
+	Count = core.AggCount
+	Avg   = core.AggAvg
+	Min   = core.AggMin
+	Max   = core.AggMax
+)
+
+// Options configures optimization.
+type Options struct {
+	// Channels enables the channel-based m-rules (cσ, cα, c⨝, c;, cµ).
+	Channels bool
+	// ChannelMinStreams gates the channel rules: a candidate operator
+	// group must cover at least this many distinct sharable streams
+	// (0 = the default of 2). Larger values trade sharing for lower
+	// membership overhead (§3.2).
+	ChannelMinStreams int
+}
+
+// PlanInfo summarizes the optimized plan.
+type PlanInfo struct {
+	Queries   int // registered continuous queries
+	MOps      int // m-op nodes (excluding sources)
+	Operators int // operator instances implemented by the m-ops
+	Channels  int // edges encoding more than one stream
+	Streams   int // logical streams
+}
+
+// System is a RUMOR stream-processing instance.
+type System struct {
+	catalog map[string]core.SourceDecl
+	queries []*core.Query
+	byName  map[string]*core.Query
+
+	plan *core.Physical
+	eng  *engine.Engine
+
+	onResult func(query string, ts int64, vals []int64)
+}
+
+// New creates an empty system.
+func New() *System {
+	return &System{
+		catalog: make(map[string]core.SourceDecl),
+		byName:  make(map[string]*core.Query),
+	}
+}
+
+// DeclareStream registers a source stream with the given attributes. A
+// non-empty sharableLabel marks streams of the same label as sharable
+// sources (§3.2 base case 2), making them candidates for channel encoding.
+func (s *System) DeclareStream(name, sharableLabel string, attrs ...string) error {
+	if s.plan != nil {
+		return fmt.Errorf("rumor: cannot declare streams after Optimize")
+	}
+	if _, dup := s.catalog[name]; dup {
+		return fmt.Errorf("rumor: stream %q already declared", name)
+	}
+	sch, err := stream.NewSchema(name, attrs...)
+	if err != nil {
+		return fmt.Errorf("rumor: %w", err)
+	}
+	s.catalog[name] = core.SourceDecl{Schema: sch, Label: sharableLabel}
+	return nil
+}
+
+// ExecScript parses a CQL script, merging its stream declarations and
+// registering its queries.
+func (s *System) ExecScript(src string) error {
+	if s.plan != nil {
+		return fmt.Errorf("rumor: cannot add queries after Optimize")
+	}
+	script, err := cql.Parse(src)
+	if err != nil {
+		return err
+	}
+	for name, decl := range script.Catalog {
+		if _, dup := s.catalog[name]; dup {
+			return fmt.Errorf("rumor: stream %q already declared", name)
+		}
+		s.catalog[name] = decl
+	}
+	for _, q := range script.Queries {
+		if err := s.addQuery(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddQuery registers a programmatically built continuous query.
+func (s *System) AddQuery(name string, root *Logical) error {
+	if s.plan != nil {
+		return fmt.Errorf("rumor: cannot add queries after Optimize")
+	}
+	return s.addQuery(core.NewQuery(name, root))
+}
+
+func (s *System) addQuery(q *core.Query) error {
+	if _, dup := s.byName[q.Name]; dup {
+		return fmt.Errorf("rumor: query %q already registered", q.Name)
+	}
+	s.queries = append(s.queries, q)
+	s.byName[q.Name] = q
+	return nil
+}
+
+// OnResult registers the result callback. Must be called before Optimize
+// or at any time after; results are attributed by query name.
+func (s *System) OnResult(fn func(query string, ts int64, vals []int64)) {
+	s.onResult = fn
+	if s.eng != nil {
+		s.wireCallback()
+	}
+}
+
+// Optimize plans all registered queries, applies the m-rules, and builds
+// the execution engine. It must be called exactly once, after all queries
+// are registered (adding queries to a running plan is future work in the
+// paper, §7, and unsupported here).
+func (s *System) Optimize(opt Options) error {
+	if s.plan != nil {
+		return fmt.Errorf("rumor: already optimized")
+	}
+	if len(s.queries) == 0 {
+		return fmt.Errorf("rumor: no queries registered")
+	}
+	plan := core.NewPhysical(s.catalog)
+	for _, q := range s.queries {
+		if err := plan.AddQuery(q); err != nil {
+			return err
+		}
+	}
+	ropts := rules.Options{Channels: opt.Channels, ChannelMinStreams: opt.ChannelMinStreams}
+	if err := rules.Optimize(plan, ropts); err != nil {
+		return err
+	}
+	eng, err := engine.New(plan)
+	if err != nil {
+		return err
+	}
+	s.plan = plan
+	s.eng = eng
+	s.wireCallback()
+	return nil
+}
+
+func (s *System) wireCallback() {
+	if s.onResult == nil {
+		s.eng.OnResult = nil
+		return
+	}
+	names := make(map[int]string, len(s.queries))
+	for _, q := range s.queries {
+		names[q.ID] = q.Name
+	}
+	fn := s.onResult
+	s.eng.OnResult = func(qid int, t *stream.Tuple) {
+		fn(names[qid], t.TS, t.Vals)
+	}
+}
+
+// Push injects one tuple into a source stream. Tuples must be pushed in
+// non-decreasing timestamp order across all sources.
+func (s *System) Push(streamName string, ts int64, vals ...int64) error {
+	if s.eng == nil {
+		return fmt.Errorf("rumor: call Optimize before Push")
+	}
+	return s.eng.Push(streamName, &stream.Tuple{TS: ts, Vals: vals})
+}
+
+// PushShared injects one channel tuple that belongs to all the named
+// sharable source streams at once (they must have been encoded into the
+// same channel by optimization).
+func (s *System) PushShared(streamNames []string, ts int64, vals ...int64) error {
+	if s.eng == nil {
+		return fmt.Errorf("rumor: call Optimize before PushShared")
+	}
+	if len(streamNames) == 0 {
+		return fmt.Errorf("rumor: PushShared needs at least one stream")
+	}
+	member := bitset.New(len(streamNames))
+	var edgeID = -1
+	for _, name := range streamNames {
+		ref := s.plan.SourceStream(name)
+		if ref == nil {
+			return fmt.Errorf("rumor: source %q not in plan", name)
+		}
+		e, pos := s.plan.EdgeOf(ref)
+		if edgeID == -1 {
+			edgeID = e.ID
+		} else if e.ID != edgeID {
+			return fmt.Errorf("rumor: streams %v are not encoded into one channel", streamNames)
+		}
+		member.Set(pos)
+	}
+	t := &stream.Tuple{TS: ts, Vals: vals, Member: member}
+	return s.eng.PushChannel(streamNames[0], t)
+}
+
+// ResultCount returns the number of results produced so far for a query.
+func (s *System) ResultCount(query string) int64 {
+	q, ok := s.byName[query]
+	if !ok || s.eng == nil {
+		return 0
+	}
+	return s.eng.ResultCount(q.ID)
+}
+
+// TotalResults returns the number of results across all queries.
+func (s *System) TotalResults() int64 {
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.TotalResults()
+}
+
+// PlanInfo returns summary statistics of the optimized plan.
+func (s *System) PlanInfo() PlanInfo {
+	if s.plan == nil {
+		return PlanInfo{}
+	}
+	st := s.plan.Stats()
+	sources := 0
+	ops := 0
+	for _, n := range s.plan.Nodes {
+		if n.Kind == core.KindSource {
+			sources++
+			continue
+		}
+		ops += len(n.Ops)
+	}
+	return PlanInfo{
+		Queries:   st.Queries,
+		MOps:      st.Nodes - sources,
+		Operators: ops,
+		Channels:  st.Channels,
+		Streams:   st.Streams,
+	}
+}
+
+// PlanString renders the optimized physical plan for inspection.
+func (s *System) PlanString() string {
+	if s.plan == nil {
+		return "(not optimized)"
+	}
+	return s.plan.String()
+}
+
+// PlanDot renders the optimized physical plan in Graphviz dot format
+// (channels drawn as dashed edges, as in the paper's figures).
+func (s *System) PlanDot() string {
+	if s.plan == nil {
+		return "digraph rumor {}\n"
+	}
+	return s.plan.Dot()
+}
