@@ -27,6 +27,7 @@ import (
 // increasing timestamps so windows keep sliding.
 func feedLoop(b *testing.B, events []workload.Event, push func(src string, t *stream.Tuple)) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := events[i%len(events)]
@@ -71,6 +72,39 @@ func BenchmarkFig9aWorkload1RUMOR(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+}
+
+// BenchmarkFig9aWorkload1RUMORBatch is the same operating point driven
+// through the batched ingestion path: runs of same-source events are
+// enqueued together and drained once per run.
+func BenchmarkFig9aWorkload1RUMORBatch(b *testing.B) {
+	const batch = 64
+	p := workload.DefaultParams()
+	e := rumorEngine(b, p, p.Workload1(), false)
+	events := p.GenStreams(50000)
+	// The trace is split into per-source runs of at most batch events. The
+	// engine takes ownership of the vals slices, which is safe here: the
+	// generated values are never mutated.
+	b.ReportAllocs()
+	b.ResetTimer()
+	ts := make([]int64, 0, batch)
+	vals := make([][]int64, 0, batch)
+	for i := 0; i < b.N; {
+		src := events[i%len(events)].Source
+		ts, vals = ts[:0], vals[:0]
+		for i < b.N && len(ts) < batch {
+			next := events[i%len(events)]
+			if next.Source != src {
+				break
+			}
+			ts = append(ts, int64(i))
+			vals = append(vals, next.Tuple.Vals)
+			i++
+		}
+		if err := e.PushBatch(src, ts, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkFig9aWorkload1Cayuga(b *testing.B) {
@@ -179,6 +213,7 @@ func benchW3(b *testing.B, channels bool) {
 	for i := 0; i < k; i++ {
 		full.Set(i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		base := (i % nRounds) * perRound
@@ -226,6 +261,7 @@ func BenchmarkFig10dCapacity25(b *testing.B) {
 	for i := 0; i < k; i++ {
 		full.Set(i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		base := (i % nRounds) * perRound
@@ -312,6 +348,7 @@ func BenchmarkAblationW1OptimizedPlan(b *testing.B) { benchW1Ablation(b, true) }
 // collapsed into one predicate-indexed m-op ([10,16]).
 func BenchmarkMicroPredicateIndex(b *testing.B) {
 	sys := newSelectSystem(b, 10000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := sys.Push("S", int64(i), int64(i%10000), 0); err != nil {
@@ -359,6 +396,7 @@ func BenchmarkMicroSharedJoin(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := "S"
@@ -388,6 +426,7 @@ func BenchmarkMicroSharedAgg(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Push("S", &stream.Tuple{TS: int64(i), Vals: []int64{int64(i % 16), int64(i % 97)}}); err != nil {

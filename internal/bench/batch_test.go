@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// resultLog collects per-query result streams in arrival order, both as
+// readable keys (for diffs) and as content hashes (the cheap identity the
+// engine-level comparisons use).
+type resultLog struct {
+	keys   map[int][]string
+	hashes map[int][]uint64
+}
+
+func newResultLog() *resultLog {
+	return &resultLog{keys: map[int][]string{}, hashes: map[int][]uint64{}}
+}
+
+func (r *resultLog) record(q int, t *stream.Tuple) {
+	r.keys[q] = append(r.keys[q], t.ContentKey())
+	r.hashes[q] = append(r.hashes[q], t.ContentHash())
+}
+
+func (r *resultLog) diff(o *resultLog) string {
+	for q, ks := range r.keys {
+		os := o.keys[q]
+		if len(ks) != len(os) {
+			return fmt.Sprintf("query %d: %d vs %d results", q, len(ks), len(os))
+		}
+		for i := range ks {
+			if ks[i] != os[i] {
+				return fmt.Sprintf("query %d result %d: %q vs %q", q, i, ks[i], os[i])
+			}
+			if r.hashes[q][i] != o.hashes[q][i] {
+				return fmt.Sprintf("query %d result %d: ContentHash mismatch for equal keys", q, i)
+			}
+		}
+	}
+	for q := range o.keys {
+		if _, ok := r.keys[q]; !ok && len(o.keys[q]) > 0 {
+			return fmt.Sprintf("query %d: results only in second run", q)
+		}
+	}
+	return ""
+}
+
+// feedPush drives events one Push at a time.
+func feedPush(t *testing.T, push func(src string, tu *stream.Tuple) error, events []workload.Event) {
+	t.Helper()
+	for i, ev := range events {
+		if err := push(ev.Source, &stream.Tuple{TS: int64(i), Vals: ev.Tuple.Vals}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// feedBatch drives the same events through PushBatch, batching maximal
+// runs of consecutive same-source events (cross-source order preserved).
+func feedBatch(t *testing.T, pushBatch func(src string, ts []int64, vals [][]int64) error, events []workload.Event) {
+	t.Helper()
+	i := 0
+	for i < len(events) {
+		j := i + 1
+		for j < len(events) && events[j].Source == events[i].Source {
+			j++
+		}
+		ts := make([]int64, 0, j-i)
+		vals := make([][]int64, 0, j-i)
+		for k := i; k < j; k++ {
+			ts = append(ts, int64(k))
+			// PushBatch takes ownership of the value slices; the workload
+			// events are reused across engines, so hand over copies.
+			v := make([]int64, len(events[k].Tuple.Vals))
+			copy(v, events[k].Tuple.Vals)
+			vals = append(vals, v)
+		}
+		if err := pushBatch(events[i].Source, ts, vals); err != nil {
+			t.Fatal(err)
+		}
+		i = j
+	}
+}
+
+// checkBatchEquivalence runs the same query set over the same event
+// sequence once with per-tuple Push and once with PushBatch and requires
+// byte-identical per-query result streams.
+func checkBatchEquivalence(t *testing.T, p workload.Params, aqs []*automaton.Query, events []workload.Event, channels bool) {
+	t.Helper()
+	cqs, err := workload.ToRUMOR(aqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := BuildRUMOR(p.Catalog(), cqs, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := BuildRUMOR(p.Catalog(), cqs, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lone, ltwo := newResultLog(), newResultLog()
+	one.OnResult = lone.record
+	two.OnResult = ltwo.record
+	feedPush(t, one.Push, events)
+	feedBatch(t, two.PushBatch, events)
+	if d := lone.diff(ltwo); d != "" {
+		t.Fatalf("Push vs PushBatch diverged: %s", d)
+	}
+	if one.TotalResults() == 0 {
+		t.Fatal("workload produced no results; equivalence check is vacuous")
+	}
+	if one.TotalResults() != two.TotalResults() {
+		t.Fatalf("total results: %d vs %d", one.TotalResults(), two.TotalResults())
+	}
+}
+
+func TestPushBatchEquivalenceWorkload1(t *testing.T) {
+	for _, channels := range []bool{false, true} {
+		p := workload.DefaultParams()
+		p.NumQueries = 300
+		events := p.GenStreams(6000)
+		checkBatchEquivalence(t, p, p.Workload1(), events, channels)
+	}
+}
+
+func TestPushBatchEquivalenceWorkload2(t *testing.T) {
+	for _, channels := range []bool{false, true} {
+		p := workload.DefaultParams()
+		p.NumQueries = 150
+		events := p.GenStreams(4000)
+		checkBatchEquivalence(t, p, p.Workload2Seq(), events, channels)
+		pm := workload.DefaultParams()
+		pm.NumQueries = 60
+		checkBatchEquivalence(t, pm, pm.Workload2Mu(), pm.GenStreams(3000), channels)
+	}
+}
+
+func TestPushBatchEquivalenceWorkload3(t *testing.T) {
+	const k = 8
+	for _, channels := range []bool{false, true} {
+		p := workload.DefaultParams()
+		p.NumQueries = 200
+		qs := p.Workload3(k)
+		events := p.Workload3Rounds(k, 400)
+		one, err := BuildRUMOR(p.Workload3Catalog(k), qs, channels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := BuildRUMOR(p.Workload3Catalog(k), qs, channels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lone, ltwo := newResultLog(), newResultLog()
+		one.OnResult = lone.record
+		two.OnResult = ltwo.record
+		feedPush(t, one.Push, events)
+		feedBatch(t, two.PushBatch, events)
+		if d := lone.diff(ltwo); d != "" {
+			t.Fatalf("W3 channels=%v: Push vs PushBatch diverged: %s", channels, d)
+		}
+		if one.TotalResults() == 0 {
+			t.Fatal("workload 3 produced no results; equivalence check is vacuous")
+		}
+	}
+}

@@ -5,6 +5,12 @@
 // The zero value of Set is an empty set ready to use. Sets grow on demand;
 // all operations treat missing words as zero. A nil *Set behaves like the
 // empty set for read operations.
+//
+// Memberships are small in practice — a channel rarely unions more than 64
+// streams (§3.2 gates channel encoding on sharing degree) — so Set stores
+// bits 0..63 in an inline word and only allocates a spill slice once a
+// higher bit is addressed. Building, cloning, and combining single-word
+// sets is allocation-free beyond the Set header itself.
 package bitset
 
 import (
@@ -16,34 +22,109 @@ import (
 const wordBits = 64
 
 // Set is a growable bit set. Bits are indexed from 0.
+//
+// Representation: while spill is nil the set's content is the inline word
+// (bits 0..63). Once a bit ≥ 64 is addressed the content moves to spill
+// (which then includes word 0); the inline word is ignored from then on.
 type Set struct {
-	words []uint64
+	word  uint64
+	spill []uint64
 }
 
-// New returns a set with capacity for at least n bits preallocated.
+// New returns a set with capacity for at least n bits preallocated. Sets of
+// up to 64 bits are stored inline and need no preallocation.
 func New(n int) *Set {
-	if n <= 0 {
+	if n <= wordBits {
 		return &Set{}
 	}
-	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+	return &Set{spill: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
-// FromIndices returns a set with exactly the given bits set.
+// FromIndices returns a set with exactly the given bits set. Bit patterns
+// that fit the inline word allocate no slice; larger patterns pre-size the
+// spill storage for the maximum index instead of growing bit by bit.
 func FromIndices(idx ...int) *Set {
+	max := -1
+	for _, i := range idx {
+		if i < 0 {
+			panic("bitset: negative index")
+		}
+		if i > max {
+			max = i
+		}
+	}
 	s := &Set{}
+	if max >= wordBits {
+		s.spill = make([]uint64, max/wordBits+1)
+	}
 	for _, i := range idx {
 		s.Set(i)
 	}
 	return s
 }
 
-// ensure grows the word slice so that bit i is addressable.
+// singletons interns the 64 single-bit inline sets so that hot paths (e.g.
+// source-membership encoding in the engine) can share one immutable set per
+// position instead of allocating per tuple.
+var singletons [wordBits]Set
+
+func init() {
+	for i := range singletons {
+		singletons[i].word = 1 << uint(i)
+	}
+}
+
+// Singleton returns a set containing exactly bit i. For i < 64 the returned
+// set is interned and shared: the caller MUST treat it as read-only (Clone
+// before mutating). Larger indices return a fresh set.
+func Singleton(i int) *Set {
+	if i >= 0 && i < wordBits {
+		return &singletons[i]
+	}
+	return FromIndices(i)
+}
+
+// inline reports whether the set content lives in the inline word.
+func (s *Set) inline() bool { return s.spill == nil }
+
+// view returns the set's backing words without allocating: inline sets are
+// materialized into the caller-provided scratch word.
+func (s *Set) view(scratch *[1]uint64) []uint64 {
+	if s == nil {
+		return nil
+	}
+	if s.spill != nil {
+		return s.spill
+	}
+	scratch[0] = s.word
+	return scratch[:]
+}
+
+// toSpill moves an inline set to spill storage with room for n words.
+func (s *Set) toSpill(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sp := make([]uint64, n)
+	sp[0] = s.word
+	s.spill = sp
+}
+
+// ensure grows the storage so that bit i is addressable, spilling the
+// inline word if needed.
 func (s *Set) ensure(i int) {
 	w := i/wordBits + 1
-	if len(s.words) < w {
+	if s.spill == nil {
+		if i < wordBits {
+			return
+		}
+		s.toSpill(w)
+		return
+	}
+	if len(s.spill) < w {
 		nw := make([]uint64, w)
-		copy(nw, s.words)
-		s.words = nw
+		copy(nw, s.spill)
+		s.spill = nw
 	}
 }
 
@@ -52,24 +133,43 @@ func (s *Set) Set(i int) {
 	if i < 0 {
 		panic("bitset: negative index")
 	}
+	if s.spill == nil && i < wordBits {
+		s.word |= 1 << uint(i)
+		return
+	}
 	s.ensure(i)
-	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+	s.spill[i/wordBits] |= 1 << uint(i%wordBits)
 }
 
 // Clear clears bit i. Clearing a bit beyond the current capacity is a no-op.
 func (s *Set) Clear(i int) {
-	if i < 0 || i/wordBits >= len(s.words) {
+	if i < 0 {
 		return
 	}
-	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+	if s.spill == nil {
+		if i < wordBits {
+			s.word &^= 1 << uint(i)
+		}
+		return
+	}
+	if i/wordBits >= len(s.spill) {
+		return
+	}
+	s.spill[i/wordBits] &^= 1 << uint(i%wordBits)
 }
 
 // Test reports whether bit i is set.
 func (s *Set) Test(i int) bool {
-	if s == nil || i < 0 || i/wordBits >= len(s.words) {
+	if s == nil || i < 0 {
 		return false
 	}
-	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+	if s.spill == nil {
+		return i < wordBits && s.word&(1<<uint(i)) != 0
+	}
+	if i/wordBits >= len(s.spill) {
+		return false
+	}
+	return s.spill[i/wordBits]&(1<<uint(i%wordBits)) != 0
 }
 
 // Count returns the number of set bits.
@@ -77,8 +177,11 @@ func (s *Set) Count() int {
 	if s == nil {
 		return 0
 	}
+	if s.spill == nil {
+		return bits.OnesCount64(s.word)
+	}
 	n := 0
-	for _, w := range s.words {
+	for _, w := range s.spill {
 		n += bits.OnesCount64(w)
 	}
 	return n
@@ -89,7 +192,10 @@ func (s *Set) Empty() bool {
 	if s == nil {
 		return true
 	}
-	for _, w := range s.words {
+	if s.spill == nil {
+		return s.word == 0
+	}
+	for _, w := range s.spill {
 		if w != 0 {
 			return false
 		}
@@ -97,34 +203,43 @@ func (s *Set) Empty() bool {
 	return true
 }
 
-// Clone returns an independent copy of s.
+// Clone returns an independent copy of s. Cloning an inline set allocates
+// only the Set header.
 func (s *Set) Clone() *Set {
 	if s == nil {
 		return &Set{}
 	}
-	c := &Set{words: make([]uint64, len(s.words))}
-	copy(c.words, s.words)
+	if s.spill == nil {
+		return &Set{word: s.word}
+	}
+	c := &Set{spill: make([]uint64, len(s.spill))}
+	copy(c.spill, s.spill)
 	return c
 }
 
 // CopyFrom overwrites s with the contents of o.
 func (s *Set) CopyFrom(o *Set) {
-	if o == nil {
-		s.Reset()
+	if o == nil || o.spill == nil {
+		s.spill = nil
+		s.word = 0
+		if o != nil {
+			s.word = o.word
+		}
 		return
 	}
-	if cap(s.words) < len(o.words) {
-		s.words = make([]uint64, len(o.words))
+	if s.spill == nil || cap(s.spill) < len(o.spill) {
+		s.spill = make([]uint64, len(o.spill))
 	} else {
-		s.words = s.words[:len(o.words)]
+		s.spill = s.spill[:len(o.spill)]
 	}
-	copy(s.words, o.words)
+	copy(s.spill, o.spill)
 }
 
 // Reset clears all bits, keeping capacity.
 func (s *Set) Reset() {
-	for i := range s.words {
-		s.words[i] = 0
+	s.word = 0
+	for i := range s.spill {
+		s.spill[i] = 0
 	}
 }
 
@@ -133,11 +248,23 @@ func (s *Set) Union(o *Set) {
 	if o == nil {
 		return
 	}
-	if len(o.words) > len(s.words) {
-		s.ensure(len(o.words)*wordBits - 1)
+	if o.spill == nil {
+		if s.spill == nil {
+			s.word |= o.word
+		} else {
+			s.spill[0] |= o.word
+		}
+		return
 	}
-	for i, w := range o.words {
-		s.words[i] |= w
+	if s.spill == nil {
+		s.toSpill(len(o.spill))
+	} else if len(o.spill) > len(s.spill) {
+		nw := make([]uint64, len(o.spill))
+		copy(nw, s.spill)
+		s.spill = nw
+	}
+	for i, w := range o.spill {
+		s.spill[i] |= w
 	}
 }
 
@@ -147,11 +274,21 @@ func (s *Set) Intersect(o *Set) {
 		s.Reset()
 		return
 	}
-	for i := range s.words {
-		if i < len(o.words) {
-			s.words[i] &= o.words[i]
+	var scratch [1]uint64
+	ow := o.view(&scratch)
+	if s.spill == nil {
+		if len(ow) > 0 {
+			s.word &= ow[0]
 		} else {
-			s.words[i] = 0
+			s.word = 0
+		}
+		return
+	}
+	for i := range s.spill {
+		if i < len(ow) {
+			s.spill[i] &= ow[i]
+		} else {
+			s.spill[i] = 0
 		}
 	}
 }
@@ -161,9 +298,17 @@ func (s *Set) Difference(o *Set) {
 	if o == nil {
 		return
 	}
-	for i := range s.words {
-		if i < len(o.words) {
-			s.words[i] &^= o.words[i]
+	var scratch [1]uint64
+	ow := o.view(&scratch)
+	if s.spill == nil {
+		if len(ow) > 0 {
+			s.word &^= ow[0]
+		}
+		return
+	}
+	for i := range s.spill {
+		if i < len(ow) {
+			s.spill[i] &^= ow[i]
 		}
 	}
 }
@@ -173,12 +318,17 @@ func (s *Set) Intersects(o *Set) bool {
 	if s == nil || o == nil {
 		return false
 	}
-	n := len(s.words)
-	if len(o.words) < n {
-		n = len(o.words)
+	if s.spill == nil && o.spill == nil {
+		return s.word&o.word != 0
+	}
+	var ss, os [1]uint64
+	sw, ow := s.view(&ss), o.view(&os)
+	n := len(sw)
+	if len(ow) < n {
+		n = len(ow)
 	}
 	for i := 0; i < n; i++ {
-		if s.words[i]&o.words[i] != 0 {
+		if sw[i]&ow[i] != 0 {
 			return true
 		}
 	}
@@ -187,13 +337,11 @@ func (s *Set) Intersects(o *Set) bool {
 
 // Equal reports whether s and o contain exactly the same bits.
 func (s *Set) Equal(o *Set) bool {
-	sw, ow := []uint64(nil), []uint64(nil)
-	if s != nil {
-		sw = s.words
+	if s != nil && o != nil && s.spill == nil && o.spill == nil {
+		return s.word == o.word
 	}
-	if o != nil {
-		ow = o.words
-	}
+	var ss, os [1]uint64
+	sw, ow := s.view(&ss), o.view(&os)
 	n := len(sw)
 	if len(ow) > n {
 		n = len(ow)
@@ -218,11 +366,17 @@ func (s *Set) SubsetOf(o *Set) bool {
 	if s == nil {
 		return true
 	}
-	for i, w := range s.words {
+	var ss, os [1]uint64
+	sw := s.view(&ss)
+	var ow []uint64
+	if o != nil {
+		ow = o.view(&os)
+	}
+	for i, w := range sw {
 		if w == 0 {
 			continue
 		}
-		if o == nil || i >= len(o.words) || w&^o.words[i] != 0 {
+		if i >= len(ow) || w&^ow[i] != 0 {
 			return false
 		}
 	}
@@ -235,7 +389,8 @@ func (s *Set) ForEach(fn func(i int) bool) {
 	if s == nil {
 		return
 	}
-	for wi, w := range s.words {
+	var scratch [1]uint64
+	for wi, w := range s.view(&scratch) {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			if !fn(wi*wordBits + b) {
@@ -259,25 +414,40 @@ func (s *Set) Indices() []int {
 	return out
 }
 
+// AppendKey appends the set's canonical key (see Key) to b and returns the
+// extended slice, letting hot paths build map keys in a reused scratch
+// buffer without the intermediate string allocation.
+func (s *Set) AppendKey(b []byte) []byte {
+	if s == nil {
+		return b
+	}
+	var scratch [1]uint64
+	words := s.view(&scratch)
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
+		n--
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, words[i], 16)
+	}
+	return b
+}
+
 // Key returns a canonical string key for the set's contents, usable as a
 // map key (e.g. for fragment-keyed shared aggregation). Trailing zero words
-// do not affect the key.
+// do not affect the key, and inline vs. spilled storage is indistinguishable.
 func (s *Set) Key() string {
 	if s == nil {
 		return ""
 	}
-	n := len(s.words)
-	for n > 0 && s.words[n-1] == 0 {
-		n--
+	if s.spill == nil && s.word == 0 {
+		return ""
 	}
-	var b strings.Builder
-	for i := 0; i < n; i++ {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.FormatUint(s.words[i], 16))
-	}
-	return b.String()
+	var buf [24]byte
+	return string(s.AppendKey(buf[:0]))
 }
 
 // String renders the set like "{1,4,9}".

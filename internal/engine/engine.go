@@ -4,6 +4,11 @@
 // (§2.2); propagation is a FIFO work queue, single-threaded, matching the
 // paper's prototype execution model and its events/second throughput
 // metric (§5).
+//
+// The delivery fast path is allocation-free: edge routing uses dense
+// slices indexed by edge ID (no map lookups per delivery), source
+// memberships are interned singletons computed at lowering time, and the
+// work queue's backing array is recycled across drains.
 package engine
 
 import (
@@ -26,6 +31,7 @@ type runtimeNode struct {
 	id        int
 	m         mop.MOp
 	out       []*core.Edge // output port → edge
+	emit      mop.Emit     // built once at lowering: enqueues on out[port]
 	processed int64        // tuples delivered to this m-op
 	emitted   int64        // tuples produced by this m-op
 }
@@ -36,17 +42,58 @@ type sink struct {
 	queries []int
 }
 
+// sourceInfo is the precomputed per-source injection state: the carrying
+// edge and, when the source has been encoded into a channel, the interned
+// singleton membership of its position.
+type sourceInfo struct {
+	edge   *core.Edge
+	member *bitset.Set // nil for plain (non-channel) source edges
+}
+
+type namedSource struct {
+	name string
+	info sourceInfo
+}
+
+// maxLinearSources bounds the linear source lookup table.
+const maxLinearSources = 8
+
+// lookupSource resolves a source name to its injection state.
+func (e *Engine) lookupSource(name string) (sourceInfo, bool) {
+	for i := range e.srcList {
+		if e.srcList[i].name == name {
+			return e.srcList[i].info, true
+		}
+	}
+	si, ok := e.sources[name]
+	return si, ok
+}
+
+// edgeRoute is the dense per-edge routing entry: the query sinks and the
+// consuming m-op ports of one edge, resolved once at lowering time.
+type edgeRoute struct {
+	sinks     []sink
+	consumers []portRef
+}
+
 // Engine is an executable instance of a physical plan.
 type Engine struct {
-	plan      *core.Physical
-	consumers map[int][]portRef // edge ID → consuming ports
-	sinks     map[int][]sink    // edge ID → query sinks
-	sourceOf  map[string]*core.Edge
+	plan *core.Physical
+
+	// routes is the dense routing table indexed by edge ID: every delivery
+	// costs one slice load instead of two map lookups.
+	routes []edgeRoute
+
+	sources map[string]sourceInfo
+	// srcList mirrors sources for plans with few source streams: a linear
+	// scan with pointer-fast string compares beats a map hash per Push.
+	srcList []namedSource
+	nodes   []*runtimeNode
 
 	// OnResult, if set, receives every query result tuple.
 	OnResult func(queryID int, t *stream.Tuple)
 
-	counts map[int]int64 // query ID → result count
+	counts []int64 // query ID → result count (query IDs are dense)
 
 	queue []queued
 }
@@ -61,12 +108,22 @@ func New(p *core.Physical) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
 	}
+	maxEdge, maxQuery := -1, -1
+	for id := range p.Edges {
+		if id > maxEdge {
+			maxEdge = id
+		}
+	}
+	for _, q := range p.Queries {
+		if q.ID > maxQuery {
+			maxQuery = q.ID
+		}
+	}
 	e := &Engine{
-		plan:      p,
-		consumers: make(map[int][]portRef),
-		sinks:     make(map[int][]sink),
-		sourceOf:  make(map[string]*core.Edge),
-		counts:    make(map[int]int64),
+		plan:    p,
+		routes:  make([]edgeRoute, maxEdge+1),
+		sources: make(map[string]sourceInfo),
+		counts:  make([]int64, maxQuery+1),
 	}
 	for _, n := range p.Nodes {
 		if n.Kind == core.KindSource {
@@ -77,15 +134,36 @@ func New(p *core.Physical) (*Engine, error) {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 		rn := &runtimeNode{id: n.ID, m: low.MOp, out: low.OutEdges}
+		// One emit closure per node, built here so the delivery loop does
+		// not allocate a closure per Process call.
+		rn.emit = func(outPort int, out *stream.Tuple) {
+			rn.emitted++
+			e.enqueue(rn.out[outPort], out)
+		}
+		e.nodes = append(e.nodes, rn)
 		for port, in := range low.InEdges {
-			e.consumers[in.ID] = append(e.consumers[in.ID], portRef{node: rn, port: port})
+			r := &e.routes[in.ID]
+			r.consumers = append(r.consumers, portRef{node: rn, port: port})
 		}
 	}
-	// Source edges, indexed by every source name they carry.
+	sort.Slice(e.nodes, func(i, j int) bool { return e.nodes[i].id < e.nodes[j].id })
+	// Source edges, indexed by every source name they carry, with the
+	// membership each plain Push must attach precomputed.
 	for name := range p.Catalog {
-		if s := p.SourceStream(name); s != nil {
-			edge, _ := p.EdgeOf(s)
-			e.sourceOf[name] = edge
+		s := p.SourceStream(name)
+		if s == nil {
+			continue
+		}
+		edge, pos := p.EdgeOf(s)
+		si := sourceInfo{edge: edge}
+		if edge.IsChannel() {
+			si.member = bitset.Singleton(pos)
+		}
+		e.sources[name] = si
+	}
+	if len(e.sources) <= maxLinearSources {
+		for name, si := range e.sources {
+			e.srcList = append(e.srcList, namedSource{name: name, info: si})
 		}
 	}
 	// Query sinks.
@@ -95,17 +173,17 @@ func New(p *core.Physical) (*Engine, error) {
 		if !edge.IsChannel() {
 			pos = -1
 		}
-		ss := e.sinks[edge.ID]
+		r := &e.routes[edge.ID]
 		found := false
-		for i := range ss {
-			if ss[i].pos == pos {
-				ss[i].queries = append(ss[i].queries, q.ID)
+		for i := range r.sinks {
+			if r.sinks[i].pos == pos {
+				r.sinks[i].queries = append(r.sinks[i].queries, q.ID)
 				found = true
 				break
 			}
 		}
 		if !found {
-			e.sinks[edge.ID] = append(ss, sink{pos: pos, queries: []int{q.ID}})
+			r.sinks = append(r.sinks, sink{pos: pos, queries: []int{q.ID}})
 		}
 	}
 	return e, nil
@@ -115,15 +193,14 @@ func New(p *core.Physical) (*Engine, error) {
 // If the source has been encoded into a channel and the tuple carries no
 // membership, the singleton membership of that source's position is added.
 func (e *Engine) Push(source string, t *stream.Tuple) error {
-	edge, ok := e.sourceOf[source]
+	si, ok := e.lookupSource(source)
 	if !ok {
 		return fmt.Errorf("engine: source %q not in plan", source)
 	}
-	if edge.IsChannel() && t.Member == nil {
-		s := e.plan.SourceStream(source)
-		t = t.WithMember(bitset.FromIndices(edge.Pos(s)))
+	if si.member != nil && t.Member == nil {
+		t = t.WithMember(si.member)
 	}
-	e.enqueue(edge, t)
+	e.enqueue(si.edge, t)
 	e.drain()
 	return nil
 }
@@ -134,11 +211,44 @@ func (e *Engine) PushChannel(source string, t *stream.Tuple) error {
 	if t.Member == nil {
 		return fmt.Errorf("engine: PushChannel requires a membership component")
 	}
-	edge, ok := e.sourceOf[source]
+	si, ok := e.lookupSource(source)
 	if !ok {
 		return fmt.Errorf("engine: source %q not in plan", source)
 	}
-	e.enqueue(edge, t)
+	e.enqueue(si.edge, t)
+	e.drain()
+	return nil
+}
+
+// PushBatch injects a batch of tuples into the named source stream,
+// enqueuing the whole batch before a single drain. ts[i] pairs with
+// vals[i]; timestamps must be non-decreasing. The engine takes ownership
+// of the vals slices (they back the in-flight tuples and may be retained
+// by stateful m-ops).
+//
+// Batching amortizes the per-call injection overhead and keeps the drain
+// loop hot across the batch. Per-query result streams are identical to
+// pushing the tuples one by one whenever every multi-input m-op reads this
+// source through paths of equal operator depth (true of single-path plans
+// and of the paper's workloads); sources feeding one m-op through paths of
+// differing depth should stick to Push. Within a batch, OnResult calls for
+// queries at different pipeline depths may interleave differently than
+// under per-tuple Push (propagation is breadth-first across the batch).
+func (e *Engine) PushBatch(source string, ts []int64, vals [][]int64) error {
+	if len(ts) != len(vals) {
+		return fmt.Errorf("engine: PushBatch length mismatch: %d timestamps, %d value rows", len(ts), len(vals))
+	}
+	si, ok := e.lookupSource(source)
+	if !ok {
+		return fmt.Errorf("engine: source %q not in plan", source)
+	}
+	for i := range ts {
+		// Built directly rather than via the tuple pool: batch tuples flow
+		// into the DAG (where stateful m-ops may retain them), so they are
+		// never returned to the pool and a pooled Get would only add
+		// bookkeeping on top of the same allocation.
+		e.enqueue(si.edge, &stream.Tuple{TS: ts[i], Vals: vals[i], Member: si.member})
+	}
 	e.drain()
 	return nil
 }
@@ -148,38 +258,35 @@ func (e *Engine) enqueue(edge *core.Edge, t *stream.Tuple) {
 }
 
 // drain propagates queued tuples until quiescence. The queue's backing
-// array is reused across calls.
+// array is reused across calls; references are released in one bulk clear
+// after the loop instead of a per-element store.
 func (e *Engine) drain() {
 	for i := 0; i < len(e.queue); i++ {
 		q := e.queue[i]
-		e.queue[i] = queued{} // release references early
 		e.deliver(q.edge, q.t)
 	}
+	clear(e.queue)
 	e.queue = e.queue[:0]
 }
 
 func (e *Engine) deliver(edge *core.Edge, t *stream.Tuple) {
-	if ss := e.sinks[edge.ID]; ss != nil {
-		for i := range ss {
-			s := &ss[i]
-			if s.pos >= 0 && !t.Member.Test(s.pos) {
-				continue
-			}
-			for _, qid := range s.queries {
-				e.counts[qid]++
-				if e.OnResult != nil {
-					e.OnResult(qid, t)
-				}
+	r := &e.routes[edge.ID]
+	for i := range r.sinks {
+		s := &r.sinks[i]
+		if s.pos >= 0 && !t.Member.Test(s.pos) {
+			continue
+		}
+		for _, qid := range s.queries {
+			e.counts[qid]++
+			if e.OnResult != nil {
+				e.OnResult(qid, t)
 			}
 		}
 	}
-	for _, c := range e.consumers[edge.ID] {
+	for _, c := range r.consumers {
 		n := c.node
 		n.processed++
-		n.m.Process(c.port, t, func(outPort int, out *stream.Tuple) {
-			n.emitted++
-			e.enqueue(n.out[outPort], out)
-		})
+		n.m.Process(c.port, t, n.emit)
 	}
 }
 
@@ -194,23 +301,20 @@ type NodeStats struct {
 
 // NodeStats returns per-node counters sorted by node ID.
 func (e *Engine) NodeStats() []NodeStats {
-	seen := map[int]bool{}
-	var out []NodeStats
-	for _, refs := range e.consumers {
-		for _, r := range refs {
-			if seen[r.node.id] {
-				continue
-			}
-			seen[r.node.id] = true
-			out = append(out, NodeStats{NodeID: r.node.id, Processed: r.node.processed, Emitted: r.node.emitted})
-		}
+	out := make([]NodeStats, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		out = append(out, NodeStats{NodeID: n.id, Processed: n.processed, Emitted: n.emitted})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].NodeID < out[j].NodeID })
 	return out
 }
 
 // ResultCount returns the number of result tuples produced for a query.
-func (e *Engine) ResultCount(queryID int) int64 { return e.counts[queryID] }
+func (e *Engine) ResultCount(queryID int) int64 {
+	if queryID < 0 || queryID >= len(e.counts) {
+		return 0
+	}
+	return e.counts[queryID]
+}
 
 // TotalResults returns the number of result tuples across all queries.
 func (e *Engine) TotalResults() int64 {
@@ -223,7 +327,5 @@ func (e *Engine) TotalResults() int64 {
 
 // ResetCounts clears result counters (e.g. after a warm-up pass).
 func (e *Engine) ResetCounts() {
-	for k := range e.counts {
-		delete(e.counts, k)
-	}
+	clear(e.counts)
 }

@@ -1,23 +1,25 @@
 package mop
 
 import (
-	"fmt"
-	"strings"
+	"strconv"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/stream"
 )
 
-// aggState is the running state of one sliding-window aggregate group.
+// aggState is the running state of one sliding-window aggregate group. key
+// is the interned group-key string, shared by every buffered entry of the
+// group so that steady-state maintenance allocates no key strings.
 type aggState struct {
+	key    string
 	sum    int64
 	count  int64
 	counts map[int64]int64 // value multiset, kept for min/max only
 }
 
-func newAggState(fn core.AggFn) *aggState {
-	st := &aggState{}
+func newAggState(fn core.AggFn, key string) *aggState {
+	st := &aggState{key: key}
 	if fn == core.AggMin || fn == core.AggMax {
 		st.counts = make(map[int64]int64)
 	}
@@ -76,8 +78,18 @@ func (st *aggState) value(fn core.AggFn) int64 {
 	return 0
 }
 
+// fragState holds one membership fragment of a channel-mode group: its
+// interned key, the membership the key encodes, and the per-group-key
+// partial aggregates.
+type fragState struct {
+	key     string
+	member  *bitset.Set
+	byGroup map[string]*aggState
+}
+
 // aggEntry is one buffered input contribution, kept until it leaves the
-// window.
+// window. group and frag alias the interned keys of their aggState /
+// fragState, so appending an entry allocates no strings.
 type aggEntry struct {
 	ts    int64
 	group string
@@ -105,10 +117,13 @@ type aggGroup struct {
 
 	ops []selOp
 
-	buf   []aggEntry                      // FIFO within window (input is timestamp-ordered)
-	state map[string]*aggState            // plain: group → state
-	frags map[string]map[string]*aggState // channel: frag → group → state
-	fsets map[string]*bitset.Set          // frag key → membership
+	buf   []aggEntry            // FIFO within window (input is timestamp-ordered)
+	state map[string]*aggState  // plain: group → state
+	frags map[string]*fragState // channel: frag key → fragment
+
+	kbuf     []byte   // scratch for group key bytes
+	fbuf     []byte   // scratch for fragment key bytes
+	combined aggState // scratch for channel-mode combination
 }
 
 // AggMOp is the sliding-window aggregation m-op.
@@ -150,30 +165,28 @@ func newAggMOp(p *core.Physical, n *core.Node, pm *portMap) (*AggMOp, error) {
 	for _, gs := range m.ports {
 		for _, g := range gs {
 			if g.channel {
-				g.frags = make(map[string]map[string]*aggState)
-				g.fsets = make(map[string]*bitset.Set)
+				g.frags = make(map[string]*fragState)
+				if g.fn == core.AggMin || g.fn == core.AggMax {
+					g.combined.counts = make(map[int64]int64)
+				}
 			}
 		}
 	}
 	return m, nil
 }
 
-// groupKey renders the group-by attribute values of t.
-func (g *aggGroup) groupKey(t *stream.Tuple) string {
-	if len(g.groupBy) == 0 {
-		return ""
-	}
-	if len(g.groupBy) == 1 {
-		return fmt.Sprintf("%d", t.Vals[g.groupBy[0]])
-	}
-	var b strings.Builder
+// appendGroupKey renders the group-by attribute values of t into b. The
+// resulting bytes are used for map probes directly (the compiler elides the
+// string conversion in map index expressions), so the common lookup path
+// allocates nothing.
+func (g *aggGroup) appendGroupKey(b []byte, t *stream.Tuple) []byte {
 	for i, a := range g.groupBy {
 		if i > 0 {
-			b.WriteByte('|')
+			b = append(b, '|')
 		}
-		fmt.Fprintf(&b, "%d", t.Vals[a])
+		b = strconv.AppendInt(b, t.Vals[a], 10)
 	}
-	return b.String()
+	return b
 }
 
 // expire removes contributions that fell out of the window at time now.
@@ -187,14 +200,16 @@ func (g *aggGroup) expire(now int64) {
 			break
 		}
 		if g.channel {
-			byGroup := g.frags[e.frag]
-			if st := byGroup[e.group]; st != nil {
+			fs := g.frags[e.frag]
+			if fs == nil {
+				continue
+			}
+			if st := fs.byGroup[e.group]; st != nil {
 				st.remove(e.val)
 				if st.count == 0 {
-					delete(byGroup, e.group)
-					if len(byGroup) == 0 {
+					delete(fs.byGroup, e.group)
+					if len(fs.byGroup) == 0 {
 						delete(g.frags, e.frag)
-						delete(g.fsets, e.frag)
 					}
 				}
 			}
@@ -208,23 +223,34 @@ func (g *aggGroup) expire(now int64) {
 		}
 	}
 	if i > 0 {
-		g.buf = g.buf[i:]
+		if i*2 >= len(g.buf) {
+			// Most of the window expired: copy the survivors down so the
+			// backing array is reused, and clear the vacated tail so it
+			// does not pin interned key strings of deleted states.
+			n := copy(g.buf, g.buf[i:])
+			clear(g.buf[n:])
+			g.buf = g.buf[:n]
+		} else {
+			g.buf = g.buf[i:]
+		}
 	}
 }
 
-// combined computes, in channel mode, the aggregate for an operator at
-// membership position pos and group key gk by combining matching fragments.
-func (g *aggGroup) combined(pos int, gk string) (int64, bool) {
-	var total aggState
-	if g.fn == core.AggMin || g.fn == core.AggMax {
-		total.counts = make(map[int64]int64)
+// combine computes, in channel mode, the aggregate for an operator at
+// membership position pos and group key gk by combining matching fragments
+// into the group's scratch state.
+func (g *aggGroup) combine(pos int, gk []byte) (int64, bool) {
+	total := &g.combined
+	total.sum, total.count = 0, 0
+	if total.counts != nil {
+		clear(total.counts)
 	}
 	found := false
-	for fk, member := range g.fsets {
-		if !member.Test(pos) {
+	for _, fs := range g.frags {
+		if !fs.member.Test(pos) {
 			continue
 		}
-		st := g.frags[fk][gk]
+		st := fs.byGroup[string(gk)]
 		if st == nil {
 			continue
 		}
@@ -247,43 +273,48 @@ func (g *aggGroup) combined(pos int, gk string) (int64, bool) {
 func (m *AggMOp) Process(port int, t *stream.Tuple, emit Emit) {
 	for _, g := range m.ports[port] {
 		g.expire(t.TS)
-		gk := g.groupKey(t)
+		g.kbuf = g.appendGroupKey(g.kbuf[:0], t)
+		gk := g.kbuf
 		v := t.Vals[g.attr]
 		if g.channel {
-			fk := t.Member.Key()
-			byGroup := g.frags[fk]
-			if byGroup == nil {
-				byGroup = make(map[string]*aggState)
-				g.frags[fk] = byGroup
-				g.fsets[fk] = t.Member.Clone()
+			g.fbuf = t.Member.AppendKey(g.fbuf[:0])
+			fk := g.fbuf
+			fs := g.frags[string(fk)]
+			if fs == nil {
+				fs = &fragState{
+					key:     string(fk),
+					member:  t.Member.Clone(),
+					byGroup: make(map[string]*aggState),
+				}
+				g.frags[fs.key] = fs
 			}
-			st := byGroup[gk]
+			st := fs.byGroup[string(gk)]
 			if st == nil {
-				st = newAggState(g.fn)
-				byGroup[gk] = st
+				st = newAggState(g.fn, string(gk))
+				fs.byGroup[st.key] = st
 			}
 			st.add(v)
-			g.buf = append(g.buf, aggEntry{ts: t.TS, group: gk, frag: fk, val: v})
+			g.buf = append(g.buf, aggEntry{ts: t.TS, group: st.key, frag: fs.key, val: v})
 			for _, o := range g.ops {
 				if o.inPos >= 0 && !t.Member.Test(o.inPos) {
 					continue
 				}
-				av, ok := g.combined(o.inPos, gk)
+				av, ok := g.combine(o.inPos, gk)
 				if !ok {
 					continue
 				}
-				g.emitOne(o, t, gk, av, emit)
+				g.emitOne(o, t, av, emit)
 			}
 		} else {
-			st := g.state[gk]
+			st := g.state[string(gk)]
 			if st == nil {
-				st = newAggState(g.fn)
-				g.state[gk] = st
+				st = newAggState(g.fn, string(gk))
+				g.state[st.key] = st
 			}
 			st.add(v)
-			g.buf = append(g.buf, aggEntry{ts: t.TS, group: gk, val: v})
+			g.buf = append(g.buf, aggEntry{ts: t.TS, group: st.key, val: v})
 			av := st.value(g.fn)
-			out := g.outTuple(t, gk, av)
+			out := g.outTuple(t, av)
 			for _, o := range g.ops {
 				if o.tg.pos < 0 {
 					emit(o.tg.port, out)
@@ -297,21 +328,21 @@ func (m *AggMOp) Process(port int, t *stream.Tuple, emit Emit) {
 }
 
 // outTuple builds the [group attrs..., aggregate] output tuple.
-func (g *aggGroup) outTuple(t *stream.Tuple, _ string, av int64) *stream.Tuple {
-	vals := make([]int64, 0, len(g.groupBy)+1)
-	for _, a := range g.groupBy {
-		vals = append(vals, t.Vals[a])
+func (g *aggGroup) outTuple(t *stream.Tuple, av int64) *stream.Tuple {
+	out := stream.GetTuple(t.TS, len(g.groupBy)+1)
+	for i, a := range g.groupBy {
+		out.Vals[i] = t.Vals[a]
 	}
-	vals = append(vals, av)
-	return &stream.Tuple{TS: t.TS, Vals: vals}
+	out.Vals[len(g.groupBy)] = av
+	return out
 }
 
 // emitOne emits a per-operator output (channel mode; values can differ per
-// operator, so each output carries its own singleton membership).
-func (g *aggGroup) emitOne(o selOp, t *stream.Tuple, gk string, av int64, emit Emit) {
-	out := g.outTuple(t, gk, av)
+// operator, so each output carries its own interned singleton membership).
+func (g *aggGroup) emitOne(o selOp, t *stream.Tuple, av int64, emit Emit) {
+	out := g.outTuple(t, av)
 	if o.tg.pos >= 0 {
-		out.Member = bitset.FromIndices(o.tg.pos)
+		out.Member = bitset.Singleton(o.tg.pos)
 	}
 	emit(o.tg.port, out)
 }

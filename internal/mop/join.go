@@ -50,7 +50,16 @@ func (s *joinSide) expire(now, window int64) {
 		}
 	}
 	if i > 0 {
-		s.buf = s.buf[i:]
+		if i*2 >= len(s.buf) {
+			// Most of the buffer expired: copy the survivors down so the
+			// backing array is reused instead of regrowing behind a moving
+			// front.
+			n := copy(s.buf, s.buf[i:])
+			clear(s.buf[n:])
+			s.buf = s.buf[:n]
+		} else {
+			s.buf = s.buf[i:]
+		}
 	}
 }
 

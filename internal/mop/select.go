@@ -27,10 +27,11 @@ type selOp struct {
 	tg    target
 }
 
-// selIndex is one per-attribute hash index over equality predicates.
+// selIndex is one per-attribute index over equality predicates, dense
+// direct-mapped when the constants allow (see constIndex).
 type selIndex struct {
 	attr    int
-	byConst map[int64][]*selGroup
+	byConst constIndex[*selGroup]
 }
 
 // selPort holds the per-input-port predicate index: equality predicates on
@@ -82,21 +83,26 @@ func newSelectMOp(p *core.Physical, n *core.Node, pm *portMap) (*SelectMOp, erro
 			g.pred = res
 			_, isTrue := res.(expr.True)
 			g.residual = !isTrue
-			var byConst map[int64][]*selGroup
+			var idx *selIndex
 			for i := range sp.indexed {
 				if sp.indexed[i].attr == attr {
-					byConst = sp.indexed[i].byConst
+					idx = &sp.indexed[i]
 					break
 				}
 			}
-			if byConst == nil {
-				byConst = make(map[int64][]*selGroup)
-				sp.indexed = append(sp.indexed, selIndex{attr: attr, byConst: byConst})
+			if idx == nil {
+				sp.indexed = append(sp.indexed, selIndex{attr: attr})
+				idx = &sp.indexed[len(sp.indexed)-1]
 			}
-			byConst[c] = append(byConst[c], g)
+			idx.byConst.add(c, g)
 		} else {
 			g.residual = true
 			sp.seq = append(sp.seq, g)
+		}
+	}
+	for p := range m.ports {
+		for i := range m.ports[p].indexed {
+			m.ports[p].indexed[i].byConst.seal()
 		}
 	}
 	return m, nil
@@ -105,6 +111,11 @@ func newSelectMOp(p *core.Physical, n *core.Node, pm *portMap) (*SelectMOp, erro
 // Process implements MOp.
 func (m *SelectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 	sp := &m.ports[port]
+	// Selection does not change tuple content, and tuples are immutable
+	// once in flight: a plain input tuple is forwarded as-is, and a channel
+	// input gets one shared membership-stripped copy for every plain output
+	// of this call — no per-operator allocation.
+	var stripped *stream.Tuple
 	fire := func(g *selGroup) {
 		if g.residual && !g.pred.Eval(t) {
 			return
@@ -113,10 +124,17 @@ func (m *SelectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 			if o.inPos >= 0 && !t.Member.Test(o.inPos) {
 				continue
 			}
-			if o.tg.pos < 0 {
-				emit(o.tg.port, &stream.Tuple{TS: t.TS, Vals: t.Vals})
-			} else {
+			if o.tg.pos >= 0 {
 				m.ce.add(o.tg)
+				continue
+			}
+			if t.Member == nil {
+				emit(o.tg.port, t)
+			} else {
+				if stripped == nil {
+					stripped = t.WithMember(nil)
+				}
+				emit(o.tg.port, stripped)
 			}
 		}
 	}
@@ -125,7 +143,7 @@ func (m *SelectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 		if idx.attr >= len(t.Vals) {
 			continue
 		}
-		for _, g := range idx.byConst[t.Vals[idx.attr]] {
+		for _, g := range idx.byConst.get(t.Vals[idx.attr]) {
 			fire(g)
 		}
 	}

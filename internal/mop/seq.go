@@ -55,6 +55,11 @@ type stateGroup struct {
 	insts     []*seqInst
 	hash      map[int64][]*seqInst
 	deadCount int
+	// free recycles instance headers (and, for µ, their pooled state
+	// tuples) reclaimed by expire/maybeCompact, so steady-state insertion
+	// allocates nothing once the store has warmed up.
+	free []*seqInst
+	dead []*seqInst // scratch: dead instances collected during compaction
 
 	ops []seqOpInfo
 	// posOps indexes ops by their left-channel membership position when
@@ -90,22 +95,31 @@ func (g *stateGroup) seal() {
 	}
 }
 
-// groupIndex is one per-attribute hash index from constants to groups.
+// groupIndex is one per-attribute index from constants to groups, dense
+// direct-mapped when the constants allow (see constIndex).
 type groupIndex struct {
 	attr    int
-	byConst map[int64][]*stateGroup
+	byConst constIndex[*stateGroup]
 }
 
 // addTo registers a group under (attr, c) in an index list.
 func addGroupIndex(list []groupIndex, attr int, c int64, g *stateGroup) []groupIndex {
 	for i := range list {
 		if list[i].attr == attr {
-			list[i].byConst[c] = append(list[i].byConst[c], g)
+			list[i].byConst.add(c, g)
 			return list
 		}
 	}
-	byConst := map[int64][]*stateGroup{c: {g}}
-	return append(list, groupIndex{attr: attr, byConst: byConst})
+	list = append(list, groupIndex{attr: attr})
+	list[len(list)-1].byConst.add(c, g)
+	return list
+}
+
+// sealGroupIndexes freezes the constant lookup tables for probing.
+func sealGroupIndexes(list []groupIndex) {
+	for i := range list {
+		list[i].byConst.seal()
+	}
 }
 
 // rightDispatch routes an incoming right tuple to candidate groups: the AN
@@ -219,6 +233,12 @@ func newSeqMOp(p *core.Physical, n *core.Node, pm *portMap, mu bool) (*SeqMOp, e
 	for _, g := range groups {
 		g.seal()
 	}
+	for _, ld := range m.lefts {
+		sealGroupIndexes(ld.fr)
+	}
+	for _, rd := range m.rights {
+		sealGroupIndexes(rd.an)
+	}
 	return m, nil
 }
 
@@ -283,13 +303,34 @@ func (m *SeqMOp) processLeft(ld *leftDispatch, t *stream.Tuple) {
 		if idx.attr >= len(t.Vals) {
 			continue
 		}
-		for _, g := range idx.byConst[t.Vals[idx.attr]] {
+		for _, g := range idx.byConst.get(t.Vals[idx.attr]) {
 			g.insert(t)
 		}
 	}
 	for _, g := range ld.rest {
 		g.insert(t)
 	}
+}
+
+// takeInst pops a recycled instance header or allocates a fresh one.
+func (g *stateGroup) takeInst() *seqInst {
+	if n := len(g.free); n > 0 {
+		inst := g.free[n-1]
+		g.free = g.free[:n-1]
+		return inst
+	}
+	return &seqInst{}
+}
+
+// recycleInst returns a dead, unreferenced instance to the free list. For µ
+// the state tuple is group-constructed and instance-private, so its value
+// buffer goes back to the tuple pool.
+func (g *stateGroup) recycleInst(inst *seqInst) {
+	if g.mu && inst.state != nil {
+		inst.state.Release()
+	}
+	*inst = seqInst{}
+	g.free = append(g.free, inst)
 }
 
 func (g *stateGroup) insert(t *stream.Tuple) {
@@ -299,21 +340,28 @@ func (g *stateGroup) insert(t *stream.Tuple) {
 	if g.leftPred != nil && !g.leftPred.Eval(t) {
 		return
 	}
-	inst := &seqInst{start: t, state: t}
+	inst := g.takeInst()
+	inst.start, inst.state = t, t
 	if t.Member != nil {
 		inst.member = t.Member.Clone()
 	}
 	if g.mu {
 		// state = start ++ last, with last initialised from the start
-		// tuple (padded/truncated to the right schema's arity).
-		vals := make([]int64, g.startArity+g.rightArity)
-		copy(vals, t.Vals)
+		// tuple (padded/truncated to the right schema's arity). The state
+		// tuple is pooled; padding gaps must be zeroed explicitly.
+		st := stream.GetTuple(t.TS, g.startArity+g.rightArity)
+		n := copy(st.Vals, t.Vals)
+		for i := n; i < g.startArity; i++ {
+			st.Vals[i] = 0
+		}
 		for i := 0; i < g.rightArity; i++ {
 			if i < len(t.Vals) {
-				vals[g.startArity+i] = t.Vals[i]
+				st.Vals[g.startArity+i] = t.Vals[i]
+			} else {
+				st.Vals[g.startArity+i] = 0
 			}
 		}
-		inst.state = &stream.Tuple{TS: t.TS, Vals: vals}
+		inst.state = st
 	}
 	g.insts = append(g.insts, inst)
 	if g.hash != nil {
@@ -330,7 +378,7 @@ func (m *SeqMOp) processRight(rd *rightDispatch, t *stream.Tuple, emit Emit) {
 		if idx.attr >= len(t.Vals) {
 			continue
 		}
-		for _, g := range idx.byConst[t.Vals[idx.attr]] {
+		for _, g := range idx.byConst.get(t.Vals[idx.attr]) {
 			m.matchGroup(g, t, emit)
 		}
 	}
@@ -397,7 +445,10 @@ func (g *stateGroup) matchInst(inst *seqInst, t *stream.Tuple, ce *chanEmitter, 
 	switch {
 	case matched && filterOK:
 		// Duplicate: one copy stays at the state unchanged, one rebinds.
-		stay := &seqInst{start: inst.start, state: inst.state.Clone(), member: inst.member}
+		// Clone draws from the tuple pool, reusing buffers of recycled
+		// instances.
+		stay := g.takeInst()
+		stay.start, stay.state, stay.member = inst.start, inst.state.Clone(), inst.member
 		g.insts = append(g.insts, stay)
 		if g.hash != nil {
 			v := stay.state.Vals[g.lAttr]
@@ -467,7 +518,10 @@ func (g *stateGroup) emitMatch(inst *seqInst, t *stream.Tuple, ce *chanEmitter, 
 	}
 }
 
-// expire deletes instances older than the group's maximum window.
+// expire deletes instances older than the group's maximum window. Without
+// an AI hash nothing else can reference the dropped prefix, so those
+// instances are recycled immediately; with a hash they may still sit in
+// lazily-pruned buckets and are left for the garbage collector.
 func (g *stateGroup) expire(now int64) {
 	if g.maxWindow <= 0 {
 		return
@@ -482,21 +536,39 @@ func (g *stateGroup) expire(now int64) {
 			inst.dead = true
 			g.deadCount++
 		}
+		if g.hash == nil {
+			g.deadCount--
+			g.recycleInst(inst)
+		}
 	}
 	if i > 0 {
-		g.insts = g.insts[i:]
+		if i*2 >= len(g.insts) {
+			// Most of the store expired: copy the survivors down so the
+			// backing array is reused by subsequent appends rather than
+			// regrowing behind a moving front.
+			n := copy(g.insts, g.insts[i:])
+			clear(g.insts[n:])
+			g.insts = g.insts[:n]
+		} else {
+			g.insts = g.insts[i:]
+		}
 	}
 }
 
-// maybeCompact drops tombstones once they dominate the store.
+// maybeCompact drops tombstones once they dominate the store, recycling
+// them into the instance free list. Recycling is deferred until after the
+// hash buckets are pruned so no bucket can still reference a reused header.
 func (g *stateGroup) maybeCompact() {
 	if g.deadCount < 32 || g.deadCount*2 < len(g.insts) {
 		return
 	}
 	live := g.insts[:0]
+	g.dead = g.dead[:0]
 	for _, inst := range g.insts {
 		if !inst.dead {
 			live = append(live, inst)
+		} else {
+			g.dead = append(g.dead, inst)
 		}
 	}
 	g.insts = live
@@ -516,6 +588,10 @@ func (g *stateGroup) maybeCompact() {
 			}
 		}
 	}
+	for _, inst := range g.dead {
+		g.recycleInst(inst)
+	}
+	g.dead = g.dead[:0]
 }
 
 // Size reports the number of live stored instances (for tests).
@@ -537,12 +613,8 @@ func (m *SeqMOp) Size() int {
 		for _, g := range ld.rest {
 			count(g)
 		}
-		for _, idx := range ld.fr {
-			for _, gs := range idx.byConst {
-				for _, g := range gs {
-					count(g)
-				}
-			}
+		for i := range ld.fr {
+			ld.fr[i].byConst.forEach(count)
 		}
 	}
 	return n

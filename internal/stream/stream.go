@@ -9,7 +9,8 @@ package stream
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
+	"sync"
 
 	"repro/internal/bitset"
 )
@@ -18,20 +19,58 @@ import (
 // schema order. Member is nil for a plain stream tuple; for a channel tuple
 // it records which of the channel's streams the tuple belongs to, indexed
 // by the stream's position in the channel.
+//
+// Tuples flowing through an engine are immutable: the same tuple object may
+// be shared by several channel edges, stored by stateful m-ops, and handed
+// to result callbacks.
 type Tuple struct {
 	TS     int64
 	Vals   []int64
 	Member *bitset.Set
 }
 
+// tuplePool recycles Tuple headers (and their Vals capacity) between
+// GetTuple and Release, keeping batch ingestion and operator-private
+// buffers off the allocator.
+var tuplePool = sync.Pool{New: func() any { return new(Tuple) }}
+
 // NewTuple builds a plain stream tuple.
 func NewTuple(ts int64, vals ...int64) *Tuple {
 	return &Tuple{TS: ts, Vals: vals}
 }
 
-// Clone returns a deep copy of t (values and membership).
+// GetTuple returns a pooled tuple with the given timestamp and a Vals slice
+// of length n whose contents are unspecified (callers overwrite every
+// slot). Pair with Release once the tuple is provably dead; a tuple that
+// was emitted into an engine may be retained by stateful m-ops and must NOT
+// be released by its producer.
+func GetTuple(ts int64, n int) *Tuple {
+	t := tuplePool.Get().(*Tuple)
+	t.TS = ts
+	t.Member = nil
+	if cap(t.Vals) < n {
+		t.Vals = make([]int64, n)
+	} else {
+		t.Vals = t.Vals[:n]
+	}
+	return t
+}
+
+// Release returns t to the tuple pool. The caller must own both t and its
+// Vals array exclusively: no other goroutine, m-op buffer, queue, or
+// shallow copy (WithMember shares Vals) may still reference either, since
+// the value capacity is recycled into future GetTuple results.
+func (t *Tuple) Release() {
+	t.Member = nil
+	t.Vals = t.Vals[:0]
+	tuplePool.Put(t)
+}
+
+// Clone returns a deep copy of t (values and membership). The copy is drawn
+// from the tuple pool, so cloning into a previously Released tuple reuses
+// its value capacity.
 func (t *Tuple) Clone() *Tuple {
-	c := &Tuple{TS: t.TS, Vals: make([]int64, len(t.Vals))}
+	c := GetTuple(t.TS, len(t.Vals))
 	copy(c.Vals, t.Vals)
 	if t.Member != nil {
 		c.Member = t.Member.Clone()
@@ -40,9 +79,14 @@ func (t *Tuple) Clone() *Tuple {
 }
 
 // WithMember returns a shallow copy of t (sharing Vals) carrying the given
-// membership. Used by encoding steps that do not change tuple content.
+// membership. Used by encoding steps that do not change tuple content. The
+// copy is drawn from the tuple pool.
 func (t *Tuple) WithMember(m *bitset.Set) *Tuple {
-	return &Tuple{TS: t.TS, Vals: t.Vals, Member: m}
+	c := tuplePool.Get().(*Tuple)
+	c.TS = t.TS
+	c.Vals = t.Vals
+	c.Member = m
+	return c
 }
 
 // ContentEqual reports whether two tuples have the same timestamp and
@@ -59,18 +103,41 @@ func (t *Tuple) ContentEqual(o *Tuple) bool {
 	return true
 }
 
+// fnv64 constants for ContentHash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// ContentHash returns a cheap FNV-style integer hash of the tuple's content
+// (timestamp and values; membership is identity, not content, and is
+// ignored). It replaces string-built keys on hot comparison paths: equal
+// contents always hash equal, and collisions are as unlikely as for any
+// 64-bit hash.
+func (t *Tuple) ContentHash() uint64 {
+	h := uint64(fnvOffset)
+	h = (h ^ uint64(t.TS)) * fnvPrime
+	for _, v := range t.Vals {
+		h = (h ^ uint64(v)) * fnvPrime
+	}
+	return h
+}
+
 // ContentKey returns a canonical string for the tuple's content, usable as
-// a map key when comparing output multisets in tests.
+// a map key when comparing output multisets in tests. Hot paths should
+// prefer ContentHash.
 func (t *Tuple) ContentKey() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "@%d|", t.TS)
+	b := make([]byte, 0, 16+8*len(t.Vals))
+	b = append(b, '@')
+	b = strconv.AppendInt(b, t.TS, 10)
+	b = append(b, '|')
 	for i, v := range t.Vals {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", v)
+		b = strconv.AppendInt(b, v, 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 // String renders the tuple for debugging.

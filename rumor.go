@@ -237,6 +237,24 @@ func (s *System) Push(streamName string, ts int64, vals ...int64) error {
 	return s.eng.Push(streamName, &stream.Tuple{TS: ts, Vals: vals})
 }
 
+// PushBatch injects a batch of tuples into one source stream, enqueuing
+// the whole batch before a single propagation drain. ts[i] pairs with
+// vals[i]; timestamps must be non-decreasing and must not precede tuples
+// pushed later on other sources that should be processed first — batching
+// trades per-call overhead for coarser interleaving with other sources.
+// Per-query result streams match per-tuple Push whenever every
+// multi-input operator reads this source through paths of equal operator
+// depth (true of typical plans; a source that feeds one join/sequence
+// through paths of differing depth should stick to Push), though OnResult
+// calls for different queries may interleave differently within a batch.
+// The engine takes ownership of the vals slices.
+func (s *System) PushBatch(streamName string, ts []int64, vals [][]int64) error {
+	if s.eng == nil {
+		return fmt.Errorf("rumor: call Optimize before PushBatch")
+	}
+	return s.eng.PushBatch(streamName, ts, vals)
+}
+
 // PushShared injects one channel tuple that belongs to all the named
 // sharable source streams at once (they must have been encoded into the
 // same channel by optimization).
