@@ -341,6 +341,68 @@ func BenchmarkAblationW1NaivePlan(b *testing.B)     { benchW1Ablation(b, false) 
 func BenchmarkAblationW1OptimizedPlan(b *testing.B) { benchW1Ablation(b, true) }
 
 // ---------------------------------------------------------------------------
+// Sharded runtime: parallel scaling over Workloads 1–3. Wall-clock
+// speedup needs one core per shard; on smaller hosts the per-shard busy
+// split (rumorbench -fig scale) is the scaling signal.
+// ---------------------------------------------------------------------------
+
+// benchSharded drives b.N events through a sharded engine (ingest + final
+// drain timed).
+func benchSharded(b *testing.B, catalog map[string]core.SourceDecl, qs []*core.Query, events []workload.Event, shards int) {
+	b.Helper()
+	e, err := bench.BuildSharded(catalog, qs, false, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		if err := e.Push(ev.Source, int64(i), ev.Tuple.Vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchShardedW1(b *testing.B, shards int) {
+	p := workload.DefaultParams()
+	qs, err := workload.ToRUMOR(p.Workload1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSharded(b, p.Catalog(), qs, p.GenStreams(50000), shards)
+}
+
+func BenchmarkShardedFig9aW1Shards1(b *testing.B) { benchShardedW1(b, 1) }
+func BenchmarkShardedFig9aW1Shards2(b *testing.B) { benchShardedW1(b, 2) }
+func BenchmarkShardedFig9aW1Shards4(b *testing.B) { benchShardedW1(b, 4) }
+
+func benchShardedW2(b *testing.B, shards int) {
+	p := workload.DefaultParams()
+	qs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSharded(b, p.Catalog(), qs, p.GenStreams(50000), shards)
+}
+
+func BenchmarkShardedW2SeqShards1(b *testing.B) { benchShardedW2(b, 1) }
+func BenchmarkShardedW2SeqShards4(b *testing.B) { benchShardedW2(b, 4) }
+
+func benchShardedW3(b *testing.B, shards int) {
+	const k = 10
+	p := workload.DefaultParams()
+	benchSharded(b, p.Workload3Catalog(k), p.Workload3(k), p.Workload3Rounds(k, 5000), shards)
+}
+
+func BenchmarkShardedW3Shards1(b *testing.B) { benchShardedW3(b, 1) }
+func BenchmarkShardedW3Shards4(b *testing.B) { benchShardedW3(b, 4) }
+
+// ---------------------------------------------------------------------------
 // Micro-benchmarks for individual m-ops
 // ---------------------------------------------------------------------------
 

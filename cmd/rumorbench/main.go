@@ -8,6 +8,7 @@
 //	rumorbench -fig all                 # every figure, default scale
 //	rumorbench -fig 9a -maxq 100000     # paper-scale query sweep
 //	rumorbench -fig 10c -rounds 5000
+//	rumorbench -fig scale -shards 4     # sharded-runtime scaling, 1..4 shards
 package main
 
 import (
@@ -19,12 +20,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, or all")
 	tuples := flag.Int("tuples", 20000, "input events per S/T measurement")
 	rounds := flag.Int("rounds", 2000, "workload-3 rounds per measurement")
 	trace := flag.Int("trace", 240, "perfmon trace length in seconds (figure 11)")
 	maxq := flag.Int("maxq", 10000, "cap for query-count sweeps")
 	seed := flag.Int64("seed", 1, "workload seed")
+	shards := flag.Int("shards", 4, "max shard count for -fig scale (doubling from 1)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -35,6 +37,19 @@ func main() {
 		Seed:         *seed,
 	}
 
+	if *fig == "scale" {
+		var counts []int
+		for n := 1; n <= *shards; n *= 2 {
+			counts = append(counts, n)
+		}
+		rows, err := cfg.Scaling(counts)
+		bench.FprintScaling(os.Stdout, rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumorbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "all" {
 		results, err := cfg.All()
 		for _, r := range results {

@@ -61,6 +61,36 @@ func ExampleSystem_builders() {
 	// pairs @1 [1 10 1 20]
 }
 
+// ExampleShardedSystem runs the same plan across four hash-partitioned
+// engine replicas: the per-pid aggregate lets the analysis route CPU
+// tuples by hash(pid), and counts merge across shards after Drain.
+func ExampleShardedSystem() {
+	sys := rumor.NewSharded(rumor.ShardConfig{Shards: 4})
+	err := sys.ExecScript(`
+CREATE STREAM CPU(pid, load);
+LET smoothed := AGG(avg(load) OVER 60 BY pid FROM CPU);
+QUERY hot := FILTER(load > 90, @smoothed);
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sys.Optimize(rumor.Options{}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for ts := int64(0); ts < 100; ts++ {
+		sys.Push("CPU", ts, ts%10, 95) // every pid runs hot
+	}
+	sys.Drain()
+	fmt.Printf("hot=%d shards=%d\n", sys.ResultCount("hot"), sys.NumShards())
+	fmt.Print(sys.PartitionInfo())
+	sys.Close()
+	// Output:
+	// hot=100 shards=4
+	// CPU: hash(a0)
+}
+
 // ExampleSystem_planInfo shows how the m-rules collapse a workload: ten
 // equality filters over one stream become a single predicate-indexed m-op.
 func ExampleSystem_planInfo() {

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// BuildSharded plans, optimizes and analyzes the queries, then builds a
+// sharded engine with the given replica count.
+func BuildSharded(catalog map[string]core.SourceDecl, qs []*core.Query, channels bool, shards int) (*shard.Engine, error) {
+	plan := core.NewPhysical(catalog)
+	for _, q := range qs {
+		if err := plan.AddQuery(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := rules.Optimize(plan, rules.Options{Channels: channels}); err != nil {
+		return nil, err
+	}
+	return shard.New(plan, nil, shard.Config{Shards: shards})
+}
+
+// shardedRun measures one sharded configuration over the events: wall
+// clock events/second of ingestion + drain (after a warm-up over the
+// first tenth), total results, and the per-shard busy times of the timed
+// region.
+func shardedRun(catalog map[string]core.SourceDecl, qs []*core.Query, events []workload.Event, channels bool, shards int) (tps float64, results int64, stats []shard.ShardStat, err error) {
+	e, err := BuildSharded(catalog, qs, channels, shards)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer e.Close()
+	warm := len(events) / 10
+	for _, ev := range events[:warm] {
+		if err := e.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	if err := e.Drain(); err != nil {
+		return 0, 0, nil, err
+	}
+	warmStats := e.ShardStats()
+	start := time.Now()
+	for _, ev := range events[warm:] {
+		if err := e.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	if err := e.Drain(); err != nil {
+		return 0, 0, nil, err
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	stats = e.ShardStats()
+	for i := range stats {
+		stats[i].Tuples -= warmStats[i].Tuples
+		stats[i].BusyNS -= warmStats[i].BusyNS
+	}
+	return float64(len(events)-warm) / elapsed.Seconds(), e.TotalResults(), stats, nil
+}
+
+// ScalingRow is one (workload, shard count) measurement.
+type ScalingRow struct {
+	Workload     string
+	Shards       int
+	EventsPerSec float64 // measured wall clock (bounded by the host's cores)
+	Results      int64
+	Speedup      float64 // measured, vs the first shard count of the workload
+	MaxBusyNS    int64   // slowest shard's processing time in the timed region
+	// ProjSpeedup is the critical-path projection busy(base)/max-busy(n):
+	// the speedup this partitioning reaches with one core per shard. On a
+	// host with fewer cores than shards the wall clock cannot show it.
+	ProjSpeedup float64
+	// TupleBalance = routed tuples / slowest shard's tuples (≤ Shards).
+	TupleBalance float64
+}
+
+// Scaling measures sharded execution of Workloads 1–3 across the given
+// shard counts (the first count is the baseline, conventionally 1).
+func (cfg Config) Scaling(shardCounts []int) ([]ScalingRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	type wl struct {
+		name    string
+		catalog map[string]core.SourceDecl
+		qs      []*core.Query
+		events  []workload.Event
+	}
+	var wls []wl
+
+	p := workload.DefaultParams()
+	p.Seed = cfg.Seed
+	w1, err := workload.ToRUMOR(p.Workload1())
+	if err != nil {
+		return nil, err
+	}
+	wls = append(wls, wl{"W1 (sigS;T, AN)", p.Catalog(), w1, p.GenStreams(cfg.Tuples)})
+
+	w2, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		return nil, err
+	}
+	wls = append(wls, wl{"W2 (S;eqT, AI)", p.Catalog(), w2, p.GenStreams(cfg.Tuples)})
+
+	const k = 10
+	wls = append(wls, wl{"W3 (Si;eqT)", p.Workload3Catalog(k), p.Workload3(k),
+		p.Workload3Rounds(k, cfg.Rounds)})
+
+	var rows []ScalingRow
+	for _, w := range wls {
+		baseTPS := 0.0
+		var baseBusy int64
+		for i, n := range shardCounts {
+			tps, results, stats, err := shardedRun(w.catalog, w.qs, w.events, false, n)
+			if err != nil {
+				return rows, fmt.Errorf("%s shards=%d: %w", w.name, n, err)
+			}
+			var tuples, maxTuples, maxBusy int64
+			for _, st := range stats {
+				tuples += st.Tuples
+				if st.Tuples > maxTuples {
+					maxTuples = st.Tuples
+				}
+				if st.BusyNS > maxBusy {
+					maxBusy = st.BusyNS
+				}
+			}
+			if i == 0 {
+				baseTPS, baseBusy = tps, maxBusy
+			}
+			row := ScalingRow{
+				Workload: w.name, Shards: n, EventsPerSec: tps,
+				Results: results, MaxBusyNS: maxBusy,
+			}
+			if baseTPS > 0 {
+				row.Speedup = tps / baseTPS
+			}
+			if maxBusy > 0 {
+				row.ProjSpeedup = float64(baseBusy) / float64(maxBusy)
+			}
+			if maxTuples > 0 {
+				row.TupleBalance = float64(tuples) / float64(maxTuples)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FprintScaling renders scaling rows as an aligned table.
+func FprintScaling(wr io.Writer, rows []ScalingRow) {
+	fmt.Fprintf(wr, "%-18s %7s %12s %10s %9s %9s %9s\n",
+		"workload", "shards", "events/s", "results", "speedup", "proj", "balance")
+	for _, r := range rows {
+		fmt.Fprintf(wr, "%-18s %7d %12.0f %10d %8.2fx %8.2fx %8.2fx\n",
+			r.Workload, r.Shards, r.EventsPerSec, r.Results, r.Speedup, r.ProjSpeedup, r.TupleBalance)
+	}
+	fmt.Fprintln(wr, strings.Repeat("-", 80))
+}

@@ -32,6 +32,7 @@ type runtimeNode struct {
 	m         mop.MOp
 	out       []*core.Edge // output port → edge
 	emit      mop.Emit     // built once at lowering: enqueues on out[port]
+	uses      []mop.PortUse // input port → how delivered tuples are used
 	processed int64        // tuples delivered to this m-op
 	emitted   int64        // tuples produced by this m-op
 }
@@ -74,6 +75,15 @@ func (e *Engine) lookupSource(name string) (sourceInfo, bool) {
 type edgeRoute struct {
 	sinks     []sink
 	consumers []portRef
+	// releasable: every consumer port only reads delivered tuples, so an
+	// Owned tuple can return to the tuple pool after its delivery (unless
+	// a sink hands it to a result callback).
+	releasable bool
+	// clearsOwned: a consumer stores delivered tuples (or several could
+	// re-emit them), so an arriving tuple stops being singly referenced
+	// and must shed its Owned flag before the consumers run.
+	clearsOwned bool
+	hasSink     bool
 }
 
 // Engine is an executable instance of a physical plan.
@@ -103,7 +113,10 @@ type queued struct {
 	t    *stream.Tuple
 }
 
-// New lowers the plan. The plan must not be mutated afterwards.
+// New lowers the plan. The plan must not be mutated afterwards. Lowering
+// is reusable: New may be called several times on one plan (each engine
+// owns independent operator state and counters), which is how the sharded
+// runtime builds its per-shard replicas.
 func New(p *core.Physical) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
@@ -133,7 +146,7 @@ func New(p *core.Physical) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
-		rn := &runtimeNode{id: n.ID, m: low.MOp, out: low.OutEdges}
+		rn := &runtimeNode{id: n.ID, m: low.MOp, out: low.OutEdges, uses: low.PortUses}
 		// One emit closure per node, built here so the delivery loop does
 		// not allocate a closure per Process call.
 		rn.emit = func(outPort int, out *stream.Tuple) {
@@ -184,6 +197,35 @@ func New(p *core.Physical) (*Engine, error) {
 		}
 		if !found {
 			r.sinks = append(r.sinks, sink{pos: pos, queries: []int{q.ID}})
+		}
+	}
+	// Release analysis. An edge is releasable when every consumer port
+	// only reads delivered tuples. Ownership may pass through exactly one
+	// forwarding consumer (a selection re-emitting the tuple); with a
+	// storing consumer, several forwarders, or a forwarder next to a sink
+	// (whose callback may see the tuple), the tuple stops being singly
+	// referenced and sheds its Owned flag at delivery.
+	for i := range e.routes {
+		r := &e.routes[i]
+		r.hasSink = len(r.sinks) > 0
+		r.releasable = true
+		forwarders := 0
+		for _, c := range r.consumers {
+			use := mop.PortStores
+			if c.port < len(c.node.uses) {
+				use = c.node.uses[c.port]
+			}
+			switch use {
+			case mop.PortStores:
+				r.clearsOwned = true
+				r.releasable = false
+			case mop.PortForwards:
+				forwarders++
+				r.releasable = false
+			}
+		}
+		if forwarders > 1 || (forwarders == 1 && r.hasSink) {
+			r.clearsOwned = true
 		}
 	}
 	return e, nil
@@ -271,6 +313,9 @@ func (e *Engine) drain() {
 
 func (e *Engine) deliver(edge *core.Edge, t *stream.Tuple) {
 	r := &e.routes[edge.ID]
+	if t.Owned && r.clearsOwned {
+		t.Owned = false
+	}
 	for i := range r.sinks {
 		s := &r.sinks[i]
 		if s.pos >= 0 && !t.Member.Test(s.pos) {
@@ -287,6 +332,12 @@ func (e *Engine) deliver(edge *core.Edge, t *stream.Tuple) {
 		n := c.node
 		n.processed++
 		n.m.Process(c.port, t, n.emit)
+	}
+	// An Owned tuple was emitted exactly once with exclusive content; once
+	// its only delivery retained nothing and no result callback saw it, it
+	// goes back to the tuple pool.
+	if t.Owned && r.releasable && (!r.hasSink || e.OnResult == nil) {
+		t.Release()
 	}
 }
 

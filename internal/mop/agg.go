@@ -315,14 +315,19 @@ func (m *AggMOp) Process(port int, t *stream.Tuple, emit Emit) {
 			g.buf = append(g.buf, aggEntry{ts: t.TS, group: st.key, val: v})
 			av := st.value(g.fn)
 			out := g.outTuple(t, av)
+			plainEmits := 0
 			for _, o := range g.ops {
 				if o.tg.pos < 0 {
+					plainEmits++
 					emit(o.tg.port, out)
 				} else {
 					m.ce.add(o.tg)
 				}
 			}
-			m.ce.flush(out, emit)
+			if plainEmits == 1 && len(m.ce.touched) == 0 {
+				out.Owned = true
+			}
+			m.ce.flush(out, emit, plainEmits == 0)
 		}
 	}
 }
@@ -339,10 +344,13 @@ func (g *aggGroup) outTuple(t *stream.Tuple, av int64) *stream.Tuple {
 
 // emitOne emits a per-operator output (channel mode; values can differ per
 // operator, so each output carries its own interned singleton membership).
+// Each output is freshly built and emitted exactly once, so it stays
+// engine-releasable.
 func (g *aggGroup) emitOne(o selOp, t *stream.Tuple, av int64, emit Emit) {
 	out := g.outTuple(t, av)
 	if o.tg.pos >= 0 {
 		out.Member = bitset.Singleton(o.tg.pos)
 	}
+	out.Owned = true
 	emit(o.tg.port, out)
 }

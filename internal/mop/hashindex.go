@@ -1,0 +1,159 @@
+package mop
+
+import (
+	"math/bits"
+)
+
+// hashIndex is an open-addressing hash index from an int64 attribute value
+// to the stored items carrying it, used for the shared-join window probe
+// and the AI (active instance) index. It replaces a Go map on the per-tuple
+// hot path: probing costs one multiply-shift hash and a short linear scan,
+// and emptied buckets keep their slot and backing array so the steady
+// state of a sliding window (insert one, expire one) allocates nothing.
+type hashIndex[T comparable] struct {
+	slots []hashSlot[T]
+	shift uint // 64 - log2(len(slots))
+	used  int  // slots holding a key (live or emptied)
+	live  int  // slots holding a non-empty bucket
+}
+
+type hashSlot[T comparable] struct {
+	key    int64
+	set    bool
+	bucket []T
+}
+
+const minTableSize = 16
+
+func newHashIndex[T comparable]() *hashIndex[T] {
+	return &hashIndex[T]{
+		slots: make([]hashSlot[T], minTableSize),
+		shift: 64 - uint(bits.TrailingZeros(minTableSize)),
+	}
+}
+
+// slotIndex returns the fibonacci-hash home slot for key k.
+func (h *hashIndex[T]) slotIndex(k int64) int {
+	return int((uint64(k) * 0x9E3779B97F4A7C15) >> h.shift)
+}
+
+// lookup returns the slot for k, or the first free slot on its probe chain.
+func (h *hashIndex[T]) lookup(k int64) *hashSlot[T] {
+	mask := len(h.slots) - 1
+	i := h.slotIndex(k)
+	for {
+		s := &h.slots[i]
+		if !s.set || s.key == k {
+			return s
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns the bucket stored under k (nil or empty if none).
+func (h *hashIndex[T]) get(k int64) []T {
+	return h.lookup(k).bucket
+}
+
+// add appends v to the bucket of k.
+func (h *hashIndex[T]) add(k int64, v T) {
+	s := h.lookup(k)
+	if !s.set {
+		s.set = true
+		s.key = k
+		h.used++
+	}
+	if len(s.bucket) == 0 {
+		h.live++
+	}
+	s.bucket = append(s.bucket, v)
+	if 4*h.used >= 3*len(h.slots) {
+		h.rehash(false)
+	}
+}
+
+// remove drops v from the bucket of k (a no-op if absent). Callers remove
+// items in insertion order, so v is the bucket head in the common case; the
+// copy-down keeps the bucket's backing array for reuse by future adds.
+func (h *hashIndex[T]) remove(k int64, v T) {
+	s := h.lookup(k)
+	b := s.bucket
+	for j := range b {
+		if b[j] == v {
+			n := copy(b[j:], b[j+1:])
+			var zero T
+			b[j+n] = zero
+			s.bucket = b[:j+n]
+			if j+n == 0 {
+				h.emptied()
+			}
+			return
+		}
+	}
+}
+
+// sweep rewrites every bucket in place, keeping only items for which keep
+// returns true (compaction support).
+func (h *hashIndex[T]) sweep(keep func(T) bool) {
+	h.live = 0
+	for i := range h.slots {
+		s := &h.slots[i]
+		if !s.set || len(s.bucket) == 0 {
+			continue
+		}
+		b := s.bucket
+		out := b[:0]
+		for _, v := range b {
+			if keep(v) {
+				out = append(out, v)
+			}
+		}
+		clear(b[len(out):])
+		s.bucket = out
+		if len(out) > 0 {
+			h.live++
+		}
+	}
+}
+
+// emptied records a bucket transition to empty. Emptied slots are kept
+// (key, capacity and probe chains intact); once they dominate a large
+// table, the table is rebuilt to bound memory under a drifting key domain.
+func (h *hashIndex[T]) emptied() {
+	h.live--
+	if h.used >= 1024 && h.used >= 4*h.live {
+		h.rehash(true)
+	}
+}
+
+// rehash grows the table (doubling) or sweeps emptied slots (sweep=true,
+// sizing to the live count).
+func (h *hashIndex[T]) rehash(sweep bool) {
+	want := 2 * len(h.slots)
+	if sweep {
+		want = minTableSize
+		for want < 4*h.live {
+			want *= 2
+		}
+	}
+	old := h.slots
+	h.slots = make([]hashSlot[T], want)
+	h.shift = 64 - uint(bits.TrailingZeros(uint(want)))
+	h.used, h.live = 0, 0
+	mask := want - 1
+	for i := range old {
+		s := &old[i]
+		if !s.set || (sweep && len(s.bucket) == 0) {
+			continue
+		}
+		j := h.slotIndex(s.key)
+		for h.slots[j].set {
+			j = (j + 1) & mask
+		}
+		h.slots[j] = hashSlot[T]{key: s.key, set: true, bucket: s.bucket}
+		h.used++
+		if len(s.bucket) > 0 {
+			h.live++
+		}
+	}
+}

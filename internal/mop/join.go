@@ -2,51 +2,41 @@ package mop
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/stream"
 )
 
-// joinEntry is one buffered input tuple on a join side.
-type joinEntry struct {
-	t    *stream.Tuple
-	dead bool
-}
-
 // joinSide is one side of a shared symmetric window join: a FIFO buffer
 // bounded by the group's maximum window, with an optional hash index on
-// the equi-join attribute.
+// the equi-join attribute. Stored entries are the input tuples themselves;
+// expiry runs in FIFO order, so an expiring tuple is always the head of its
+// hash bucket and both structures are maintained without tombstones or
+// per-entry allocations.
 type joinSide struct {
-	buf  []*joinEntry
-	hash map[int64][]*joinEntry // nil when not equi-indexed
-	attr int                    // indexed attribute
+	buf  []*stream.Tuple
+	hash *hashIndex[*stream.Tuple] // nil when not equi-indexed
+	attr int                       // indexed attribute
 }
 
-func (s *joinSide) insert(e *joinEntry) {
-	s.buf = append(s.buf, e)
+func (s *joinSide) insert(t *stream.Tuple) {
+	s.buf = append(s.buf, t)
 	if s.hash != nil {
-		v := e.t.Vals[s.attr]
-		s.hash[v] = append(s.hash[v], e)
+		s.hash.add(t.Vals[s.attr], t)
 	}
 }
 
 func (s *joinSide) expire(now, window int64) {
 	i := 0
 	for ; i < len(s.buf); i++ {
-		e := s.buf[i]
-		if window <= 0 || now-e.t.TS <= window {
+		t := s.buf[i]
+		if window <= 0 || now-t.TS <= window {
 			break
 		}
-		e.dead = true
 		if s.hash != nil {
-			v := e.t.Vals[s.attr]
-			b := pruneDead(s.hash[v])
-			if len(b) == 0 {
-				delete(s.hash, v)
-			} else {
-				s.hash[v] = b
-			}
+			s.hash.remove(t.Vals[s.attr], t)
 		}
 	}
 	if i > 0 {
@@ -63,29 +53,14 @@ func (s *joinSide) expire(now, window int64) {
 	}
 }
 
-// candidates returns live entries matching probe value v (indexed) or the
-// whole live buffer (unindexed).
-func (s *joinSide) candidates(v int64) []*joinEntry {
+// candidates returns the stored tuples matching probe value v (indexed) or
+// the whole buffer (unindexed). Every returned tuple is live: expiry prunes
+// buckets eagerly, so probes need no dead checks or bucket rewrites.
+func (s *joinSide) candidates(v int64) []*stream.Tuple {
 	if s.hash != nil {
-		b := pruneDead(s.hash[v])
-		if len(b) == 0 {
-			delete(s.hash, v)
-			return nil
-		}
-		s.hash[v] = b
-		return b
+		return s.hash.get(v)
 	}
 	return s.buf
-}
-
-func pruneDead(b []*joinEntry) []*joinEntry {
-	out := b[:0]
-	for _, e := range b {
-		if !e.dead {
-			out = append(out, e)
-		}
-	}
-	return out
 }
 
 // joinOp is one join operator within a group: its window length and
@@ -107,10 +82,30 @@ type joinGroup struct {
 	hasEq     bool
 	lAttr     int
 	rAttr     int
-	maxWindow int64
+	maxWindow int64 // 0 when any operator is unbounded
+	unbounded bool
 	left      joinSide
 	right     joinSide
-	ops       []joinOp
+	// ops is sorted unbounded-first, then by window descending, so the
+	// per-match emission loop can stop at the first operator whose window
+	// the pair's age exceeds.
+	ops []joinOp
+	// tgScratch collects plain emission targets per match (reused).
+	tgScratch []target
+}
+
+// seal orders the operators for the early-exit emission scan.
+func (g *joinGroup) seal() {
+	if g.unbounded {
+		g.maxWindow = 0
+	}
+	sort.SliceStable(g.ops, func(i, j int) bool {
+		wi, wj := g.ops[i].window, g.ops[j].window
+		if (wi <= 0) != (wj <= 0) {
+			return wi <= 0
+		}
+		return wi > wj
+	})
 }
 
 // JoinMOp is the windowed join m-op.
@@ -135,6 +130,7 @@ func newJoinMOp(p *core.Physical, n *core.Node, pm *portMap) (*JoinMOp, error) {
 		def          string
 	}
 	groups := make(map[gkey]*joinGroup)
+	var order []*joinGroup
 	for _, o := range n.Ops {
 		lport, lpos := pm.inLoc(p, o.In[0])
 		rport, rpos := pm.inLoc(p, o.In[1])
@@ -147,16 +143,19 @@ func newJoinMOp(p *core.Physical, n *core.Node, pm *portMap) (*JoinMOp, error) {
 			g = &joinGroup{pred: o.Def.Pred2}
 			if la, ra, res, isEq := expr.EqJoinParts(o.Def.Pred2); isEq {
 				g.hasEq, g.lAttr, g.rAttr, g.pred = true, la, ra, res
-				g.left.hash = make(map[int64][]*joinEntry)
+				g.left.hash = newHashIndex[*stream.Tuple]()
 				g.left.attr = la
-				g.right.hash = make(map[int64][]*joinEntry)
+				g.right.hash = newHashIndex[*stream.Tuple]()
 				g.right.attr = ra
 			}
 			groups[k] = g
+			order = append(order, g)
 			m.portGroups[lport] = append(m.portGroups[lport], portGroup{g: g, isLeft: true})
 			m.portGroups[rport] = append(m.portGroups[rport], portGroup{g: g, isLeft: false})
 		}
-		if o.Def.Window > g.maxWindow {
+		if o.Def.Window <= 0 {
+			g.unbounded = true // one unbounded operator pins the whole store
+		} else if o.Def.Window > g.maxWindow {
 			g.maxWindow = o.Def.Window
 		}
 		g.ops = append(g.ops, joinOp{
@@ -165,6 +164,9 @@ func newJoinMOp(p *core.Physical, n *core.Node, pm *portMap) (*JoinMOp, error) {
 			window:   o.Def.Window,
 			tg:       pm.outLoc(p, o.Out),
 		})
+	}
+	for _, g := range order {
+		g.seal()
 	}
 	return m, nil
 }
@@ -175,40 +177,37 @@ func (m *JoinMOp) Process(port int, t *stream.Tuple, emit Emit) {
 		g := pg.g
 		g.left.expire(t.TS, g.maxWindow)
 		g.right.expire(t.TS, g.maxWindow)
-		e := &joinEntry{t: t}
 		var probe *joinSide
 		var probeVal int64
 		if pg.isLeft {
-			g.left.insert(e)
+			g.left.insert(t)
 			probe = &g.right
 			if g.hasEq {
 				probeVal = t.Vals[g.lAttr]
 			}
 		} else {
-			g.right.insert(e)
+			g.right.insert(t)
 			probe = &g.left
 			if g.hasEq {
 				probeVal = t.Vals[g.rAttr]
 			}
 		}
 		for _, c := range probe.candidates(probeVal) {
-			if c.dead {
-				continue
-			}
 			var l, r *stream.Tuple
 			if pg.isLeft {
-				l, r = t, c.t
+				l, r = t, c
 			} else {
-				l, r = c.t, t
+				l, r = c, t
 			}
 			if !g.pred.Eval2(l, r) {
 				continue
 			}
-			age := t.TS - c.t.TS
-			var out *stream.Tuple
+			age := t.TS - c.TS
+			tgs := g.tgScratch[:0]
+			chanAdds := 0
 			for _, o := range g.ops {
 				if o.window > 0 && age > o.window {
-					continue
+					break // ops are window-sorted: the rest fail too
 				}
 				if o.leftPos >= 0 && !l.Member.Test(o.leftPos) {
 					continue
@@ -216,26 +215,33 @@ func (m *JoinMOp) Process(port int, t *stream.Tuple, emit Emit) {
 				if o.rightPos >= 0 && !r.Member.Test(o.rightPos) {
 					continue
 				}
-				if out == nil {
-					out = concatTuples(l, r, t.TS)
-				}
 				if o.tg.pos < 0 {
-					emit(o.tg.port, out)
+					tgs = append(tgs, o.tg)
 				} else {
 					m.ce.add(o.tg)
+					chanAdds++
 				}
 			}
-			if out != nil {
-				m.ce.flush(out, emit)
+			g.tgScratch = tgs[:0]
+			if len(tgs) == 0 && chanAdds == 0 {
+				continue
 			}
+			out := concatTuples(l, r, t.TS)
+			if len(tgs) == 1 && chanAdds == 0 {
+				out.Owned = true
+			}
+			for _, tg := range tgs {
+				emit(tg.port, out)
+			}
+			m.ce.flush(out, emit, len(tgs) == 0)
 		}
 	}
 }
 
 // concatTuples builds the joined/sequenced output tuple l ++ r at time ts.
 func concatTuples(l, r *stream.Tuple, ts int64) *stream.Tuple {
-	vals := make([]int64, 0, len(l.Vals)+len(r.Vals))
-	vals = append(vals, l.Vals...)
-	vals = append(vals, r.Vals...)
-	return &stream.Tuple{TS: ts, Vals: vals}
+	out := stream.GetTuple(ts, len(l.Vals)+len(r.Vals))
+	n := copy(out.Vals, l.Vals)
+	copy(out.Vals[n:], r.Vals)
+	return out
 }

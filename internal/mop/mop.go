@@ -40,11 +40,30 @@ type MOp interface {
 	Process(port int, t *stream.Tuple, emit Emit)
 }
 
+// PortUse classifies what an m-op does with tuples delivered on one input
+// port; the engine's release analysis uses it to decide where an Owned
+// tuple's life ends.
+type PortUse uint8
+
+const (
+	// PortReads: the tuple is inspected and dropped (outputs are fresh).
+	PortReads PortUse = iota
+	// PortForwards: the tuple itself may be re-emitted on an output port
+	// (selection pass-through); ownership can travel with it.
+	PortForwards
+	// PortStores: the tuple may be kept in operator state past the call.
+	PortStores
+)
+
 // Lowered pairs an executable m-op with its port wiring.
 type Lowered struct {
 	MOp      MOp
 	InEdges  []*core.Edge // input port i reads InEdges[i]
 	OutEdges []*core.Edge // output port j writes OutEdges[j]
+	// PortUses[i] classifies the m-op's use of tuples arriving on input
+	// port i (see PortUse). The engine releases Owned tuples back to the
+	// tuple pool after delivery to edges whose consumers only read.
+	PortUses []PortUse
 }
 
 // target identifies where an operator's output goes: the m-op output port
@@ -158,7 +177,29 @@ func Lower(p *core.Physical, n *core.Node) (*Lowered, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node %d (%s): %w", n.ID, n.Kind, err)
 	}
-	return &Lowered{MOp: m, InEdges: pm.inEdges, OutEdges: pm.outEdges}, nil
+	uses := make([]PortUse, len(pm.inEdges))
+	for port := range uses {
+		switch n.Kind {
+		case core.KindProject, core.KindAgg:
+			// Outputs are freshly built; inputs are read and dropped.
+			uses[port] = PortReads
+		case core.KindSelect, core.KindSource:
+			// The input tuple itself may be re-emitted downstream.
+			uses[port] = PortForwards
+		case core.KindSeq, core.KindMu:
+			// Left tuples are stored as instances; right tuples only feed
+			// freshly built concatenations.
+			if m.(*SeqMOp).retainsPort(port) {
+				uses[port] = PortStores
+			} else {
+				uses[port] = PortReads
+			}
+		default:
+			// Joins buffer both sides; unknown kinds stay conservative.
+			uses[port] = PortStores
+		}
+	}
+	return &Lowered{MOp: m, InEdges: pm.inEdges, OutEdges: pm.outEdges, PortUses: uses}, nil
 }
 
 // sourceMOp forwards injected tuples to its single output port.
@@ -167,7 +208,10 @@ type sourceMOp struct{}
 func newSourceMOp() MOp { return sourceMOp{} }
 
 // Process implements MOp.
-func (sourceMOp) Process(_ int, t *stream.Tuple, emit Emit) { emit(0, t) }
+func (sourceMOp) Process(_ int, t *stream.Tuple, emit Emit) {
+	// A single forward: ownership (if any) travels with the tuple.
+	emit(0, t)
+}
 
 // chanEmitter accumulates, for channel output ports, the membership of one
 // logical output tuple per port per Process call, so that an m-op writes a
@@ -201,9 +245,23 @@ func (c *chanEmitter) add(tg target) {
 }
 
 // flush emits one channel tuple per accumulated port, with content base,
-// then resets.
-func (c *chanEmitter) flush(base *stream.Tuple, emit Emit) {
+// then resets. baseExclusive asserts that base is a pooled tuple the
+// caller built for this flush and emitted nowhere else; with a single
+// accumulated port the membership is then attached to base directly and
+// the emission is releasable by the engine.
+func (c *chanEmitter) flush(base *stream.Tuple, emit Emit, baseExclusive bool) {
 	if len(c.touched) == 0 {
+		return
+	}
+	if baseExclusive && len(c.touched) == 1 {
+		port := c.touched[0]
+		acc := &c.member[port]
+		base.Member = newMember(acc.bits)
+		base.Owned = true
+		emit(port, base)
+		acc.bits = acc.bits[:0]
+		acc.inUse = false
+		c.touched = c.touched[:0]
 		return
 	}
 	for _, port := range c.touched {

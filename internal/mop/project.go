@@ -48,22 +48,30 @@ func newProjectMOp(p *core.Physical, n *core.Node, pm *portMap) (*ProjectMOp, er
 func (m *ProjectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 	for _, g := range m.ports[port] {
 		var out *stream.Tuple
+		plainEmits := 0
 		for _, o := range g.ops {
 			if o.inPos >= 0 && !t.Member.Test(o.inPos) {
 				continue
 			}
 			if out == nil {
-				out = g.m.Apply(t)
-				out.Member = nil
+				out = stream.GetTuple(t.TS, len(g.m.Cols))
+				for i, e := range g.m.Cols {
+					out.Vals[i] = e.Eval(t)
+				}
 			}
 			if o.tg.pos < 0 {
+				plainEmits++
 				emit(o.tg.port, out)
 			} else {
 				m.ce.add(o.tg)
 			}
 		}
-		if out != nil {
-			m.ce.flush(out, emit)
+		if out == nil {
+			continue
 		}
+		if plainEmits == 1 && len(m.ce.touched) == 0 {
+			out.Owned = true
+		}
+		m.ce.flush(out, emit, plainEmits == 0)
 	}
 }

@@ -48,6 +48,10 @@ type selPort struct {
 type SelectMOp struct {
 	ports []selPort
 	ce    *chanEmitter
+	// tgScratch collects plain emission targets per tuple (reused), so
+	// single-forward calls can pass tuple ownership through to the
+	// downstream edge instead of pinning the tuple.
+	tgScratch []target
 }
 
 func newSelectMOp(p *core.Physical, n *core.Node, pm *portMap) (*SelectMOp, error) {
@@ -114,8 +118,12 @@ func (m *SelectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 	// Selection does not change tuple content, and tuples are immutable
 	// once in flight: a plain input tuple is forwarded as-is, and a channel
 	// input gets one shared membership-stripped copy for every plain output
-	// of this call — no per-operator allocation.
-	var stripped *stream.Tuple
+	// of this call — no per-operator allocation. Targets are collected
+	// first: a tuple forwarded by reference to several ports is no longer
+	// singly referenced and must shed its Owned flag, while a single plain
+	// forward passes ownership through to the downstream edge.
+	tgs := m.tgScratch[:0]
+	chanAdds := 0
 	fire := func(g *selGroup) {
 		if g.residual && !g.pred.Eval(t) {
 			return
@@ -126,16 +134,10 @@ func (m *SelectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 			}
 			if o.tg.pos >= 0 {
 				m.ce.add(o.tg)
+				chanAdds++
 				continue
 			}
-			if t.Member == nil {
-				emit(o.tg.port, t)
-			} else {
-				if stripped == nil {
-					stripped = t.WithMember(nil)
-				}
-				emit(o.tg.port, stripped)
-			}
+			tgs = append(tgs, o.tg)
 		}
 	}
 	for i := range sp.indexed {
@@ -150,5 +152,24 @@ func (m *SelectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 	for _, g := range sp.seq {
 		fire(g)
 	}
-	m.ce.flush(t, emit)
+	m.tgScratch = tgs[:0]
+	if t.Member == nil {
+		if len(tgs) != 1 || chanAdds != 0 {
+			t.Owned = false
+		}
+		for _, tg := range tgs {
+			emit(tg.port, t)
+		}
+	} else {
+		t.Owned = false
+		if len(tgs) > 0 {
+			// The stripped copy shares Vals with t (and t may be stored by
+			// other consumers of the channel edge), so it is never Owned.
+			stripped := t.WithMember(nil)
+			for _, tg := range tgs {
+				emit(tg.port, stripped)
+			}
+		}
+	}
+	m.ce.flush(t, emit, false)
 }

@@ -2,6 +2,7 @@ package mop
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -50,10 +51,11 @@ type stateGroup struct {
 	leftPred expr.Pred
 
 	startArity, rightArity int
-	maxWindow              int64
+	maxWindow              int64 // 0 when any operator is unbounded
+	unbounded              bool
 
 	insts     []*seqInst
-	hash      map[int64][]*seqInst
+	hash      *hashIndex[*seqInst]
 	deadCount int
 	// free recycles instance headers (and, for µ, their pooled state
 	// tuples) reclaimed by expire/maybeCompact, so steady-state insertion
@@ -61,6 +63,9 @@ type stateGroup struct {
 	free []*seqInst
 	dead []*seqInst // scratch: dead instances collected during compaction
 
+	// ops is sorted unbounded-first, then by window descending, so the
+	// plain-mode emission loop can stop at the first operator whose window
+	// the instance's age exceeds.
 	ops []seqOpInfo
 	// posOps indexes ops by their left-channel membership position when
 	// every op reads a channel stream, so an emission visits only the
@@ -70,10 +75,23 @@ type stateGroup struct {
 	// channel tuple is stored only if its membership intersects the mask
 	// (the decoding step of §3.1 applied at insertion time).
 	leftMask *bitset.Set
+	// tgScratch collects plain emission targets per match (reused).
+	tgScratch []target
 }
 
-// seal builds the membership→operator index once all ops are registered.
+// seal orders the operators for the early-exit emission scan and builds
+// the membership→operator index once all ops are registered.
 func (g *stateGroup) seal() {
+	if g.unbounded {
+		g.maxWindow = 0
+	}
+	sort.SliceStable(g.ops, func(i, j int) bool {
+		wi, wj := g.ops[i].window, g.ops[j].window
+		if (wi <= 0) != (wj <= 0) {
+			return wi <= 0
+		}
+		return wi > wj
+	})
 	for i := range g.ops {
 		if g.ops[i].leftPos < 0 {
 			g.posOps = nil
@@ -191,7 +209,7 @@ func newSeqMOp(p *core.Physical, n *core.Node, pm *portMap, mu bool) (*SeqMOp, e
 				g.hasEq, g.lAttr, g.rAttr = true, la, ra
 				g.hashStable = !mu || la < g.startArity
 				if g.hashStable {
-					g.hash = make(map[int64][]*seqInst)
+					g.hash = newHashIndex[*seqInst]()
 				}
 				pred = res
 			}
@@ -220,7 +238,9 @@ func newSeqMOp(p *core.Physical, n *core.Node, pm *portMap, mu bool) (*SeqMOp, e
 				rd.rest = append(rd.rest, g)
 			}
 		}
-		if o.Def.Window > g.maxWindow {
+		if o.Def.Window <= 0 {
+			g.unbounded = true // one unbounded operator pins the whole store
+		} else if o.Def.Window > g.maxWindow {
 			g.maxWindow = o.Def.Window
 		}
 		g.ops = append(g.ops, seqOpInfo{
@@ -283,6 +303,13 @@ func (g *stateGroup) extractLeftPred(pred expr.Pred2, info *seqGroupInfo) expr.P
 		g.leftPred = lp
 	}
 	return expr.NewAnd2(rest...)
+}
+
+// retainsPort reports whether tuples arriving on the port may be stored:
+// left tuples become instances; right tuples only feed fresh outputs.
+func (m *SeqMOp) retainsPort(port int) bool {
+	_, isLeft := m.lefts[port]
+	return isLeft
 }
 
 // Process implements MOp.
@@ -365,8 +392,7 @@ func (g *stateGroup) insert(t *stream.Tuple) {
 	}
 	g.insts = append(g.insts, inst)
 	if g.hash != nil {
-		v := inst.state.Vals[g.lAttr]
-		g.hash[v] = append(g.hash[v], inst)
+		g.hash.add(inst.state.Vals[g.lAttr], inst)
 	}
 }
 
@@ -390,22 +416,14 @@ func (m *SeqMOp) processRight(rd *rightDispatch, t *stream.Tuple, emit Emit) {
 func (m *SeqMOp) matchGroup(g *stateGroup, t *stream.Tuple, emit Emit) {
 	g.expire(t.TS)
 	if g.hash != nil {
-		v := t.Vals[g.rAttr]
-		bucket := g.hash[v]
-		live := bucket[:0]
-		for _, inst := range bucket {
-			if !inst.dead {
-				live = append(live, inst)
-			}
-		}
-		if len(live) == 0 {
-			delete(g.hash, v)
-		} else {
-			g.hash[v] = live
-		}
-		n := len(live)
+		// Dead instances linger in buckets until compaction or expiry
+		// reclaims them; probes skip them without rewriting the bucket.
+		bucket := g.hash.get(t.Vals[g.rAttr])
+		n := len(bucket)
 		for i := 0; i < n; i++ {
-			g.matchInst(live[i], t, m.ce, emit)
+			if inst := bucket[i]; !inst.dead {
+				g.matchInst(inst, t, m.ce, emit)
+			}
 		}
 	} else {
 		n := len(g.insts)
@@ -451,8 +469,7 @@ func (g *stateGroup) matchInst(inst *seqInst, t *stream.Tuple, ce *chanEmitter, 
 		stay.start, stay.state, stay.member = inst.start, inst.state.Clone(), inst.member
 		g.insts = append(g.insts, stay)
 		if g.hash != nil {
-			v := stay.state.Vals[g.lAttr]
-			g.hash[v] = append(g.hash[v], stay)
+			g.hash.add(stay.state.Vals[g.lAttr], stay)
 		}
 		g.rebind(inst, t)
 		g.emitMatch(inst, t, ce, emit)
@@ -475,31 +492,30 @@ func (g *stateGroup) rebind(inst *seqInst, t *stream.Tuple) {
 
 // emitMatch emits start ++ event to every operator of the group whose
 // window covers the instance age and whose memberships include the pair.
+// Plain targets are collected first so the shared output tuple can be
+// marked engine-releasable when it is emitted exactly once.
 func (g *stateGroup) emitMatch(inst *seqInst, t *stream.Tuple, ce *chanEmitter, emit Emit) {
 	age := t.TS - inst.start.TS
-	var out *stream.Tuple
-	fire := func(o *seqOpInfo) {
-		if o.window > 0 && age > o.window {
-			return
-		}
-		if o.rightPos >= 0 && !t.Member.Test(o.rightPos) {
-			return
-		}
-		if out == nil {
-			out = concatTuples(inst.start, t, t.TS)
-		}
-		if o.tg.pos < 0 {
-			emit(o.tg.port, out)
-		} else {
-			ce.add(o.tg)
-		}
-	}
+	tgs := g.tgScratch[:0]
+	chanAdds := 0
 	if g.posOps != nil && inst.member != nil {
 		// Channel mode: visit only the operators of the instance's streams.
 		inst.member.ForEach(func(pos int) bool {
 			if pos < len(g.posOps) {
 				for _, i := range g.posOps[pos] {
-					fire(&g.ops[i])
+					o := &g.ops[i]
+					if o.window > 0 && age > o.window {
+						continue
+					}
+					if o.rightPos >= 0 && !t.Member.Test(o.rightPos) {
+						continue
+					}
+					if o.tg.pos < 0 {
+						tgs = append(tgs, o.tg)
+					} else {
+						ce.add(o.tg)
+						chanAdds++
+					}
 				}
 			}
 			return true
@@ -507,21 +523,42 @@ func (g *stateGroup) emitMatch(inst *seqInst, t *stream.Tuple, ce *chanEmitter, 
 	} else {
 		for i := range g.ops {
 			o := &g.ops[i]
+			if o.window > 0 && age > o.window {
+				break // ops are window-sorted: the rest fail too
+			}
 			if o.leftPos >= 0 && !inst.member.Test(o.leftPos) {
 				continue
 			}
-			fire(o)
+			if o.rightPos >= 0 && !t.Member.Test(o.rightPos) {
+				continue
+			}
+			if o.tg.pos < 0 {
+				tgs = append(tgs, o.tg)
+			} else {
+				ce.add(o.tg)
+				chanAdds++
+			}
 		}
 	}
-	if out != nil {
-		ce.flush(out, emit)
+	g.tgScratch = tgs[:0]
+	if len(tgs) == 0 && chanAdds == 0 {
+		return
 	}
+	out := concatTuples(inst.start, t, t.TS)
+	if len(tgs) == 1 && chanAdds == 0 {
+		out.Owned = true
+	}
+	for _, tg := range tgs {
+		emit(tg.port, out)
+	}
+	ce.flush(out, emit, len(tgs) == 0)
 }
 
-// expire deletes instances older than the group's maximum window. Without
-// an AI hash nothing else can reference the dropped prefix, so those
-// instances are recycled immediately; with a hash they may still sit in
-// lazily-pruned buckets and are left for the garbage collector.
+// expire deletes instances older than the group's maximum window and
+// recycles them into the free list. With an AI hash each instance is also
+// pruned from its bucket (keyed on the stable left attribute), so expiry
+// reclaims instance headers instead of leaking them to the garbage
+// collector behind lazily-pruned buckets.
 func (g *stateGroup) expire(now int64) {
 	if g.maxWindow <= 0 {
 		return
@@ -532,14 +569,14 @@ func (g *stateGroup) expire(now int64) {
 		if now-inst.start.TS <= g.maxWindow {
 			break
 		}
-		if !inst.dead {
-			inst.dead = true
-			g.deadCount++
-		}
-		if g.hash == nil {
+		if inst.dead {
+			// Killed by a match earlier; it may still sit in its bucket.
 			g.deadCount--
-			g.recycleInst(inst)
 		}
+		if g.hash != nil {
+			g.hash.remove(inst.state.Vals[g.lAttr], inst)
+		}
+		g.recycleInst(inst)
 	}
 	if i > 0 {
 		if i*2 >= len(g.insts) {
@@ -574,19 +611,7 @@ func (g *stateGroup) maybeCompact() {
 	g.insts = live
 	g.deadCount = 0
 	if g.hash != nil {
-		for v, bucket := range g.hash {
-			lb := bucket[:0]
-			for _, inst := range bucket {
-				if !inst.dead {
-					lb = append(lb, inst)
-				}
-			}
-			if len(lb) == 0 {
-				delete(g.hash, v)
-			} else {
-				g.hash[v] = lb
-			}
-		}
+		g.hash.sweep(func(inst *seqInst) bool { return !inst.dead })
 	}
 	for _, inst := range g.dead {
 		g.recycleInst(inst)

@@ -1,0 +1,502 @@
+// Package shard implements the sharded execution runtime: N independent
+// engine replicas of one physical plan, fed through per-shard bounded
+// batch queues by routing rules from the plan's partitionability analysis
+// (core.AnalyzePartition).
+//
+// Each shard owns a full engine.Engine lowered from the shared (read-only)
+// plan and a dedicated worker goroutine draining its queue. Ingestion
+// appends routed tuples to per-shard pending buffers; a buffer is handed
+// to its worker as one batch (amortizing the cross-goroutine transfer),
+// and the worker replays it through the engine's batched ingestion path in
+// arrival order, grouping maximal same-source runs into PushBatch calls.
+//
+// Results are merged with per-shard dense counters; queries whose output
+// is replicated on every shard (see core.PartitionPlan.ReplicatedSinks)
+// are counted on shard 0 only. An optional result callback is sequenced
+// across shards by a mutex. Drain flushes every pending buffer and blocks
+// until all workers are quiescent; Close additionally stops the workers.
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+// Config sizes the sharded runtime.
+type Config struct {
+	// Shards is the number of engine replicas (default 1).
+	Shards int
+	// BatchSize is the number of tuples accumulated per shard before the
+	// buffer is handed to the worker (default 256).
+	BatchSize int
+	// QueueDepth bounds the batches buffered per shard; a full queue
+	// applies backpressure to pushers (default 8).
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	return c
+}
+
+// entry is one routed tuple awaiting replay on a shard.
+type entry struct {
+	src  int32
+	ts   int64
+	vals []int64
+}
+
+// msg is one queue element: a batch of entries, or a drain marker.
+type msg struct {
+	entries []entry
+	ack     chan<- error // drain marker when non-nil
+}
+
+// worker is one shard: an engine replica and the goroutine draining its
+// queue.
+type worker struct {
+	idx    int
+	eng    *engine.Engine
+	ch     chan msg
+	done   chan struct{}
+	tuples int64 // entries replayed (written by the worker only)
+	busyNS int64 // time spent replaying (written by the worker only)
+	err    error // first replay error (written by the worker only)
+
+	// replay scratch, reused across batches.
+	ts   []int64
+	vals [][]int64
+}
+
+// srcRoute is the precomputed routing state of one source stream.
+type srcRoute struct {
+	id   int32
+	mode core.PartitionMode
+	attr int
+	// Multicast: shard bitmask per probed value, plus the mask every
+	// tuple gets. Values absent from the table reach only alwaysMask
+	// (possibly no shard at all — dropped at the router).
+	table      map[int64]uint64
+	alwaysMask uint64
+}
+
+// Engine executes one physical plan across hash-partitioned engine
+// replicas.
+type Engine struct {
+	plan *core.Physical
+	part *core.PartitionPlan
+	cfg  Config
+
+	workers  []*worker
+	srcNames []string // source id → name
+	srcs     map[string]srcRoute
+
+	mu      sync.Mutex // guards pending, rr, closed
+	pending [][]entry
+	rr      uint64
+	closed  bool
+
+	batchPool sync.Pool
+
+	// onResult, when set, receives every attributed result; calls are
+	// sequenced across shards by resMu. Set via OnResult before pushing.
+	onResult func(queryID int, t *stream.Tuple)
+	resMu    sync.Mutex
+
+	maxQuery int
+}
+
+// New builds a sharded engine over the plan. The partition plan must come
+// from core.AnalyzePartition on the same (already optimized) plan; pass
+// nil to run the analysis here. The plan must not be mutated afterwards.
+func New(p *core.Physical, part *core.PartitionPlan, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if part == nil {
+		part = core.AnalyzePartition(p)
+	}
+	e := &Engine{
+		plan:    p,
+		part:    part,
+		cfg:     cfg,
+		srcs:    make(map[string]srcRoute),
+		pending: make([][]entry, cfg.Shards),
+	}
+	e.batchPool.New = func() any { s := make([]entry, 0, cfg.BatchSize); return &s }
+	for name := range p.Catalog {
+		if p.SourceStream(name) == nil {
+			continue
+		}
+		route, ok := part.Routes[name]
+		if !ok {
+			route = core.SourceRoute{Mode: core.PartitionBroadcast}
+		}
+		sr := srcRoute{id: int32(len(e.srcNames)), mode: route.Mode, attr: route.Attr}
+		if route.Mode == core.PartitionMulticast {
+			if cfg.Shards > 64 {
+				// Bitmask routing covers 64 shards; beyond that fall back
+				// to broadcasting the probe stream.
+				sr.mode = core.PartitionBroadcast
+			} else {
+				sr.table = make(map[int64]uint64, len(route.Table))
+				for v, partners := range route.Table {
+					sr.table[v] = partnerMask(partners, cfg.Shards)
+				}
+				sr.alwaysMask = partnerMask(route.Always, cfg.Shards)
+			}
+		}
+		e.srcs[name] = sr
+		e.srcNames = append(e.srcNames, name)
+	}
+	for _, q := range p.Queries {
+		if q.ID > e.maxQuery {
+			e.maxQuery = q.ID
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		eng, err := engine.New(p)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		w := &worker{
+			idx:  i,
+			eng:  eng,
+			ch:   make(chan msg, cfg.QueueDepth),
+			done: make(chan struct{}),
+			ts:   make([]int64, 0, cfg.BatchSize),
+			vals: make([][]int64, 0, cfg.BatchSize),
+		}
+		e.workers = append(e.workers, w)
+		e.pending[i] = e.takeBatch()
+	}
+	e.wireCallbacks()
+	for _, w := range e.workers {
+		go w.run(e)
+	}
+	return e, nil
+}
+
+// wireCallbacks installs per-engine result hooks when a user callback is
+// registered. Without one, the engines count results internally (their
+// counters are read only after Drain establishes quiescence) and keep
+// their allocation-free delivery path.
+func (e *Engine) wireCallbacks() {
+	if e.onResult == nil {
+		for _, w := range e.workers {
+			w.eng.OnResult = nil
+		}
+		return
+	}
+	for _, w := range e.workers {
+		idx := w.idx
+		w.eng.OnResult = func(qid int, t *stream.Tuple) {
+			if idx != 0 && e.part.ReplicatedSinks[qid] {
+				return // replicated sink: attributed on shard 0 only
+			}
+			e.resMu.Lock()
+			e.onResult(qid, t)
+			e.resMu.Unlock()
+		}
+	}
+}
+
+// OnResult registers a result callback, sequenced across shards. It must
+// be called before the first Push.
+func (e *Engine) OnResult(fn func(queryID int, t *stream.Tuple)) {
+	e.onResult = fn
+	e.wireCallbacks()
+}
+
+// run is the worker loop: replay batches, acknowledge drain markers.
+func (w *worker) run(e *Engine) {
+	defer close(w.done)
+	for m := range w.ch {
+		if m.ack != nil {
+			m.ack <- w.err
+			continue
+		}
+		start := time.Now()
+		w.replay(e, m.entries)
+		w.busyNS += time.Since(start).Nanoseconds()
+		clear(m.entries) // drop value-slice refs before pooling
+		b := m.entries[:0]
+		e.batchPool.Put(&b)
+	}
+}
+
+// replay pushes a batch through the shard's engine, grouping maximal
+// same-source runs into single PushBatch calls (cross-source arrival order
+// is preserved).
+func (w *worker) replay(e *Engine, entries []entry) {
+	i := 0
+	for i < len(entries) {
+		src := entries[i].src
+		j := i + 1
+		for j < len(entries) && entries[j].src == src {
+			j++
+		}
+		w.ts = w.ts[:0]
+		w.vals = w.vals[:0]
+		for k := i; k < j; k++ {
+			w.ts = append(w.ts, entries[k].ts)
+			w.vals = append(w.vals, entries[k].vals)
+		}
+		if err := w.eng.PushBatch(e.srcNames[src], w.ts, w.vals); err != nil && w.err == nil {
+			w.err = fmt.Errorf("shard %d: %w", w.idx, err)
+		}
+		w.tuples += int64(j - i)
+		i = j
+	}
+	clear(w.vals)
+	w.vals = w.vals[:0]
+}
+
+func (e *Engine) takeBatch() []entry {
+	return (*(e.batchPool.Get().(*[]entry)))[:0]
+}
+
+// lookupRoute resolves a source name. A map lookup is plenty here: the
+// routing path is dominated by the ingestion mutex.
+func (e *Engine) lookupRoute(name string) (srcRoute, bool) {
+	sr, ok := e.srcs[name]
+	return sr, ok
+}
+
+// hashShard maps a partition-key value to its owning shard.
+func hashShard(v int64, n int) int {
+	h := uint64(v) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(n))
+}
+
+// partnerMask folds partner-key values into a shard bitmask.
+func partnerMask(partners []int64, n int) uint64 {
+	var m uint64
+	for _, p := range partners {
+		m |= 1 << uint(hashShard(p, n))
+	}
+	return m
+}
+
+// shardOf picks the shard for one tuple under a route.
+func (e *Engine) shardOf(sr srcRoute, vals []int64) int {
+	n := len(e.workers)
+	if n == 1 {
+		return 0
+	}
+	switch sr.mode {
+	case core.PartitionHash:
+		var v int64
+		if sr.attr < len(vals) {
+			v = vals[sr.attr]
+		}
+		return hashShard(v, n)
+	default: // round-robin
+		e.rr++
+		return int(e.rr % uint64(n))
+	}
+}
+
+// append adds one entry to a shard's pending buffer, handing the buffer to
+// the worker when full. Called with mu held; the queue send may block for
+// backpressure.
+func (e *Engine) append(shard int, en entry) {
+	e.pending[shard] = append(e.pending[shard], en)
+	if len(e.pending[shard]) >= e.cfg.BatchSize {
+		e.flushShard(shard)
+	}
+}
+
+// flushShard hands a non-empty pending buffer to the worker. Called with
+// mu held.
+func (e *Engine) flushShard(shard int) {
+	if len(e.pending[shard]) == 0 {
+		return
+	}
+	b := e.pending[shard]
+	e.pending[shard] = e.takeBatch()
+	e.workers[shard].ch <- msg{entries: b}
+}
+
+// Push injects one tuple into the named source stream. The engine takes
+// ownership of vals. Tuples must be pushed in non-decreasing timestamp
+// order for windowed operators to expire correctly; concurrent pushers
+// are safe but interleave at the routing step.
+func (e *Engine) Push(source string, ts int64, vals []int64) error {
+	sr, ok := e.lookupRoute(source)
+	if !ok {
+		return fmt.Errorf("shard: source %q not in plan", source)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("shard: engine closed")
+	}
+	e.route(sr, ts, vals)
+	return nil
+}
+
+// route appends one tuple to its shard(s). Called with mu held.
+func (e *Engine) route(sr srcRoute, ts int64, vals []int64) {
+	switch sr.mode {
+	case core.PartitionBroadcast:
+		// Every shard gets the tuple. The value slice is shared: tuples
+		// are immutable throughout the engines.
+		for i := range e.workers {
+			e.append(i, entry{src: sr.id, ts: ts, vals: vals})
+		}
+	case core.PartitionMulticast:
+		// Content-based routing: only the shards whose instances can pair
+		// with this tuple receive it; a tuple no operator constant
+		// matches is dropped at the router.
+		mask := sr.alwaysMask
+		var v int64
+		if sr.attr < len(vals) {
+			v = vals[sr.attr]
+		}
+		mask |= sr.table[v]
+		for mask != 0 {
+			i := bits.TrailingZeros64(mask)
+			mask &^= 1 << uint(i)
+			e.append(i, entry{src: sr.id, ts: ts, vals: vals})
+		}
+	default:
+		e.append(e.shardOf(sr, vals), entry{src: sr.id, ts: ts, vals: vals})
+	}
+}
+
+// PushBatch injects a batch of tuples into one source stream under a
+// single routing lock acquisition. ts[i] pairs with vals[i]; the engine
+// takes ownership of the value slices.
+func (e *Engine) PushBatch(source string, ts []int64, vals [][]int64) error {
+	if len(ts) != len(vals) {
+		return fmt.Errorf("shard: PushBatch length mismatch: %d timestamps, %d value rows", len(ts), len(vals))
+	}
+	sr, ok := e.lookupRoute(source)
+	if !ok {
+		return fmt.Errorf("shard: source %q not in plan", source)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("shard: engine closed")
+	}
+	for i := range ts {
+		e.route(sr, ts[i], vals[i])
+	}
+	return nil
+}
+
+// Drain flushes all pending buffers and blocks until every worker has
+// replayed everything handed to it. It returns the first replay error.
+func (e *Engine) Drain() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("shard: engine closed")
+	}
+	for i := range e.pending {
+		e.flushShard(i)
+	}
+	acks := make([]chan error, len(e.workers))
+	for i, w := range e.workers {
+		ack := make(chan error, 1)
+		acks[i] = ack
+		w.ch <- msg{ack: ack}
+	}
+	e.mu.Unlock()
+	var first error
+	for _, ack := range acks {
+		if err := <-ack; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close drains, stops every worker, and rejects further ingestion. It is
+// idempotent. Ingestion is cut off before the final flush (under the same
+// lock), so a Push that returned nil is never silently dropped.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for i := range e.pending {
+		e.flushShard(i)
+	}
+	for _, w := range e.workers {
+		close(w.ch) // workers replay everything queued, then exit
+	}
+	e.mu.Unlock()
+	for _, w := range e.workers {
+		<-w.done
+	}
+	for _, w := range e.workers {
+		if w.err != nil {
+			return w.err
+		}
+	}
+	return nil
+}
+
+// ResultCount returns the merged result count for a query. Counts are
+// stable only after Drain (or Close) has established quiescence.
+func (e *Engine) ResultCount(queryID int) int64 {
+	if e.part.ReplicatedSinks[queryID] {
+		return e.workers[0].eng.ResultCount(queryID)
+	}
+	var n int64
+	for _, w := range e.workers {
+		n += w.eng.ResultCount(queryID)
+	}
+	return n
+}
+
+// TotalResults returns the merged result count across all queries. Stable
+// only after Drain (or Close).
+func (e *Engine) TotalResults() int64 {
+	var n int64
+	for qid := 0; qid <= e.maxQuery; qid++ {
+		n += e.ResultCount(qid)
+	}
+	return n
+}
+
+// ShardStat reports one shard's load after a Drain.
+type ShardStat struct {
+	Shard   int
+	Tuples  int64 // tuples replayed into the shard's engine
+	BusyNS  int64 // time the shard's worker spent replaying
+	Results int64 // results produced by the shard's engine
+}
+
+// ShardStats returns per-shard load counters. Stable only after Drain (or
+// Close).
+func (e *Engine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = ShardStat{Shard: i, Tuples: w.tuples, BusyNS: w.busyNS, Results: w.eng.TotalResults()}
+	}
+	return out
+}
+
+// NumShards returns the number of engine replicas.
+func (e *Engine) NumShards() int { return len(e.workers) }
+
+// PartitionPlan returns the routing decisions in effect.
+func (e *Engine) PartitionPlan() *core.PartitionPlan { return e.part }

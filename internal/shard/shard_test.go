@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/rules"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// buildPair lowers the same queries into a single-threaded reference
+// engine and a sharded engine. The query objects are shared, so query IDs
+// agree across the two plans.
+func buildPair(t *testing.T, catalog map[string]core.SourceDecl, qs []*core.Query, channels bool, shards int) (*engine.Engine, *Engine) {
+	t.Helper()
+	build := func() *core.Physical {
+		plan := core.NewPhysical(catalog)
+		for _, q := range qs {
+			if err := plan.AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rules.Optimize(plan, rules.Options{Channels: channels}); err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	ref, err := engine.New(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small batch size exercises the hand-off path far more often than
+	// the default.
+	sh, err := New(build(), nil, Config{Shards: shards, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, sh
+}
+
+// checkEquivalence pushes the same event sequence through both engines and
+// requires identical per-query result counts.
+func checkEquivalence(t *testing.T, catalog map[string]core.SourceDecl, qs []*core.Query, events []workload.Event, channels bool, shards int) {
+	t.Helper()
+	ref, sh := buildPair(t, catalog, qs, channels, shards)
+	defer sh.Close()
+	for i, ev := range events {
+		tu := ev.Tuple
+		if err := ref.Push(ev.Source, tu); err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.Push(ev.Source, int64(tu.TS), tu.Vals); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	if err := sh.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if ref.TotalResults() == 0 {
+		t.Fatal("workload produced no results; equivalence check is vacuous")
+	}
+	for _, q := range qs {
+		want := ref.ResultCount(q.ID)
+		got := sh.ResultCount(q.ID)
+		if got != want {
+			t.Fatalf("shards=%d channels=%v query %s: %d results, want %d\npartition plan:\n%s",
+				shards, channels, q.Name, got, want, sh.PartitionPlan())
+		}
+	}
+	if got, want := sh.TotalResults(), ref.TotalResults(); got != want {
+		t.Fatalf("total results: %d, want %d", got, want)
+	}
+}
+
+func shardCounts() []int { return []int{1, 2, 4} }
+
+// Workload 1 (σ(S) ; T with right-side constants): the analysis must keep
+// S partitioned and broadcast T.
+func TestShardedEquivalenceWorkload1(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 300
+	cqs, err := workload.ToRUMOR(p.Workload1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := p.GenStreams(6000)
+	for _, channels := range []bool{false, true} {
+		for _, n := range shardCounts() {
+			checkEquivalence(t, p.Catalog(), cqs, events, channels, n)
+		}
+	}
+}
+
+// Workload 2 (S ; T and S µ T keyed on a0): both sources hash-partition.
+func TestShardedEquivalenceWorkload2(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 150
+	seqs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := p.GenStreams(4000)
+	pm := workload.DefaultParams()
+	pm.NumQueries = 60
+	mus, err := workload.ToRUMOR(pm.Workload2Mu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	muEvents := pm.GenStreams(3000)
+	for _, channels := range []bool{false, true} {
+		for _, n := range shardCounts() {
+			checkEquivalence(t, p.Catalog(), seqs, events, channels, n)
+			checkEquivalence(t, pm.Catalog(), mus, muEvents, channels, n)
+		}
+	}
+}
+
+// Workload 3 (Si ; T over sharable sources, keyed on a0).
+func TestShardedEquivalenceWorkload3(t *testing.T) {
+	const k = 8
+	p := workload.DefaultParams()
+	p.NumQueries = 200
+	qs := p.Workload3(k)
+	events := p.Workload3Rounds(k, 400)
+	for _, channels := range []bool{false, true} {
+		for _, n := range shardCounts() {
+			checkEquivalence(t, p.Workload3Catalog(k), qs, events, channels, n)
+		}
+	}
+}
+
+// Hash partitioning must be in effect for Workload 2 (not just a safe
+// broadcast fallback), and the load must actually spread across shards.
+func TestShardedWorkload2ActuallyPartitions(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 100
+	qs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sh := buildPair(t, p.Catalog(), qs, false, 4)
+	defer sh.Close()
+	pp := sh.PartitionPlan()
+	for _, src := range []string{"S", "T"} {
+		if r := pp.Routes[src]; r.Mode != core.PartitionHash || r.Attr != 0 {
+			t.Fatalf("%s route = %+v, want hash(a0)", src, r)
+		}
+	}
+	events := p.GenStreams(4000)
+	for _, ev := range events {
+		if err := sh.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, st := range sh.ShardStats() {
+		total += st.Tuples
+		if st.Tuples == 0 {
+			t.Fatalf("shard %d received no tuples: %+v", st.Shard, sh.ShardStats())
+		}
+	}
+	if total != int64(len(events)) {
+		t.Fatalf("hash partitioning delivered %d tuples for %d events", total, len(events))
+	}
+}
+
+// Concurrent pushers, drains and a final close must be data-race free
+// (exercised under -race) and must not lose tuples.
+func TestShardedConcurrentPushRace(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 50
+	qs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sh := buildPair(t, p.Catalog(), qs, false, 4)
+	const perPusher = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := "S"
+			if g%2 == 1 {
+				src = "T"
+			}
+			for i := 0; i < perPusher; i++ {
+				ts := int64(i) // per-goroutine monotone; cross-goroutine order is unspecified
+				if err := sh.Push(src, ts, []int64{int64(i % 100), int64(g), 0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// A concurrent drain must coexist with pushers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := sh.Drain(); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	if err := sh.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var tuples int64
+	for _, st := range sh.ShardStats() {
+		tuples += st.Tuples
+	}
+	if want := int64(4 * perPusher); tuples != want {
+		t.Fatalf("replayed %d tuples, want %d", tuples, want)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := sh.Push("S", 0, []int64{0}); err == nil {
+		t.Fatal("Push after Close should fail")
+	}
+}
+
+// PushBatch routes whole batches and agrees with per-tuple Push counts.
+func TestShardedPushBatchEquivalence(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 100
+	qs, err := workload.ToRUMOR(p.Workload1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := p.GenStreams(4000)
+	_, one := buildPair(t, p.Catalog(), qs, false, 4)
+	defer one.Close()
+	_, two := buildPair(t, p.Catalog(), qs, false, 4)
+	defer two.Close()
+	for i, ev := range events {
+		if err := one.Push(ev.Source, int64(i), ev.Tuple.Vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batch maximal same-source runs (cross-source order preserved).
+	i := 0
+	for i < len(events) {
+		j := i + 1
+		for j < len(events) && events[j].Source == events[i].Source {
+			j++
+		}
+		ts := make([]int64, 0, j-i)
+		vals := make([][]int64, 0, j-i)
+		for k := i; k < j; k++ {
+			ts = append(ts, int64(k))
+			vals = append(vals, events[k].Tuple.Vals)
+		}
+		if err := two.PushBatch(events[i].Source, ts, vals); err != nil {
+			t.Fatal(err)
+		}
+		i = j
+	}
+	if err := one.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := two.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if one.TotalResults() == 0 {
+		t.Fatal("no results; equivalence is vacuous")
+	}
+	for _, q := range qs {
+		if a, b := one.ResultCount(q.ID), two.ResultCount(q.ID); a != b {
+			t.Fatalf("query %s: Push %d vs PushBatch %d", q.Name, a, b)
+		}
+	}
+}
+
+// Errors from unknown sources surface synchronously.
+func TestShardedUnknownSource(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 10
+	qs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sh := buildPair(t, p.Catalog(), qs, false, 2)
+	defer sh.Close()
+	if err := sh.Push("NOPE", 0, []int64{1}); err == nil {
+		t.Fatal("expected unknown-source error")
+	}
+}
+
+// Regression: a global aggregate forces S to broadcast; the sequence
+// S ; T then may not scatter T, or each shard's replica of an S instance
+// would be consumed by that shard's own first event (';' consumes on
+// match) and results would multiply by the shard count.
+func TestShardedReplicatedSeqInstanceNotDuplicated(t *testing.T) {
+	catalog := map[string]core.SourceDecl{
+		"S": {Schema: streamSchema(t, "S")},
+		"T": {Schema: streamSchema(t, "T")},
+	}
+	pred := expr.NewAnd2(expr.Right{P: expr.ConstCmp{Attr: 1, Op: expr.Gt, C: 0}})
+	qs := []*core.Query{
+		core.NewQuery("total", core.AggL(core.AggCount, 0, 1000, nil, core.Scan("S"))),
+		core.NewQuery("q", core.SeqL(pred, 100, core.Scan("S"), core.Scan("T"))),
+	}
+	ref, sh := buildPair(t, catalog, qs, false, 4)
+	defer sh.Close()
+	push := func(src string, ts int64, vals []int64) {
+		if err := ref.Push(src, &stream.Tuple{TS: ts, Vals: vals}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.Push(src, ts, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push("S", 0, []int64{1, 5})
+	for ts := int64(1); ts <= 8; ts++ {
+		push("T", ts, []int64{1, 9})
+	}
+	if err := sh.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if got, want := sh.ResultCount(q.ID), ref.ResultCount(q.ID); got != want {
+			t.Fatalf("query %s: %d results, want %d\npartition plan:\n%s",
+				q.Name, got, want, sh.PartitionPlan())
+		}
+	}
+	if ref.ResultCount(1) != 1 {
+		t.Fatalf("reference seq should fire exactly once, got %d", ref.ResultCount(1))
+	}
+}
+
+func streamSchema(t *testing.T, name string) *stream.Schema {
+	t.Helper()
+	return stream.MustSchema(name, "a", "b")
+}

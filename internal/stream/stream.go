@@ -27,6 +27,15 @@ type Tuple struct {
 	TS     int64
 	Vals   []int64
 	Member *bitset.Set
+
+	// Owned marks a pooled tuple whose header and value buffer are
+	// referenced by exactly one in-flight emission: the producing m-op
+	// built it from the tuple pool, emitted it on a single output port,
+	// and shares its Vals with no other tuple. The engine releases Owned
+	// tuples back to the pool once their final delivery retains nothing
+	// (see the engine's releasable-edge analysis); everyone else must
+	// leave the flag false.
+	Owned bool
 }
 
 // tuplePool recycles Tuple headers (and their Vals capacity) between
@@ -48,6 +57,7 @@ func GetTuple(ts int64, n int) *Tuple {
 	t := tuplePool.Get().(*Tuple)
 	t.TS = ts
 	t.Member = nil
+	t.Owned = false
 	if cap(t.Vals) < n {
 		t.Vals = make([]int64, n)
 	} else {
@@ -62,6 +72,7 @@ func GetTuple(ts int64, n int) *Tuple {
 // the value capacity is recycled into future GetTuple results.
 func (t *Tuple) Release() {
 	t.Member = nil
+	t.Owned = false
 	t.Vals = t.Vals[:0]
 	tuplePool.Put(t)
 }
@@ -86,6 +97,7 @@ func (t *Tuple) WithMember(m *bitset.Set) *Tuple {
 	c.TS = t.TS
 	c.Vals = t.Vals
 	c.Member = m
+	c.Owned = false
 	return c
 }
 

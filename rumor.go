@@ -182,25 +182,34 @@ func (s *System) OnResult(fn func(query string, ts int64, vals []int64)) {
 	}
 }
 
+// buildPlan plans all registered queries and applies the m-rules.
+func (s *System) buildPlan(opt Options) (*core.Physical, error) {
+	if s.plan != nil {
+		return nil, fmt.Errorf("rumor: already optimized")
+	}
+	if len(s.queries) == 0 {
+		return nil, fmt.Errorf("rumor: no queries registered")
+	}
+	plan := core.NewPhysical(s.catalog)
+	for _, q := range s.queries {
+		if err := plan.AddQuery(q); err != nil {
+			return nil, err
+		}
+	}
+	ropts := rules.Options{Channels: opt.Channels, ChannelMinStreams: opt.ChannelMinStreams}
+	if err := rules.Optimize(plan, ropts); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
 // Optimize plans all registered queries, applies the m-rules, and builds
 // the execution engine. It must be called exactly once, after all queries
 // are registered (adding queries to a running plan is future work in the
 // paper, §7, and unsupported here).
 func (s *System) Optimize(opt Options) error {
-	if s.plan != nil {
-		return fmt.Errorf("rumor: already optimized")
-	}
-	if len(s.queries) == 0 {
-		return fmt.Errorf("rumor: no queries registered")
-	}
-	plan := core.NewPhysical(s.catalog)
-	for _, q := range s.queries {
-		if err := plan.AddQuery(q); err != nil {
-			return err
-		}
-	}
-	ropts := rules.Options{Channels: opt.Channels, ChannelMinStreams: opt.ChannelMinStreams}
-	if err := rules.Optimize(plan, ropts); err != nil {
+	plan, err := s.buildPlan(opt)
+	if err != nil {
 		return err
 	}
 	eng, err := engine.New(plan)

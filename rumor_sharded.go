@@ -1,0 +1,226 @@
+package rumor
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// ShardConfig sizes a ShardedSystem.
+type ShardConfig struct {
+	// Shards is the number of engine replicas (default 1).
+	Shards int
+	// BatchSize is the number of tuples accumulated per shard before the
+	// buffer is handed to the shard's worker goroutine (default 256).
+	// Larger batches amortize the cross-goroutine transfer at the cost of
+	// result latency.
+	BatchSize int
+	// QueueDepth bounds the batches buffered per shard; a full queue
+	// applies backpressure to pushers (default 8).
+	QueueDepth int
+}
+
+// ShardedSystem is a RUMOR instance executing one optimized plan across N
+// engine replicas. Declaration and planning mirror System; at Optimize the
+// plan is analyzed for partitionability (see core.AnalyzePartition): each
+// source stream is routed by hashing a partition attribute when the plan's
+// stateful operators are equi-keyed, round-robin when its tuples only
+// build operator state probed by a broadcast side (or flow through
+// stateless operators), and broadcast otherwise. Results are merged from
+// per-shard counters; replicated sinks are attributed to shard 0 only.
+//
+// Push and PushBatch are safe for concurrent use. Tuples are processed
+// asynchronously: call Drain to wait for quiescence before reading
+// counts, and Close to shut the workers down.
+type ShardedSystem struct {
+	sys *System
+	cfg ShardConfig
+
+	sh   *shard.Engine
+	part *core.PartitionPlan
+
+	onResult func(query string, ts int64, vals []int64)
+}
+
+// NewSharded creates an empty sharded system.
+func NewSharded(cfg ShardConfig) *ShardedSystem {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	return &ShardedSystem{sys: New(), cfg: cfg}
+}
+
+// DeclareStream registers a source stream (see System.DeclareStream).
+func (s *ShardedSystem) DeclareStream(name, sharableLabel string, attrs ...string) error {
+	return s.sys.DeclareStream(name, sharableLabel, attrs...)
+}
+
+// ExecScript parses a CQL script (see System.ExecScript).
+func (s *ShardedSystem) ExecScript(src string) error {
+	return s.sys.ExecScript(src)
+}
+
+// AddQuery registers a programmatically built continuous query.
+func (s *ShardedSystem) AddQuery(name string, root *Logical) error {
+	return s.sys.AddQuery(name, root)
+}
+
+// OnResult registers the result callback. Calls are sequenced across
+// shards (one at a time), attributed by query name. Must be registered
+// before the first Push; the callback must not retain the tuple values.
+func (s *ShardedSystem) OnResult(fn func(query string, ts int64, vals []int64)) {
+	s.onResult = fn
+	if s.sh != nil {
+		s.wireCallback()
+	}
+}
+
+func (s *ShardedSystem) wireCallback() {
+	if s.onResult == nil {
+		s.sh.OnResult(nil)
+		return
+	}
+	names := make(map[int]string, len(s.sys.queries))
+	for _, q := range s.sys.queries {
+		names[q.ID] = q.Name
+	}
+	fn := s.onResult
+	s.sh.OnResult(func(qid int, t *stream.Tuple) {
+		fn(names[qid], t.TS, t.Vals)
+	})
+}
+
+// Optimize plans all registered queries, applies the m-rules, analyzes
+// partitionability, and starts the shard workers. It must be called
+// exactly once.
+func (s *ShardedSystem) Optimize(opt Options) error {
+	plan, err := s.sys.buildPlan(opt)
+	if err != nil {
+		return err
+	}
+	part := core.AnalyzePartition(plan)
+	sh, err := shard.New(plan, part, shard.Config{
+		Shards:     s.cfg.Shards,
+		BatchSize:  s.cfg.BatchSize,
+		QueueDepth: s.cfg.QueueDepth,
+	})
+	if err != nil {
+		return err
+	}
+	s.sys.plan = plan
+	s.sh = sh
+	s.part = part
+	if s.onResult != nil {
+		s.wireCallback()
+	}
+	return nil
+}
+
+// Push injects one tuple into a source stream; it is routed to the owning
+// shard (or all shards for broadcast sources) and processed
+// asynchronously. The system takes ownership of vals. Tuples must be
+// pushed in non-decreasing timestamp order.
+func (s *ShardedSystem) Push(streamName string, ts int64, vals ...int64) error {
+	if s.sh == nil {
+		return fmt.Errorf("rumor: call Optimize before Push")
+	}
+	return s.sh.Push(streamName, ts, vals)
+}
+
+// PushBatch injects a batch of tuples into one source stream under a
+// single routing pass. ts[i] pairs with vals[i]; the system takes
+// ownership of the value slices.
+func (s *ShardedSystem) PushBatch(streamName string, ts []int64, vals [][]int64) error {
+	if s.sh == nil {
+		return fmt.Errorf("rumor: call Optimize before PushBatch")
+	}
+	return s.sh.PushBatch(streamName, ts, vals)
+}
+
+// Drain blocks until every shard has processed all tuples pushed so far.
+// Result counts are stable afterwards (until the next Push).
+func (s *ShardedSystem) Drain() error {
+	if s.sh == nil {
+		return fmt.Errorf("rumor: call Optimize before Drain")
+	}
+	return s.sh.Drain()
+}
+
+// Close drains and stops the shard workers. Further pushes fail. Close is
+// idempotent.
+func (s *ShardedSystem) Close() error {
+	if s.sh == nil {
+		return nil
+	}
+	return s.sh.Close()
+}
+
+// ResultCount returns the merged result count for a query. Call Drain
+// first for a stable value.
+func (s *ShardedSystem) ResultCount(query string) int64 {
+	q, ok := s.sys.byName[query]
+	if !ok || s.sh == nil {
+		return 0
+	}
+	return s.sh.ResultCount(q.ID)
+}
+
+// TotalResults returns the merged result count across all queries. Call
+// Drain first for a stable value.
+func (s *ShardedSystem) TotalResults() int64 {
+	if s.sh == nil {
+		return 0
+	}
+	return s.sh.TotalResults()
+}
+
+// NumShards returns the number of engine replicas.
+func (s *ShardedSystem) NumShards() int {
+	if s.sh == nil {
+		return s.cfg.Shards
+	}
+	return s.sh.NumShards()
+}
+
+// PartitionInfo renders the routing decisions of the partitionability
+// analysis (empty before Optimize).
+func (s *ShardedSystem) PartitionInfo() string {
+	if s.part == nil {
+		return ""
+	}
+	return s.part.String()
+}
+
+// ShardStat reports one shard's load after a Drain.
+type ShardStat struct {
+	Shard   int
+	Tuples  int64 // tuples routed into the shard
+	BusyNS  int64 // time the shard's worker spent processing
+	Results int64 // results produced by the shard
+}
+
+// ShardStats returns per-shard load counters. Call Drain first for stable
+// values.
+func (s *ShardedSystem) ShardStats() []ShardStat {
+	if s.sh == nil {
+		return nil
+	}
+	raw := s.sh.ShardStats()
+	out := make([]ShardStat, len(raw))
+	for i, st := range raw {
+		out[i] = ShardStat{Shard: st.Shard, Tuples: st.Tuples, BusyNS: st.BusyNS, Results: st.Results}
+	}
+	return out
+}
+
+// PlanInfo returns summary statistics of the optimized plan.
+func (s *ShardedSystem) PlanInfo() PlanInfo {
+	return s.sys.PlanInfo()
+}
+
+// PlanString renders the optimized physical plan for inspection.
+func (s *ShardedSystem) PlanString() string {
+	return s.sys.PlanString()
+}

@@ -1,0 +1,195 @@
+package rumor_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	rumor "repro"
+	"repro/internal/expr"
+)
+
+// perfScript is a CQL workload whose smoothing aggregate is keyed by pid:
+// the partition analysis should hash CPU tuples on pid.
+const perfScript = `
+CREATE STREAM CPU(pid, load);
+LET smoothed := AGG(avg(load) OVER 60 BY pid FROM CPU);
+QUERY hot := FILTER(load > 90, @smoothed);
+QUERY warm := FILTER(load > 50, @smoothed);
+`
+
+func buildShardedPerf(t *testing.T, shards int) *rumor.ShardedSystem {
+	t.Helper()
+	sys := rumor.NewSharded(rumor.ShardConfig{Shards: shards, BatchSize: 8})
+	if err := sys.ExecScript(perfScript); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Optimize(rumor.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestShardedSystemLifecycle(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		ref := rumor.New()
+		if err := ref.ExecScript(perfScript); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Optimize(rumor.Options{Channels: true}); err != nil {
+			t.Fatal(err)
+		}
+		sys := buildShardedPerf(t, shards)
+		if got := sys.NumShards(); got != shards {
+			t.Fatalf("NumShards = %d, want %d", got, shards)
+		}
+		if info := sys.PartitionInfo(); !strings.Contains(info, "CPU: hash(a0)") {
+			t.Fatalf("partition info = %q, want CPU hashed on pid", info)
+		}
+		for ts := int64(0); ts < 200; ts++ {
+			pid := ts % 16
+			load := (ts * 7) % 101
+			if err := ref.Push("CPU", ts, pid, load); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Push("CPU", ts, pid, load); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []string{"hot", "warm"} {
+			if got, want := sys.ResultCount(q), ref.ResultCount(q); got != want {
+				t.Fatalf("shards=%d query %s: %d results, want %d", shards, q, got, want)
+			}
+		}
+		if got, want := sys.TotalResults(), ref.TotalResults(); got != want || got == 0 {
+			t.Fatalf("shards=%d total = %d, want %d (nonzero)", shards, got, want)
+		}
+		var tuples int64
+		for _, st := range sys.ShardStats() {
+			tuples += st.Tuples
+		}
+		if tuples != 200 {
+			t.Fatalf("shard stats count %d tuples, want 200", tuples)
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Push("CPU", 999, 1, 1); err == nil {
+			t.Fatal("Push after Close should fail")
+		}
+	}
+}
+
+// The sequenced OnResult callback must see every merged result exactly
+// once, with correct query attribution, and must be callback-race free.
+func TestShardedSystemOnResult(t *testing.T) {
+	ref := rumor.New()
+	if err := ref.ExecScript(perfScript); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Optimize(rumor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	sys := rumor.NewSharded(rumor.ShardConfig{Shards: 4, BatchSize: 4})
+	if err := sys.ExecScript(perfScript); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := map[string]int{}
+	sys.OnResult(func(q string, ts int64, vals []int64) {
+		mu.Lock()
+		got[q]++
+		mu.Unlock()
+	})
+	if err := sys.Optimize(rumor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(0); ts < 300; ts++ {
+		pid := ts % 8
+		load := (ts * 13) % 101
+		if err := ref.Push("CPU", ts, pid, load); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Push("CPU", ts, pid, load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"hot", "warm"} {
+		if int64(got[q]) != ref.ResultCount(q) {
+			t.Fatalf("query %s: %d callbacks, want %d", q, got[q], ref.ResultCount(q))
+		}
+	}
+}
+
+// Programmatic builders work through the sharded API, and an unkeyed
+// event-pattern plan (Workload-1 shape) broadcasts the probe side while
+// the result counts still match the single-threaded system.
+func TestShardedSystemBuildersUnkeyed(t *testing.T) {
+	mk := func(shards int) (*rumor.ShardedSystem, *rumor.System) {
+		sh := rumor.NewSharded(rumor.ShardConfig{Shards: shards, BatchSize: 16})
+		ref := rumor.New()
+		for _, s := range []struct {
+			decl func(name, label string, attrs ...string) error
+			add  func(name string, root *rumor.Logical) error
+		}{
+			{sh.DeclareStream, sh.AddQuery},
+			{ref.DeclareStream, ref.AddQuery},
+		} {
+			if err := s.decl("S", "", "a", "b"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.decl("T", "", "a", "b"); err != nil {
+				t.Fatal(err)
+			}
+			pred := expr.NewAnd2(expr.Right{P: expr.ConstCmp{Attr: 0, Op: expr.Eq, C: 3}})
+			root := rumor.Seq(pred, 50,
+				rumor.Filter(expr.ConstCmp{Attr: 0, Op: expr.Eq, C: 1}, rumor.Scan("S")),
+				rumor.Scan("T"))
+			if err := s.add("pattern", root); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sh.Optimize(rumor.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Optimize(rumor.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return sh, ref
+	}
+	for _, shards := range []int{2, 4} {
+		sh, ref := mk(shards)
+		if info := sh.PartitionInfo(); !strings.Contains(info, "T: multicast") {
+			t.Fatalf("partition info = %q, want T multicast", info)
+		}
+		for ts := int64(0); ts < 400; ts++ {
+			src := "S"
+			vals := []int64{ts % 5, 0}
+			if ts%2 == 1 {
+				src = "T"
+				vals = []int64{3, 0}
+			}
+			if err := ref.Push(src, ts, vals...); err != nil {
+				t.Fatal(err)
+			}
+			if err := sh.Push(src, ts, vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sh.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := sh.ResultCount("pattern"), ref.ResultCount("pattern"); got != want || want == 0 {
+			t.Fatalf("shards=%d pattern = %d, want %d (nonzero)", shards, got, want)
+		}
+		if err := sh.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
