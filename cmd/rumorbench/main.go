@@ -9,6 +9,7 @@
 //	rumorbench -fig 9a -maxq 100000     # paper-scale query sweep
 //	rumorbench -fig 10c -rounds 5000
 //	rumorbench -fig scale -shards 4     # sharded-runtime scaling, 1..4 shards
+//	rumorbench -fig churn -shards 2     # live add/remove churn latency
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, or all")
 	tuples := flag.Int("tuples", 20000, "input events per S/T measurement")
 	rounds := flag.Int("rounds", 2000, "workload-3 rounds per measurement")
 	trace := flag.Int("trace", 240, "perfmon trace length in seconds (figure 11)")
@@ -37,6 +38,15 @@ func main() {
 		Seed:         *seed,
 	}
 
+	if *fig == "churn" {
+		rows, err := cfg.Churn(*shards)
+		bench.FprintChurn(os.Stdout, rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumorbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "scale" {
 		var counts []int
 		for n := 1; n <= *shards; n *= 2 {

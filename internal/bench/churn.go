@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/live"
+	"repro/internal/rules"
+	"repro/internal/shard"
+	"repro/internal/workload"
+	"repro/internal/zipf"
+)
+
+// The churn figure measures the live query lifecycle (package live): with
+// a base query population running, queries are continuously added and
+// removed — definitions drawn from the Zipf-skewed workload generators,
+// removal victims Zipf-picked from the active transients — while the
+// event stream keeps flowing. Reported per workload: per-operation add
+// and remove latency (incremental rule run + delta splice + state
+// migration), steady-state throughput without churn, throughput under
+// churn, and the dip between the two (the cost of delta application on
+// the ingestion path).
+
+// ChurnRow is one (workload, runtime) churn measurement.
+type ChurnRow struct {
+	Workload string
+	Mode     string // "engine" or "shard=N"
+
+	Adds    int
+	Removes int
+
+	AddAvgUS, AddMaxUS float64 // add latency, microseconds
+	RemAvgUS, RemMaxUS float64 // remove latency, microseconds
+
+	OpEvery int // events between consecutive maintenance operations
+
+	SteadyEPS float64 // events/s, no churn
+	ChurnEPS  float64 // events/s while churning (maintenance time included)
+	DipPct    float64 // 100 * (1 - ChurnEPS/SteadyEPS), at the OpEvery rate
+
+	FinalQueries int // live queries at the end (base population retained)
+}
+
+// churnTarget abstracts the two runtimes under churn.
+type churnTarget interface {
+	push(ev workload.Event) error
+	sync() error // establish quiescence before reading the clock
+	applyAdd(m *live.Maintainer, q *core.Query) error
+	applyRemove(m *live.Maintainer, queryID int) error
+}
+
+type engineTarget struct{ e *engine.Engine }
+
+func (t engineTarget) push(ev workload.Event) error {
+	return t.e.Push(ev.Source, ev.Tuple)
+}
+func (t engineTarget) sync() error { return nil }
+func (t engineTarget) applyAdd(m *live.Maintainer, q *core.Query) error {
+	d, err := m.AddQuery(q)
+	if err != nil {
+		return err
+	}
+	return live.Apply(d, t.e)
+}
+func (t engineTarget) applyRemove(m *live.Maintainer, queryID int) error {
+	d, err := m.RemoveQuery(queryID)
+	if err != nil {
+		return err
+	}
+	return live.Apply(d, t.e)
+}
+
+type shardTarget struct {
+	e    *shard.Engine
+	plan *core.Physical
+	part *core.PartitionPlan
+}
+
+func (t *shardTarget) push(ev workload.Event) error {
+	return t.e.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals)
+}
+func (t *shardTarget) sync() error { return t.e.Drain() }
+func (t *shardTarget) applyAdd(m *live.Maintainer, q *core.Query) error {
+	d, err := m.AddQuery(q)
+	if err != nil {
+		return err
+	}
+	part, err := core.ExtendPartition(t.plan, t.part)
+	if err != nil {
+		return err
+	}
+	if err := t.e.ApplyDelta(d, part, nil, nil); err != nil {
+		return err
+	}
+	t.part = part
+	return nil
+}
+func (t *shardTarget) applyRemove(m *live.Maintainer, queryID int) error {
+	d, err := m.RemoveQuery(queryID)
+	if err != nil {
+		return err
+	}
+	part, err := core.ExtendPartition(t.plan, t.part)
+	if err != nil {
+		part = t.part // keep superset routes; pruning is optional
+	}
+	if err := t.e.ApplyDelta(d, part, []int{queryID}, nil); err != nil {
+		return err
+	}
+	t.part = part
+	return nil
+}
+
+// churnRun drives one churn measurement: base queries planned up front,
+// then the event stream in three phases — warm-up, steady (timed, no
+// churn), churn (timed, one maintenance operation every opEvery events).
+func churnRun(catalog map[string]core.SourceDecl, base, pool []*core.Query,
+	events []workload.Event, shards int, seed int64) (ChurnRow, error) {
+	row := ChurnRow{Mode: "engine"}
+	if shards > 1 {
+		row.Mode = fmt.Sprintf("shard=%d", shards)
+	}
+	plan := core.NewPhysical(catalog)
+	for _, q := range base {
+		if err := plan.AddQuery(q); err != nil {
+			return row, err
+		}
+	}
+	opts := rules.Options{}
+	if err := rules.Optimize(plan, opts); err != nil {
+		return row, err
+	}
+	var target churnTarget
+	var part *core.PartitionPlan
+	if shards > 1 {
+		part = core.AnalyzePartition(plan)
+		se, err := shard.New(plan, part, shard.Config{Shards: shards})
+		if err != nil {
+			return row, err
+		}
+		defer se.Close()
+		target = &shardTarget{e: se, plan: plan, part: part}
+	} else {
+		e, err := engine.New(plan)
+		if err != nil {
+			return row, err
+		}
+		target = engineTarget{e: e}
+	}
+	m := live.NewMaintainer(plan, opts)
+
+	warm := len(events) / 10
+	steadyN := (len(events) - warm) / 2
+	for _, ev := range events[:warm] {
+		if err := target.push(ev); err != nil {
+			return row, err
+		}
+	}
+	if err := target.sync(); err != nil {
+		return row, err
+	}
+
+	// Steady phase: no churn.
+	start := time.Now()
+	for _, ev := range events[warm : warm+steadyN] {
+		if err := target.push(ev); err != nil {
+			return row, err
+		}
+	}
+	if err := target.sync(); err != nil {
+		return row, err
+	}
+	row.SteadyEPS = rate(steadyN, time.Since(start))
+
+	// Churn phase: one maintenance operation every opEvery events —
+	// alternating adds (drawn in order from the Zipf-generated pool) and
+	// removes (victims Zipf-picked from the active transients).
+	churnEvents := events[warm+steadyN:]
+	ops := 2 * len(pool)
+	// Keep at least ~100 events between maintenance operations so the
+	// churn-phase throughput reflects delta cost amortized over flowing
+	// traffic, not back-to-back re-optimization.
+	if cap := len(churnEvents) / 100; ops > cap {
+		ops = cap
+	}
+	if ops < 10 {
+		ops = 10
+	}
+	opEvery := len(churnEvents) / (ops + 1)
+	if opEvery < 1 {
+		opEvery = 1
+	}
+	row.OpEvery = opEvery
+	victimGen := zipf.New(len(pool), 1.5, seed+41)
+	var active []*core.Query
+	nextAdd := 0
+	var addDur, remDur []time.Duration
+	start = time.Now()
+	sinceOp := 0
+	for _, ev := range churnEvents {
+		if err := target.push(ev); err != nil {
+			return row, err
+		}
+		sinceOp++
+		if sinceOp < opEvery {
+			continue
+		}
+		sinceOp = 0
+		if (len(addDur)+len(remDur))%2 == 0 && nextAdd < len(pool) {
+			q := pool[nextAdd]
+			nextAdd++
+			t0 := time.Now()
+			if err := target.applyAdd(m, q); err != nil {
+				return row, fmt.Errorf("add %s: %w", q.Name, err)
+			}
+			addDur = append(addDur, time.Since(t0))
+			active = append(active, q)
+		} else if len(active) > 0 {
+			i := victimGen.Next0() % len(active)
+			victim := active[i]
+			active = append(active[:i], active[i+1:]...)
+			t0 := time.Now()
+			if err := target.applyRemove(m, victim.ID); err != nil {
+				return row, fmt.Errorf("remove %s: %w", victim.Name, err)
+			}
+			remDur = append(remDur, time.Since(t0))
+		}
+	}
+	if err := target.sync(); err != nil {
+		return row, err
+	}
+	row.ChurnEPS = rate(len(churnEvents), time.Since(start))
+
+	row.Adds, row.Removes = len(addDur), len(remDur)
+	row.AddAvgUS, row.AddMaxUS = latencyUS(addDur)
+	row.RemAvgUS, row.RemMaxUS = latencyUS(remDur)
+	if row.SteadyEPS > 0 {
+		row.DipPct = 100 * (1 - row.ChurnEPS/row.SteadyEPS)
+	}
+	row.FinalQueries = len(plan.Queries)
+	return row, nil
+}
+
+func rate(n int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+func latencyUS(ds []time.Duration) (avg, max float64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+		if us := float64(d.Microseconds()); us > max {
+			max = us
+		}
+	}
+	return float64(sum.Microseconds()) / float64(len(ds)), max
+}
+
+// Churn measures live add/remove churn over Workloads 1–3, on the single
+// engine and (when shards > 1) on the sharded runtime.
+func (cfg Config) Churn(shards int) ([]ChurnRow, error) {
+	nBase := 500
+	if nBase > cfg.MaxQueries {
+		nBase = cfg.MaxQueries
+	}
+	nLive := nBase / 5 // transient pool: 20% of the base population
+	if nLive < 10 {
+		nLive = 10
+	}
+
+	type wl struct {
+		name    string
+		catalog map[string]core.SourceDecl
+		qs      []*core.Query
+		events  []workload.Event
+	}
+	var wls []wl
+	p := workload.DefaultParams()
+	p.Seed = cfg.Seed
+	p.NumQueries = nBase + nLive
+	w1, err := workload.ToRUMOR(p.Workload1())
+	if err != nil {
+		return nil, err
+	}
+	wls = append(wls, wl{"W1 (sigS;T, AN)", p.Catalog(), w1, p.GenStreams(cfg.Tuples)})
+	w2, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		return nil, err
+	}
+	wls = append(wls, wl{"W2 (S;eqT, AI)", p.Catalog(), w2, p.GenStreams(cfg.Tuples)})
+	const k = 10
+	wls = append(wls, wl{"W3 (Si;eqT)", p.Workload3Catalog(k), p.Workload3(k),
+		p.Workload3Rounds(k, cfg.Rounds)})
+
+	var rows []ChurnRow
+	for _, w := range wls {
+		base, pool := w.qs[:nBase], w.qs[nBase:]
+		counts := []int{1}
+		if shards > 1 {
+			counts = append(counts, shards)
+		}
+		for _, n := range counts {
+			row, err := churnRun(w.catalog, base, pool, w.events, n, cfg.Seed)
+			if err != nil {
+				return rows, fmt.Errorf("%s (%d shards): %w", w.name, n, err)
+			}
+			row.Workload = w.name
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FprintChurn renders churn rows as an aligned table.
+func FprintChurn(w io.Writer, rows []ChurnRow) {
+	fmt.Fprintf(w, "%-18s %-8s %5s %5s %6s %16s %16s %11s %11s %6s\n",
+		"workload", "mode", "adds", "rems", "every", "add us avg/max", "rem us avg/max",
+		"steady ev/s", "churn ev/s", "dip%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-8s %5d %5d %6d %7.0f/%-8.0f %7.0f/%-8.0f %11.0f %11.0f %5.1f%%\n",
+			r.Workload, r.Mode, r.Adds, r.Removes, r.OpEvery,
+			r.AddAvgUS, r.AddMaxUS, r.RemAvgUS, r.RemMaxUS,
+			r.SteadyEPS, r.ChurnEPS, r.DipPct)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 111))
+}

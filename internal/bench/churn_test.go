@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/live"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+// TestChurnSmoke runs the churn measurement end to end at a tiny scale.
+func TestChurnSmoke(t *testing.T) {
+	cfg := Config{Tuples: 3000, Rounds: 120, MaxQueries: 60, Seed: 1}
+	rows, err := cfg.Churn(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 workloads × {engine, shard=2}
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Adds == 0 || r.Removes == 0 {
+			t.Fatalf("%s %s: no churn operations measured (%+v)", r.Workload, r.Mode, r)
+		}
+		if r.SteadyEPS <= 0 || r.ChurnEPS <= 0 {
+			t.Fatalf("%s %s: non-positive throughput (%+v)", r.Workload, r.Mode, r)
+		}
+	}
+	var sb strings.Builder
+	FprintChurn(&sb, rows)
+	if !strings.Contains(sb.String(), "W1") {
+		t.Fatalf("table rendering broken:\n%s", sb.String())
+	}
+}
+
+// BenchmarkChurnAddRemove measures one live add + remove cycle against a
+// running Workload 1 plan with warm operator state.
+func BenchmarkChurnAddRemove(b *testing.B) {
+	p := workload.DefaultParams()
+	p.NumQueries = 200
+	aqs := p.Workload1()
+	qs, err := workload.ToRUMOR(aqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := core.NewPhysical(p.Catalog())
+	for _, q := range qs {
+		if err := plan.AddQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := rules.Optimize(plan, rules.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	e, err := engine.New(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ev := range p.GenStreams(2000) {
+		if err := e.Push(ev.Source, ev.Tuple); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := live.NewMaintainer(plan, rules.Options{})
+	p2 := p
+	p2.Seed = 77
+	p2.NumQueries = 1
+	liveQ, err := workload.ToRUMOR(p2.Workload1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := liveQ[0].Root
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := core.NewQuery("live_bench", root)
+		d, err := m.AddQuery(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := live.Apply(d, e); err != nil {
+			b.Fatal(err)
+		}
+		d, err = m.RemoveQuery(q.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := live.Apply(d, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

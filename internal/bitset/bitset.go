@@ -128,6 +128,31 @@ func (s *Set) ensure(i int) {
 	}
 }
 
+// Grow widens the set in place so that bits 0..n-1 are addressable without
+// further allocation, preserving the current contents. Growing an inline
+// set past 64 bits moves it to spill storage; every reader keeps seeing
+// the same bits (missing high words read as zero both before and after).
+// This is the explicit form of the widening contract live channel growth
+// rests on implicitly — memberships held by running operators stay valid
+// while the channel they index grows past the inline word, because narrow
+// and widened sets interoperate bit-for-bit (pinned by the property tests
+// in widen_test.go). Interned singletons (see Singleton) must be Cloned
+// before growing.
+func (s *Set) Grow(n int) {
+	if n > 0 {
+		s.ensure(n - 1)
+	}
+}
+
+// Words returns the number of addressable 64-bit words currently backing
+// the set (1 for inline sets).
+func (s *Set) Words() int {
+	if s == nil || s.spill == nil {
+		return 1
+	}
+	return len(s.spill)
+}
+
 // Set sets bit i. Panics if i is negative.
 func (s *Set) Set(i int) {
 	if i < 0 {

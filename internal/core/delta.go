@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements live plan maintenance: recording plan deltas while
+// the rewriting primitives mutate an already-running plan, and removing a
+// query from a plan without disturbing the operators the surviving queries
+// share. The engine consumes a Delta to splice the changes into its dense
+// routing tables and re-lower only the touched m-ops (package engine),
+// migrating their operator state (package mop) instead of rebuilding the
+// world.
+
+// Delta records the effect of one live maintenance operation (adding or
+// removing a query) on a physical plan. Node and edge IDs refer to the
+// plan's post-mutation state; a node that was created and then absorbed by
+// a merge within the same delta appears only through its successor.
+type Delta struct {
+	// Dirty is the set of node IDs that are new or whose operator set,
+	// input wiring, or output wiring changed: the engine must (re-)lower
+	// them, migrating operator state from their predecessors.
+	Dirty map[int]bool
+	// Removed is the set of node IDs no longer in the plan: nodes absorbed
+	// by a merge (their state migrates into the successor via shared
+	// operator IDs) and nodes garbage-collected by query removal (their
+	// state is discarded).
+	Removed map[int]bool
+	// RemovedEdges is the set of edge IDs no longer in the plan.
+	RemovedEdges map[int]bool
+	// NewEdges is the set of edge IDs created during the delta. The live
+	// channel rule uses it to restrict encoding to freshly built streams.
+	NewEdges map[int]bool
+	// NewQueries lists the query IDs registered during the delta. Even a
+	// delta with no node changes (a query fully absorbed by CSE, or a bare
+	// scan of an existing source) must reach the engine: its output sink
+	// is new.
+	NewQueries []int
+	// RemovedQueries lists the query IDs dropped during the delta.
+	RemovedQueries []int
+}
+
+func newDelta() *Delta {
+	return &Delta{
+		Dirty:        make(map[int]bool),
+		Removed:      make(map[int]bool),
+		RemovedEdges: make(map[int]bool),
+		NewEdges:     make(map[int]bool),
+	}
+}
+
+// Empty reports whether the delta records no change.
+func (d *Delta) Empty() bool {
+	return d == nil || (len(d.Dirty) == 0 && len(d.Removed) == 0 &&
+		len(d.RemovedEdges) == 0 && len(d.NewEdges) == 0 &&
+		len(d.NewQueries) == 0 && len(d.RemovedQueries) == 0)
+}
+
+// Merge folds o into d (o applied after d).
+func (d *Delta) Merge(o *Delta) {
+	if o == nil {
+		return
+	}
+	for id := range o.Dirty {
+		d.Dirty[id] = true
+	}
+	for id := range o.Removed {
+		delete(d.Dirty, id)
+		d.Removed[id] = true
+	}
+	for id := range o.NewEdges {
+		d.NewEdges[id] = true
+	}
+	for id := range o.RemovedEdges {
+		delete(d.NewEdges, id)
+		d.RemovedEdges[id] = true
+	}
+	d.NewQueries = append(d.NewQueries, o.NewQueries...)
+	d.RemovedQueries = append(d.RemovedQueries, o.RemovedQueries...)
+}
+
+// String renders the delta for logs and tests.
+func (d *Delta) String() string {
+	ids := func(m map[int]bool) []int {
+		out := make([]int, 0, len(m))
+		for id := range m {
+			out = append(out, id)
+		}
+		sort.Ints(out)
+		return out
+	}
+	return fmt.Sprintf("delta{dirty:%v removed:%v edges:-%v +%v queries:-%v}",
+		ids(d.Dirty), ids(d.Removed), ids(d.RemovedEdges), ids(d.NewEdges), d.RemovedQueries)
+}
+
+// BeginDelta starts recording plan mutations. Exactly one recording may be
+// active at a time; TakeDelta ends it.
+func (p *Physical) BeginDelta() error {
+	if p.rec != nil {
+		return fmt.Errorf("core: delta recording already active")
+	}
+	p.rec = newDelta()
+	return nil
+}
+
+// TakeDelta ends the active recording and returns the accumulated delta.
+func (p *Physical) TakeDelta() *Delta {
+	d := p.rec
+	p.rec = nil
+	return d
+}
+
+// Recording reports whether a delta recording is active.
+func (p *Physical) Recording() bool { return p.rec != nil }
+
+// NewEdge reports whether edge id was created during the active recording.
+func (p *Physical) NewEdge(id int) bool {
+	return p.rec != nil && p.rec.NewEdges[id]
+}
+
+func (p *Physical) noteDirty(nodeID int) {
+	if p.rec != nil {
+		p.rec.Dirty[nodeID] = true
+	}
+}
+
+func (p *Physical) noteRemovedNode(nodeID int) {
+	if p.rec != nil {
+		delete(p.rec.Dirty, nodeID)
+		p.rec.Removed[nodeID] = true
+	}
+}
+
+func (p *Physical) noteNewEdge(edgeID int) {
+	if p.rec != nil {
+		p.rec.NewEdges[edgeID] = true
+	}
+}
+
+func (p *Physical) noteRemovedEdge(edgeID int) {
+	if p.rec != nil {
+		if p.rec.NewEdges[edgeID] {
+			delete(p.rec.NewEdges, edgeID)
+			return
+		}
+		p.rec.RemovedEdges[edgeID] = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Query removal
+// ---------------------------------------------------------------------------
+
+// QueryByName returns the registered query with the given name (nil if
+// absent).
+func (p *Physical) QueryByName(name string) *Query {
+	for _, q := range p.Queries {
+		if q.Name == name {
+			return q
+		}
+	}
+	return nil
+}
+
+// RemoveQuery removes query id from the plan: operators reachable only
+// from the removed query's output are deleted (their nodes shrink or
+// disappear), their output streams are tombstoned so that the membership
+// positions of surviving channel streams stay stable, and edges whose
+// streams are all dead are dropped. Source nodes always survive. The
+// active delta recording (if any) captures every change.
+func (p *Physical) RemoveQuery(queryID int) error {
+	idx := -1
+	for i, q := range p.Queries {
+		if q.ID == queryID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: query %d not in plan", queryID)
+	}
+
+	// Operators needed by the surviving queries: everything reachable from
+	// their output streams through producer links.
+	live := make(map[*Op]bool)
+	var mark func(s *StreamRef)
+	mark = func(s *StreamRef) {
+		o := s.Producer
+		if o == nil || live[o] {
+			return
+		}
+		live[o] = true
+		for _, in := range o.In {
+			mark(in)
+		}
+	}
+	for _, q := range p.Queries {
+		if q.ID == queryID {
+			continue
+		}
+		if out := p.outStream[q.ID]; out != nil {
+			mark(out)
+		}
+	}
+
+	// Sweep nodes in ID order for a deterministic delta.
+	ids := make([]int, 0, len(p.Nodes))
+	for id := range p.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n := p.Nodes[id]
+		if n.Kind == KindSource {
+			continue
+		}
+		lost := false
+		for _, o := range append([]*Op(nil), n.Ops...) {
+			if live[o] {
+				continue
+			}
+			lost = true
+			p.removeDeadOp(o)
+		}
+		if !lost {
+			continue
+		}
+		if len(n.Ops) == 0 {
+			delete(p.Nodes, n.ID)
+			p.noteRemovedNode(n.ID)
+		} else {
+			p.noteDirty(n.ID)
+		}
+	}
+
+	p.Queries = append(p.Queries[:idx], p.Queries[idx+1:]...)
+	delete(p.outStream, queryID)
+	if p.rec != nil {
+		p.rec.RemovedQueries = append(p.rec.RemovedQueries, queryID)
+	}
+	return nil
+}
+
+// removeDeadOp unlinks one unreachable operator: consumer indexes, its
+// node's op list, and its output stream (tombstoned in place on shared
+// channel edges; single-stream and fully-dead edges are dropped).
+func (p *Physical) removeDeadOp(o *Op) {
+	for _, in := range o.In {
+		p.consumersOf[in.ID] = removeOp(p.consumersOf[in.ID], o)
+		if len(p.consumersOf[in.ID]) == 0 {
+			delete(p.consumersOf, in.ID)
+		}
+	}
+	if o.Out != nil {
+		dead := o.Out
+		dead.Dead = true
+		delete(p.consumersOf, dead.ID)
+		if e := p.streamEdge[dead.ID]; e != nil {
+			if e.LiveStreams() == 0 {
+				for _, s := range e.Streams {
+					delete(p.streamEdge, s.ID)
+				}
+				delete(p.Edges, e.ID)
+				p.noteRemovedEdge(e.ID)
+			}
+			// Otherwise the dead stream stays in e.Streams as a tombstone:
+			// surviving streams keep their membership positions, and stored
+			// channel memberships inside running m-ops remain valid.
+		}
+	}
+	o.Node.Ops = removeOp(o.Node.Ops, o)
+}
+
+// OpRefcounts returns, per operator ID, the number of registered queries
+// whose output depends on the operator (its live reference count). An
+// operator shared by k queries reports k; removal garbage-collects an
+// operator exactly when its count would reach zero.
+func (p *Physical) OpRefcounts() map[int]int {
+	counts := make(map[int]int)
+	for _, q := range p.Queries {
+		out := p.outStream[q.ID]
+		if out == nil {
+			continue
+		}
+		seen := make(map[*Op]bool)
+		var walk func(s *StreamRef)
+		walk = func(s *StreamRef) {
+			o := s.Producer
+			if o == nil || seen[o] {
+				return
+			}
+			seen[o] = true
+			counts[o.ID]++
+			for _, in := range o.In {
+				walk(in)
+			}
+		}
+		walk(out)
+	}
+	return counts
+}

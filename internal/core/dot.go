@@ -15,6 +15,7 @@ func (p *Physical) Dot() string {
 	var b strings.Builder
 	b.WriteString("digraph rumor {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n")
 
+	refs := p.OpRefcounts()
 	nodeIDs := make([]int, 0, len(p.Nodes))
 	for id := range p.Nodes {
 		nodeIDs = append(nodeIDs, id)
@@ -22,7 +23,13 @@ func (p *Physical) Dot() string {
 	sort.Ints(nodeIDs)
 	for _, id := range nodeIDs {
 		n := p.Nodes[id]
-		label := fmt.Sprintf("%s m-op #%d\\n%d ops", n.Kind, n.ID, len(n.Ops))
+		// refs: live query references across the node's operators — the
+		// refcounts live removal decrements before garbage-collecting.
+		nodeRefs := 0
+		for _, o := range n.Ops {
+			nodeRefs += refs[o.ID]
+		}
+		label := fmt.Sprintf("%s m-op #%d\\n%d ops, refs=%d", n.Kind, n.ID, len(n.Ops), nodeRefs)
 		if n.Kind == KindSource {
 			names := map[string]bool{}
 			for _, o := range n.Ops {
@@ -74,8 +81,15 @@ func (p *Physical) Dot() string {
 	for _, l := range links {
 		e := p.Edges[l.edge]
 		if e != nil && e.IsChannel() {
-			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"channel ×%d\"];\n",
-				l.from, l.to, len(e.Streams))
+			// Membership width: live streams over total slots (tombstoned
+			// positions from removed queries keep their slot).
+			live, total := e.LiveStreams(), len(e.Streams)
+			width := fmt.Sprintf("%d", live)
+			if live != total {
+				width = fmt.Sprintf("%d/%d", live, total)
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"channel ×%s\"];\n",
+				l.from, l.to, width)
 		} else {
 			fmt.Fprintf(&b, "  n%d -> n%d;\n", l.from, l.to)
 		}

@@ -199,6 +199,108 @@ func AnalyzePartition(p *Physical) *PartitionPlan {
 	return pp
 }
 
+// ExtendPartition incrementally updates a partition plan after a live
+// query delta. Sources that were routed before keep their mode and
+// attribute — the operator state already distributed across the shards is
+// only correct under the routes it was built with — while their multicast
+// tables and Always lists are rebuilt from the current consumers (new
+// partner constants appear, constants of removed operators are pruned).
+// Only sources new to the plan receive fresh routes. ReplicatedSinks is
+// recomputed for the current query set.
+//
+// When the grown plan cannot be served without re-routing an existing
+// source (e.g. a new query needs a broadcast of a currently partitioned
+// stream), ExtendPartition returns an error and the caller must reject
+// the live operation; serving such a query requires an offline restart.
+func ExtendPartition(p *Physical, prev *PartitionPlan) (*PartitionPlan, error) {
+	a := &analysis{p: p, lineage: make(map[int][]string), multicastTried: make(map[string]bool)}
+	modes := a.proposeRoutes()
+	pinned := make(map[string]bool, len(prev.Routes))
+	for name, r := range prev.Routes {
+		if p.SourceStream(name) == nil {
+			continue
+		}
+		pinned[name] = true
+		a.multicastTried[name] = true // verify must not re-route pinned sources
+		if r.Mode != PartitionMulticast {
+			modes[name] = SourceRoute{Mode: r.Mode, Attr: r.Attr}
+			continue
+		}
+		if len(p.Consumers(p.SourceStream(name))) == 0 {
+			if len(p.OutputQueries(p.SourceStream(name))) > 0 {
+				// A query reads the multicast source directly: its tuples
+				// must reach a shard, which the drop-at-router route cannot
+				// provide without re-routing the pinned source.
+				return nil, fmt.Errorf("core: live query reads multicast source %q directly; re-optimize offline", name)
+			}
+			// Every consumer was removed: keep the multicast mode with an
+			// empty table — future tuples are dropped at the router.
+			modes[name] = SourceRoute{Mode: PartitionMulticast, Attr: r.Attr, Table: map[int64][]int64{}}
+			continue
+		}
+		srcL, lAttr, rAttr, table, always, ok := a.multicastTable(p.SourceStream(name))
+		if !ok {
+			return nil, fmt.Errorf("core: source %q no longer qualifies for its multicast route; re-optimize offline", name)
+		}
+		if lm, exists := prev.Routes[srcL]; !exists || lm.Mode != PartitionHash || lm.Attr != lAttr {
+			return nil, fmt.Errorf("core: multicast source %q now pairs against %q(a%d), conflicting with its pinned route", name, srcL, lAttr)
+		}
+		if rAttr != r.Attr && len(table) > 0 {
+			return nil, fmt.Errorf("core: multicast source %q changed its probed attribute (a%d -> a%d)", name, r.Attr, rAttr)
+		}
+		modes[name] = SourceRoute{Mode: PartitionMulticast, Attr: r.Attr, Table: table, Always: always}
+	}
+	for range 2*len(modes) + 2 {
+		demote, changed := a.verify(modes)
+		if changed {
+			continue
+		}
+		if demote == nil {
+			break
+		}
+		progressed := false
+		for _, src := range demote {
+			if pinned[src] {
+				return nil, fmt.Errorf("core: live delta requires re-routing pinned source %q (%s); re-optimize offline",
+					src, modes[src].Mode)
+			}
+			if modes[src].Mode != PartitionBroadcast {
+				modes[src] = SourceRoute{Mode: PartitionBroadcast}
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("core: plan is not partitionable under the pinned routes; re-optimize offline")
+		}
+	}
+	// Defense in depth: a pinned source's mode/attr must have survived
+	// verification untouched (tryMulticast is blocked above, but a future
+	// verify path could mutate modes).
+	for name := range pinned {
+		old, now := prev.Routes[name], modes[name]
+		if now.Mode != old.Mode {
+			return nil, fmt.Errorf("core: pinned source %q changed mode %s -> %s", name, old.Mode, now.Mode)
+		}
+		if (now.Mode == PartitionHash || now.Mode == PartitionMulticast) && now.Attr != old.Attr {
+			return nil, fmt.Errorf("core: pinned source %q changed attribute a%d -> a%d", name, old.Attr, now.Attr)
+		}
+	}
+	pp := &PartitionPlan{Routes: modes, ReplicatedSinks: make(map[int]bool)}
+	status := make(map[int]partStatus)
+	for _, q := range p.Queries {
+		out := p.OutputOf(q.ID)
+		if st, ok := a.status(out, modes, status); ok && st.kind == pRepl {
+			pp.ReplicatedSinks[q.ID] = true
+		}
+	}
+	for _, r := range modes {
+		if r.Mode != PartitionBroadcast {
+			pp.Parallel = true
+		}
+	}
+	return pp, nil
+}
+
 // sortedSources returns the plan's used source names in sorted order.
 func (a *analysis) sortedSources() []string {
 	var names []string
@@ -522,6 +624,54 @@ func containsKey(keys []int64, k int64) bool {
 	return false
 }
 
+// multicastTable scans every consumer of a source stream and builds the
+// content-based routing table: each consumer must be a qualifying FR/AN
+// sequence over one common left source (see multicastOpSpec). ok is false
+// when any consumer disqualifies the source.
+func (a *analysis) multicastTable(rStream *StreamRef) (srcL string, lAttr, rAttr int, table map[int64][]int64, always []int64, ok bool) {
+	lAttr, rAttr = -1, -1
+	if len(a.p.OutputQueries(rStream)) > 0 {
+		return // a query reads the source directly
+	}
+	consumers := a.p.Consumers(rStream)
+	if len(consumers) == 0 {
+		return
+	}
+	table = make(map[int64][]int64)
+	for _, c := range consumers {
+		if c.In[len(c.In)-1] != rStream || (len(c.In) > 1 && c.In[0] == rStream) {
+			return "", -1, -1, nil, nil, false // right side only
+		}
+		spec, specOK := a.multicastOpSpec(c)
+		if !specOK {
+			return "", -1, -1, nil, nil, false
+		}
+		if srcL == "" {
+			srcL, lAttr = spec.srcL, spec.lAttr
+		} else if srcL != spec.srcL || lAttr != spec.lAttr {
+			return "", -1, -1, nil, nil, false
+		}
+		if spec.rAttr < 0 {
+			always = appendKey(always, spec.c1)
+			continue
+		}
+		if rAttr == -1 {
+			rAttr = spec.rAttr
+		} else if rAttr != spec.rAttr {
+			return "", -1, -1, nil, nil, false
+		}
+		table[spec.c3] = appendKey(table[spec.c3], spec.c1)
+	}
+	if srcL == "" {
+		return "", -1, -1, nil, nil, false
+	}
+	if rAttr == -1 {
+		rAttr = 0 // Always-only routing; the probed attribute is unused
+	}
+	ok = true
+	return
+}
+
 // tryMulticast attempts to resolve a probe-side conflict by routing the
 // right source with a content-based multicast table: every consumer of
 // the source must be a qualifying FR/AN sequence over one common left
@@ -536,41 +686,8 @@ func (a *analysis) tryMulticast(o *Op, modes map[string]SourceRoute) bool {
 		return false
 	}
 	a.multicastTried[srcR] = true
-	if len(a.p.OutputQueries(rStream)) > 0 {
-		return false // a query reads the source directly
-	}
-	consumers := a.p.Consumers(rStream)
-	if len(consumers) == 0 {
-		return false
-	}
-	srcL, lAttr, rAttr := "", -1, -1
-	table := make(map[int64][]int64)
-	var always []int64
-	for _, c := range consumers {
-		if c.In[len(c.In)-1] != rStream || (len(c.In) > 1 && c.In[0] == rStream) {
-			return false // must consume the source as the right side only
-		}
-		spec, ok := a.multicastOpSpec(c)
-		if !ok {
-			return false
-		}
-		if srcL == "" {
-			srcL, lAttr = spec.srcL, spec.lAttr
-		} else if srcL != spec.srcL || lAttr != spec.lAttr {
-			return false
-		}
-		if spec.rAttr < 0 {
-			always = appendKey(always, spec.c1)
-			continue
-		}
-		if rAttr == -1 {
-			rAttr = spec.rAttr
-		} else if rAttr != spec.rAttr {
-			return false
-		}
-		table[spec.c3] = appendKey(table[spec.c3], spec.c1)
-	}
-	if srcL == "" {
+	srcL, lAttr, rAttr, table, always, ok := a.multicastTable(rStream)
+	if !ok {
 		return false
 	}
 	// The instance side must hash on the selection attribute.
@@ -579,9 +696,6 @@ func (a *analysis) tryMulticast(o *Op, modes map[string]SourceRoute) bool {
 		return false
 	case cur.Mode == PartitionBroadcast || cur.Mode == PartitionMulticast:
 		return false
-	}
-	if rAttr == -1 {
-		rAttr = 0 // Always-only routing; the probed attribute is unused
 	}
 	modes[srcL] = SourceRoute{Mode: PartitionHash, Attr: lAttr}
 	modes[srcR] = SourceRoute{Mode: PartitionMulticast, Attr: rAttr, Table: table, Always: always}

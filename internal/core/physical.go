@@ -21,6 +21,10 @@ type StreamRef struct {
 	// relation ∼ (§3.2): two streams are sharable iff their classes are
 	// equal.
 	ShareClass string
+	// Dead marks a tombstoned stream: its producer was garbage-collected
+	// by live query removal, but the stream keeps its slot on a shared
+	// channel edge so surviving streams' membership positions stay stable.
+	Dead bool
 }
 
 // Op is one physical operator instance, owned by a query. An m-op (Node)
@@ -50,8 +54,21 @@ type Edge struct {
 	Streams []*StreamRef
 }
 
-// IsChannel reports whether the edge encodes more than one stream.
+// IsChannel reports whether the edge encodes more than one stream
+// (tombstoned streams keep their slot and still count structurally:
+// membership positions are defined over all slots).
 func (e *Edge) IsChannel() bool { return len(e.Streams) > 1 }
+
+// LiveStreams returns the number of non-tombstoned streams on the edge.
+func (e *Edge) LiveStreams() int {
+	n := 0
+	for _, s := range e.Streams {
+		if !s.Dead {
+			n++
+		}
+	}
+	return n
+}
 
 // Pos returns the membership index of stream s on the edge, or -1.
 func (e *Edge) Pos(s *StreamRef) int {
@@ -80,6 +97,10 @@ type Physical struct {
 	outStream   map[int]*StreamRef // query ID → output stream
 
 	nextStream, nextOp, nextNode, nextEdge, nextQuery int
+
+	// rec, when non-nil, records plan mutations for live maintenance
+	// (see delta.go).
+	rec *Delta
 }
 
 // NewPhysical creates an empty plan over the given source catalog.
@@ -114,6 +135,9 @@ func (p *Physical) AddQuery(q *Query) error {
 	}
 	p.Queries = append(p.Queries, q)
 	p.outStream[q.ID] = out
+	if p.rec != nil {
+		p.rec.NewQueries = append(p.rec.NewQueries, q.ID)
+	}
 	return nil
 }
 
@@ -160,6 +184,7 @@ func (p *Physical) build(queryID int, l *Logical) (*StreamRef, error) {
 	p.nextNode++
 	op.Node = node
 	p.Nodes[node.ID] = node
+	p.noteDirty(node.ID)
 	p.addEdge(out)
 	for _, s := range ins {
 		p.consumersOf[s.ID] = append(p.consumersOf[s.ID], op)
@@ -188,6 +213,7 @@ func (p *Physical) ensureSource(name string) *StreamRef {
 	p.nextNode++
 	op.Node = node
 	p.Nodes[node.ID] = node
+	p.noteDirty(node.ID)
 	p.sourceNode[name] = node
 	p.sourceRef[name] = s
 	p.addEdge(s)
@@ -199,6 +225,7 @@ func (p *Physical) addEdge(s *StreamRef) *Edge {
 	p.nextEdge++
 	p.Edges[e.ID] = e
 	p.streamEdge[s.ID] = e
+	p.noteNewEdge(e.ID)
 	return e
 }
 
@@ -373,6 +400,7 @@ func (p *Physical) MergeNodes(nodes []*Node) (*Node, error) {
 	p.nextNode++
 	for _, n := range nodes {
 		delete(p.Nodes, n.ID)
+		p.noteRemovedNode(n.ID)
 		for name, sn := range p.sourceNode {
 			if sn == n {
 				p.sourceNode[name] = merged
@@ -383,6 +411,7 @@ func (p *Physical) MergeNodes(nodes []*Node) (*Node, error) {
 		o.Node = merged
 	}
 	p.Nodes[merged.ID] = merged
+	p.noteDirty(merged.ID)
 	return merged, nil
 }
 
@@ -420,6 +449,7 @@ func (p *Physical) CollapseOps(ops []*Op) (*Op, error) {
 				}
 			}
 			p.consumersOf[keep.Out.ID] = append(p.consumersOf[keep.Out.ID], c)
+			p.noteDirty(c.Node.ID)
 		}
 		delete(p.consumersOf, dead.ID)
 		// Remap query outputs.
@@ -437,6 +467,7 @@ func (p *Physical) CollapseOps(ops []*Op) (*Op, error) {
 			e.Streams = removeStream(e.Streams, dead)
 			if len(e.Streams) == 0 {
 				delete(p.Edges, e.ID)
+				p.noteRemovedEdge(e.ID)
 			}
 		}
 		delete(p.streamEdge, dead.ID)
@@ -445,6 +476,9 @@ func (p *Physical) CollapseOps(ops []*Op) (*Op, error) {
 		n.Ops = removeOp(n.Ops, o)
 		if len(n.Ops) == 0 {
 			delete(p.Nodes, n.ID)
+			p.noteRemovedNode(n.ID)
+		} else {
+			p.noteDirty(n.ID)
 		}
 	}
 	return keep, nil
@@ -479,12 +513,38 @@ func (p *Physical) EncodeChannel(streams []*StreamRef) (*Edge, error) {
 	}
 	ch := &Edge{ID: p.nextEdge, Streams: all}
 	p.nextEdge++
+	// For the live channel gate, the merged edge counts as delta-new only
+	// when every absorbed edge was delta-new: a grown pre-existing channel
+	// keeps its "existing" status, so a later rule round cannot fold it
+	// into another pre-existing channel (which would shift the stored
+	// membership positions of one of them).
+	allNew := p.rec != nil
+	for eid := range seenEdge {
+		if p.rec != nil && !p.rec.NewEdges[eid] {
+			allNew = false
+		}
+	}
 	for eid := range seenEdge {
 		delete(p.Edges, eid)
+		p.noteRemovedEdge(eid)
 	}
 	p.Edges[ch.ID] = ch
+	if allNew {
+		p.noteNewEdge(ch.ID)
+	}
 	for _, s := range all {
 		p.streamEdge[s.ID] = ch
+		if s.Dead {
+			continue // tombstone: producer GC'd, no consumers
+		}
+		// Re-lower everything wired to the re-encoded streams: their edge
+		// identity (and possibly their membership position) changed.
+		if s.Producer != nil {
+			p.noteDirty(s.Producer.Node.ID)
+		}
+		for _, c := range p.consumersOf[s.ID] {
+			p.noteDirty(c.Node.ID)
+		}
 	}
 	return ch, nil
 }
@@ -530,8 +590,9 @@ func (p *Physical) Stats() Stats {
 		st.Ops += len(n.Ops)
 	}
 	for _, e := range p.Edges {
-		st.Streams += len(e.Streams)
-		if e.IsChannel() {
+		live := e.LiveStreams()
+		st.Streams += live
+		if live > 1 {
 			st.Channels++
 		}
 	}
@@ -630,6 +691,9 @@ func (p *Physical) String() string {
 		ss := make([]string, len(e.Streams))
 		for i, s := range e.Streams {
 			ss[i] = fmt.Sprintf("s%d", s.ID)
+			if s.Dead {
+				ss[i] += "†" // tombstoned by live query removal
+			}
 		}
 		fmt.Fprintf(&b, "edge %d {%s}\n", e.ID, strings.Join(ss, ","))
 	}

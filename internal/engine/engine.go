@@ -30,11 +30,12 @@ type portRef struct {
 type runtimeNode struct {
 	id        int
 	m         mop.MOp
-	out       []*core.Edge // output port → edge
-	emit      mop.Emit     // built once at lowering: enqueues on out[port]
+	in        []*core.Edge  // input port → edge (consumer registration)
+	out       []*core.Edge  // output port → edge
+	emit      mop.Emit      // built once at lowering: enqueues on out[port]
 	uses      []mop.PortUse // input port → how delivered tuples are used
-	processed int64        // tuples delivered to this m-op
-	emitted   int64        // tuples produced by this m-op
+	processed int64         // tuples delivered to this m-op
+	emitted   int64         // tuples produced by this m-op
 }
 
 // sink records that a stream on an edge is the output of some queries.
@@ -121,7 +122,44 @@ func New(p *core.Physical) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
 	}
-	maxEdge, maxQuery := -1, -1
+	e := &Engine{plan: p}
+	for _, n := range p.Nodes {
+		if n.Kind == core.KindSource {
+			continue // sources are injected directly onto their edges
+		}
+		rn, err := e.lowerNode(n)
+		if err != nil {
+			return nil, err
+		}
+		e.nodes = append(e.nodes, rn)
+	}
+	sort.Slice(e.nodes, func(i, j int) bool { return e.nodes[i].id < e.nodes[j].id })
+	e.rebuildRoutes()
+	return e, nil
+}
+
+// lowerNode compiles one plan node into a runtime node with its emit
+// closure (built once so the delivery loop allocates no closures).
+func (e *Engine) lowerNode(n *core.Node) (*runtimeNode, error) {
+	low, err := mop.Lower(e.plan, n)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	rn := &runtimeNode{id: n.ID, m: low.MOp, in: low.InEdges, out: low.OutEdges, uses: low.PortUses}
+	rn.emit = func(outPort int, out *stream.Tuple) {
+		rn.emitted++
+		e.enqueue(rn.out[outPort], out)
+	}
+	return rn, nil
+}
+
+// rebuildRoutes recomputes the dense routing state — per-edge consumer
+// lists, query sinks, source injection info, release analysis, and the
+// result-counter table — from the current plan and runtime nodes. It runs
+// at lowering time and once per live plan delta, never on the push path.
+func (e *Engine) rebuildRoutes() {
+	p := e.plan
+	maxEdge, maxQuery := -1, len(e.counts)-1
 	for id := range p.Edges {
 		if id > maxEdge {
 			maxEdge = id
@@ -132,36 +170,24 @@ func New(p *core.Physical) (*Engine, error) {
 			maxQuery = q.ID
 		}
 	}
-	e := &Engine{
-		plan:    p,
-		routes:  make([]edgeRoute, maxEdge+1),
-		sources: make(map[string]sourceInfo),
-		counts:  make([]int64, maxQuery+1),
+	e.routes = make([]edgeRoute, maxEdge+1)
+	// Result counters are kept across deltas: a removed query's slot holds
+	// its final count.
+	if maxQuery+1 > len(e.counts) {
+		counts := make([]int64, maxQuery+1)
+		copy(counts, e.counts)
+		e.counts = counts
 	}
-	for _, n := range p.Nodes {
-		if n.Kind == core.KindSource {
-			continue // sources are injected directly onto their edges
-		}
-		low, err := mop.Lower(p, n)
-		if err != nil {
-			return nil, fmt.Errorf("engine: %w", err)
-		}
-		rn := &runtimeNode{id: n.ID, m: low.MOp, out: low.OutEdges, uses: low.PortUses}
-		// One emit closure per node, built here so the delivery loop does
-		// not allocate a closure per Process call.
-		rn.emit = func(outPort int, out *stream.Tuple) {
-			rn.emitted++
-			e.enqueue(rn.out[outPort], out)
-		}
-		e.nodes = append(e.nodes, rn)
-		for port, in := range low.InEdges {
+	for _, rn := range e.nodes {
+		for port, in := range rn.in {
 			r := &e.routes[in.ID]
 			r.consumers = append(r.consumers, portRef{node: rn, port: port})
 		}
 	}
-	sort.Slice(e.nodes, func(i, j int) bool { return e.nodes[i].id < e.nodes[j].id })
 	// Source edges, indexed by every source name they carry, with the
 	// membership each plain Push must attach precomputed.
+	e.sources = make(map[string]sourceInfo)
+	e.srcList = e.srcList[:0]
 	for name := range p.Catalog {
 		s := p.SourceStream(name)
 		if s == nil {
@@ -228,7 +254,70 @@ func New(p *core.Physical) (*Engine, error) {
 			r.clearsOwned = true
 		}
 	}
-	return e, nil
+}
+
+// ApplyDelta splices a live plan delta into the running engine: runtime
+// nodes of removed plan nodes are dropped (their unadopted operator state
+// is discarded), dirty nodes are re-lowered with their predecessors'
+// state migrated in (package mop), and the dense routing tables are
+// recomputed. The engine must be quiescent (no in-flight drain); the push
+// path itself is untouched by delta application.
+func (e *Engine) ApplyDelta(d *core.Delta) error {
+	if d == nil || d.Empty() {
+		return nil
+	}
+	affected := make(map[int]bool, len(d.Dirty)+len(d.Removed))
+	for id := range d.Dirty {
+		affected[id] = true
+	}
+	for id := range d.Removed {
+		affected[id] = true
+	}
+	var olds []mop.MOp
+	counters := make(map[int]*runtimeNode)
+	// kept is a fresh slice: e.nodes must stay intact until the delta is
+	// known to apply cleanly, so an error return leaves the engine in its
+	// pre-delta state (stale vs the plan, but internally consistent).
+	kept := make([]*runtimeNode, 0, len(e.nodes))
+	for _, rn := range e.nodes {
+		if affected[rn.id] {
+			olds = append(olds, rn.m)
+			counters[rn.id] = rn
+		} else {
+			kept = append(kept, rn)
+		}
+	}
+	pool := mop.NewMigrationPool(olds)
+	dirty := make([]int, 0, len(d.Dirty))
+	for id := range d.Dirty {
+		dirty = append(dirty, id)
+	}
+	sort.Ints(dirty)
+	for _, id := range dirty {
+		n, ok := e.plan.Nodes[id]
+		if !ok {
+			return fmt.Errorf("engine: dirty node %d not in plan", id)
+		}
+		if n.Kind == core.KindSource {
+			continue
+		}
+		rn, err := e.lowerNode(n)
+		if err != nil {
+			return err
+		}
+		if err := pool.Adopt(&mop.Lowered{MOp: rn.m, InEdges: rn.in, OutEdges: rn.out, PortUses: rn.uses}); err != nil {
+			return fmt.Errorf("engine: node %d: %w", id, err)
+		}
+		if old := counters[rn.id]; old != nil {
+			rn.processed, rn.emitted = old.processed, old.emitted
+		}
+		kept = append(kept, rn)
+	}
+	pool.DiscardRest()
+	e.nodes = kept
+	sort.Slice(e.nodes, func(i, j int) bool { return e.nodes[i].id < e.nodes[j].id })
+	e.rebuildRoutes()
+	return nil
 }
 
 // Push injects a tuple into the named source stream and drains the plan.

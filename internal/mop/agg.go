@@ -116,6 +116,9 @@ type aggGroup struct {
 	channel bool
 
 	ops []selOp
+	// opIDs[i] is the plan operator ID behind ops[i]; live maintenance
+	// uses it to re-attach the group's window state after re-lowering.
+	opIDs []int
 
 	buf   []aggEntry            // FIFO within window (input is timestamp-ordered)
 	state map[string]*aggState  // plain: group → state
@@ -161,6 +164,7 @@ func newAggMOp(p *core.Physical, n *core.Node, pm *portMap) (*AggMOp, error) {
 			g.channel = true
 		}
 		g.ops = append(g.ops, selOp{inPos: pos, tg: pm.outLoc(p, o.Out)})
+		g.opIDs = append(g.opIDs, o.ID)
 	}
 	for _, gs := range m.ports {
 		for _, g := range gs {

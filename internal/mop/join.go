@@ -90,22 +90,54 @@ type joinGroup struct {
 	// per-match emission loop can stop at the first operator whose window
 	// the pair's age exceeds.
 	ops []joinOp
+	// opIDs[i] is the plan operator ID behind ops[i] (co-sorted with ops);
+	// live maintenance keys state migration on it.
+	opIDs []int
 	// tgScratch collects plain emission targets per match (reused).
 	tgScratch []target
 }
 
-// seal orders the operators for the early-exit emission scan.
+// seal orders the operators for the early-exit emission scan, keeping
+// opIDs aligned with ops.
 func (g *joinGroup) seal() {
 	if g.unbounded {
 		g.maxWindow = 0
 	}
-	sort.SliceStable(g.ops, func(i, j int) bool {
-		wi, wj := g.ops[i].window, g.ops[j].window
+	ord := windowOrder(len(g.ops), func(i int) int64 { return g.ops[i].window })
+	g.ops = permuteOps(g.ops, ord)
+	g.opIDs = permuteInts(g.opIDs, ord)
+}
+
+// windowOrder returns the index permutation sorting operators
+// unbounded-first, then by window descending (stable).
+func windowOrder(n int, window func(i int) int64) []int {
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		wi, wj := window(ord[a]), window(ord[b])
 		if (wi <= 0) != (wj <= 0) {
 			return wi <= 0
 		}
 		return wi > wj
 	})
+	return ord
+}
+
+func permuteOps[T any](s []T, ord []int) []T {
+	out := make([]T, len(s))
+	for i, j := range ord {
+		out[i] = s[j]
+	}
+	return out
+}
+
+func permuteInts(s []int, ord []int) []int {
+	if len(s) == 0 {
+		return s
+	}
+	return permuteOps(s, ord)
 }
 
 // JoinMOp is the windowed join m-op.
@@ -164,6 +196,7 @@ func newJoinMOp(p *core.Physical, n *core.Node, pm *portMap) (*JoinMOp, error) {
 			window:   o.Def.Window,
 			tg:       pm.outLoc(p, o.Out),
 		})
+		g.opIDs = append(g.opIDs, o.ID)
 	}
 	for _, g := range order {
 		g.seal()

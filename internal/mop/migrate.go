@@ -1,0 +1,196 @@
+package mop
+
+import "fmt"
+
+// This file implements operator-state migration for live plan maintenance
+// (package live): when a query is added to or removed from a running plan,
+// the engine re-lowers only the touched m-op nodes. The freshly lowered
+// m-op adopts the window buffers, hash indexes, and stored automaton
+// instances of its predecessors, keyed by the plan operator IDs each state
+// group serves — existing operators keep their state across the delta;
+// only brand-new operators start empty. State not adopted by any successor
+// belonged exclusively to removed queries and is discarded (its pooled µ
+// state tuples are returned to the tuple pool).
+
+// MigrationPool indexes the state groups of the m-ops being replaced
+// during one delta application by the operator IDs they serve.
+type MigrationPool struct {
+	aggByOp  map[int]*aggGroup
+	joinByOp map[int]*joinGroup
+	seqByOp  map[int]*stateGroup
+
+	seqGroups []*stateGroup // all old seq groups, for discard sweeping
+	adopted   map[any]bool
+}
+
+// NewMigrationPool harvests the state groups of the given old m-ops.
+func NewMigrationPool(olds []MOp) *MigrationPool {
+	p := &MigrationPool{
+		aggByOp:  make(map[int]*aggGroup),
+		joinByOp: make(map[int]*joinGroup),
+		seqByOp:  make(map[int]*stateGroup),
+		adopted:  make(map[any]bool),
+	}
+	for _, m := range olds {
+		switch om := m.(type) {
+		case *AggMOp:
+			for _, gs := range om.ports {
+				for _, g := range gs {
+					for _, id := range g.opIDs {
+						p.aggByOp[id] = g
+					}
+				}
+			}
+		case *JoinMOp:
+			for _, pgs := range om.portGroups {
+				for _, pg := range pgs {
+					if !pg.isLeft {
+						continue // each group registers one left entry
+					}
+					for _, id := range pg.g.opIDs {
+						p.joinByOp[id] = pg.g
+					}
+				}
+			}
+		case *SeqMOp:
+			for _, g := range om.groups() {
+				p.seqGroups = append(p.seqGroups, g)
+				for _, id := range g.opIDs {
+					p.seqByOp[id] = g
+				}
+			}
+		}
+	}
+	return p
+}
+
+// groups returns the m-op's state groups (each exactly once).
+func (m *SeqMOp) groups() []*stateGroup {
+	var out []*stateGroup
+	for _, ld := range m.lefts {
+		out = append(out, ld.rest...)
+		for i := range ld.fr {
+			ld.fr[i].byConst.forEach(func(g *stateGroup) { out = append(out, g) })
+		}
+	}
+	return out
+}
+
+// Adopt moves matching predecessor state into the freshly lowered m-op.
+// Each new state group looks up the old group serving any of its operator
+// IDs; a group whose operators all are new starts empty. A new group whose
+// operators span two distinct old groups would need a state merge the live
+// rule set never produces, so it is reported as an error.
+func (p *MigrationPool) Adopt(l *Lowered) error {
+	switch m := l.MOp.(type) {
+	case *AggMOp:
+		for _, gs := range m.ports {
+			for _, g := range gs {
+				og, err := lookupOld(p.aggByOp, g.opIDs, p.adopted)
+				if err != nil {
+					return fmt.Errorf("agg group: %w", err)
+				}
+				if og == nil {
+					continue
+				}
+				if og.channel != g.channel {
+					return fmt.Errorf("agg group changed channel mode during live delta")
+				}
+				g.buf, g.state, g.frags = og.buf, og.state, og.frags
+				if g.channel && g.frags == nil {
+					g.frags = make(map[string]*fragState)
+				}
+			}
+		}
+	case *JoinMOp:
+		for _, pgs := range m.portGroups {
+			for _, pg := range pgs {
+				if !pg.isLeft {
+					continue
+				}
+				g := pg.g
+				og, err := lookupOld(p.joinByOp, g.opIDs, p.adopted)
+				if err != nil {
+					return fmt.Errorf("join group: %w", err)
+				}
+				if og == nil {
+					continue
+				}
+				// The sides carry the buffers and hash indexes; the index
+				// configuration (equi attributes) is definition-derived and
+				// identical by construction.
+				g.left, g.right = og.left, og.right
+			}
+		}
+	case *SeqMOp:
+		for _, g := range m.groups() {
+			og, err := lookupOld(p.seqByOp, g.opIDs, p.adopted)
+			if err != nil {
+				return fmt.Errorf("seq group: %w", err)
+			}
+			if og == nil {
+				continue
+			}
+			if (g.hash == nil) != (og.hash == nil) {
+				return fmt.Errorf("seq group changed AI-index shape during live delta")
+			}
+			g.insts, g.hash, g.deadCount = og.insts, og.hash, og.deadCount
+			g.free, g.dead = og.free, og.dead
+		}
+	}
+	return nil
+}
+
+// lookupOld resolves the old group serving any of the given operator IDs.
+func lookupOld[G comparable](byOp map[int]G, opIDs []int, adopted map[any]bool) (G, error) {
+	var zero G
+	found := zero
+	for _, id := range opIDs {
+		og, ok := byOp[id]
+		if !ok {
+			continue
+		}
+		if found == zero {
+			found = og
+		} else if found != og {
+			return zero, fmt.Errorf("operators span two predecessor state groups")
+		}
+	}
+	if found == zero {
+		return zero, nil
+	}
+	if adopted[found] {
+		return zero, fmt.Errorf("predecessor state group adopted twice")
+	}
+	adopted[found] = true
+	return found, nil
+}
+
+// DiscardRest releases the state of groups no successor adopted: they
+// belonged exclusively to removed queries. µ state tuples are group-built
+// pooled tuples, so they go back to the tuple pool; everything else is
+// left to the garbage collector.
+func (p *MigrationPool) DiscardRest() {
+	for _, g := range p.seqGroups {
+		if p.adopted[g] {
+			continue
+		}
+		g.discard()
+	}
+}
+
+// discard releases group-owned pooled state. Only µ groups own their
+// instance state tuples (a ; instance's state IS the stored input tuple,
+// which the group does not own).
+func (g *stateGroup) discard() {
+	if !g.mu {
+		return
+	}
+	for _, inst := range g.insts {
+		if inst.state != nil {
+			inst.state.Release()
+			inst.state = nil
+		}
+	}
+	g.insts = nil
+}

@@ -2,7 +2,6 @@ package mop
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -67,6 +66,9 @@ type stateGroup struct {
 	// plain-mode emission loop can stop at the first operator whose window
 	// the instance's age exceeds.
 	ops []seqOpInfo
+	// opIDs[i] is the plan operator ID behind ops[i] (co-sorted with ops);
+	// live maintenance keys state migration on it.
+	opIDs []int
 	// posOps indexes ops by their left-channel membership position when
 	// every op reads a channel stream, so an emission visits only the
 	// operators an instance can belong to (O(|membership|), not O(|ops|)).
@@ -79,19 +81,16 @@ type stateGroup struct {
 	tgScratch []target
 }
 
-// seal orders the operators for the early-exit emission scan and builds
-// the membership→operator index once all ops are registered.
+// seal orders the operators for the early-exit emission scan (keeping
+// opIDs aligned) and builds the membership→operator index once all ops
+// are registered.
 func (g *stateGroup) seal() {
 	if g.unbounded {
 		g.maxWindow = 0
 	}
-	sort.SliceStable(g.ops, func(i, j int) bool {
-		wi, wj := g.ops[i].window, g.ops[j].window
-		if (wi <= 0) != (wj <= 0) {
-			return wi <= 0
-		}
-		return wi > wj
-	})
+	ord := windowOrder(len(g.ops), func(i int) int64 { return g.ops[i].window })
+	g.ops = permuteOps(g.ops, ord)
+	g.opIDs = permuteInts(g.opIDs, ord)
 	for i := range g.ops {
 		if g.ops[i].leftPos < 0 {
 			g.posOps = nil
@@ -249,6 +248,7 @@ func newSeqMOp(p *core.Physical, n *core.Node, pm *portMap, mu bool) (*SeqMOp, e
 			rightPos: rpos,
 			tg:       pm.outLoc(p, o.Out),
 		})
+		g.opIDs = append(g.opIDs, o.ID)
 	}
 	for _, g := range groups {
 		g.seal()

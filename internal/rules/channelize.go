@@ -40,7 +40,10 @@ func (Channelize) Name() string { return "channelize" }
 
 // Apply implements Rule.
 func (r Channelize) Apply(p *core.Physical) (bool, error) {
-	minStreams := r.MinStreams
+	return applyChannelize(p, r.MinStreams, false)
+}
+
+func applyChannelize(p *core.Physical, minStreams int, live bool) (bool, error) {
 	if minStreams < 2 {
 		minStreams = 2
 	}
@@ -86,7 +89,7 @@ func (r Channelize) Apply(p *core.Physical) (bool, error) {
 			sides = []int{0, 1}
 		}
 		for _, idx := range sides {
-			c, err := channelizeGroup(p, ops, idx, minStreams)
+			c, err := channelizeGroup(p, ops, idx, minStreams, live)
 			if err != nil {
 				return changed, err
 			}
@@ -100,7 +103,14 @@ func (r Channelize) Apply(p *core.Physical) (bool, error) {
 // set. It returns false without error when the group is already fully
 // channelized or fails a structural precondition (e.g. streams produced by
 // different non-source m-ops).
-func channelizeGroup(p *core.Physical, ops []*core.Op, inIdx, minStreams int) (bool, error) {
+//
+// In live mode (applied to a running plan) channel growth is append-only:
+// the group may extend at most one pre-existing channel with streams whose
+// edges were created during the active delta, or form a brand-new channel
+// from delta-new edges exclusively. Re-encoding a pre-existing plain edge
+// is refused — it would retroactively give stored plain tuples a
+// membership structure the running operators' state does not carry.
+func channelizeGroup(p *core.Physical, ops []*core.Op, inIdx, minStreams int, live bool) (bool, error) {
 	sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
 
 	// Distinct input streams and the edges carrying them.
@@ -118,6 +128,32 @@ func channelizeGroup(p *core.Physical, ops []*core.Op, inIdx, minStreams int) (b
 	}
 	if len(streams) < minStreams {
 		return false, nil
+	}
+	if live && len(edgeIDs) > 1 {
+		// Append-only gate: ≤1 pre-existing channel, no pre-existing plain
+		// edges, everything else delta-new.
+		existingChannels := 0
+		for id := range edgeIDs {
+			if p.NewEdge(id) {
+				continue
+			}
+			e := p.Edges[id]
+			if e == nil || !e.IsChannel() {
+				return false, nil
+			}
+			existingChannels++
+		}
+		if existingChannels > 1 {
+			return false, nil
+		}
+		// Keep the pre-existing channel's streams first so EncodeChannel
+		// preserves their membership positions and the delta-new streams
+		// are appended after them.
+		sort.SliceStable(streams, func(i, j int) bool {
+			ei, _ := p.EdgeOf(streams[i])
+			ej, _ := p.EdgeOf(streams[j])
+			return !p.NewEdge(ei.ID) && p.NewEdge(ej.ID)
+		})
 	}
 
 	// Producer check (§3.2 criterion (b)).

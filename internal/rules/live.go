@@ -1,0 +1,63 @@
+// Live rule application: the incremental re-run of the rule engine behind
+// AddQueryLive (package live). The plan is already at the fixpoint of the
+// standard rules, so a re-run only fires where the freshly added query's
+// naive operators create new sharing opportunities — merging them into the
+// existing shared m-ops. Two restrictions keep running operator state
+// valid:
+//
+//   - CSE keeps the lowest-ID (pre-existing) operator of a collapsed
+//     group, so stored state and query outputs always migrate toward the
+//     operator the engine already runs (this is the standard rule's
+//     behaviour, relied upon here).
+//   - Channel encoding is append-only (LiveChannelize): an existing
+//     channel may grow by the new streams, and new channels may form from
+//     delta-new edges, but a pre-existing plain edge is never re-encoded —
+//     stored plain tuples carry no membership, so re-encoding would make
+//     the running consumers' state unreadable.
+package rules
+
+import "repro/internal/core"
+
+// LiveChannelize is the cτ rule family restricted to append-only channel
+// growth, safe to apply to a plan with running operator state. It requires
+// an active delta recording on the plan (core.BeginDelta) to tell
+// delta-new edges from pre-existing ones.
+type LiveChannelize struct {
+	MinStreams int
+}
+
+// Name implements Rule.
+func (LiveChannelize) Name() string { return "channelize-live" }
+
+// Apply implements Rule.
+func (r LiveChannelize) Apply(p *core.Physical) (bool, error) {
+	return applyChannelize(p, r.MinStreams, true)
+}
+
+// LiveRules returns the rule set for incremental optimization of a running
+// plan: the merge rules unchanged (they only ever fire on groups involving
+// the new operators — everything else is already at fixpoint) plus the
+// append-only channel rule.
+func LiveRules(opt Options) []Rule {
+	rs := []Rule{
+		CSE{},
+		MergeSameInput{Kind: core.KindSelect},
+		MergeSameInput{Kind: core.KindProject},
+		MergeAgg{},
+		MergeJoin{},
+		MergeSeq{Kind: core.KindSeq},
+		MergeSeq{Kind: core.KindMu},
+	}
+	if opt.Channels {
+		rs = append(rs, LiveChannelize{MinStreams: opt.ChannelMinStreams})
+	}
+	return rs
+}
+
+// OptimizeLive applies the live rule set to a fixpoint. The caller is
+// responsible for delta recording and final validation.
+func OptimizeLive(p *core.Physical, opt Options) error {
+	o := &Optimizer{Rules: LiveRules(opt)}
+	_, err := o.run(p, opt.MaxRounds)
+	return err
+}

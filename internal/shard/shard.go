@@ -118,6 +118,17 @@ type Engine struct {
 	resMu    sync.Mutex
 
 	maxQuery int
+
+	// frozen holds the merged final counts of queries removed by a live
+	// delta, captured at the delta barrier under the partition plan they
+	// ran with (a replicated sink must not be re-summed across shards
+	// after its entry leaves ReplicatedSinks).
+	frozen map[int]int64
+	// statsMu guards part, maxQuery, and frozen against readers
+	// (ResultCount/TotalResults) running concurrently with a live delta.
+	// Per-worker counters are NOT guarded: their values are stable (and
+	// meaningful) only after Drain, as documented.
+	statsMu sync.RWMutex
 }
 
 // New builds a sharded engine over the plan. The partition plan must come
@@ -136,31 +147,7 @@ func New(p *core.Physical, part *core.PartitionPlan, cfg Config) (*Engine, error
 		pending: make([][]entry, cfg.Shards),
 	}
 	e.batchPool.New = func() any { s := make([]entry, 0, cfg.BatchSize); return &s }
-	for name := range p.Catalog {
-		if p.SourceStream(name) == nil {
-			continue
-		}
-		route, ok := part.Routes[name]
-		if !ok {
-			route = core.SourceRoute{Mode: core.PartitionBroadcast}
-		}
-		sr := srcRoute{id: int32(len(e.srcNames)), mode: route.Mode, attr: route.Attr}
-		if route.Mode == core.PartitionMulticast {
-			if cfg.Shards > 64 {
-				// Bitmask routing covers 64 shards; beyond that fall back
-				// to broadcasting the probe stream.
-				sr.mode = core.PartitionBroadcast
-			} else {
-				sr.table = make(map[int64]uint64, len(route.Table))
-				for v, partners := range route.Table {
-					sr.table[v] = partnerMask(partners, cfg.Shards)
-				}
-				sr.alwaysMask = partnerMask(route.Always, cfg.Shards)
-			}
-		}
-		e.srcs[name] = sr
-		e.srcNames = append(e.srcNames, name)
-	}
+	e.rebuildSourceRoutes(part)
 	for _, q := range p.Queries {
 		if q.ID > e.maxQuery {
 			e.maxQuery = q.ID
@@ -187,6 +174,42 @@ func New(p *core.Physical, part *core.PartitionPlan, cfg Config) (*Engine, error
 		go w.run(e)
 	}
 	return e, nil
+}
+
+// rebuildSourceRoutes (re)derives the per-source routing state from a
+// partition plan. Existing sources keep their dense source IDs (pending
+// entries reference them); sources new to the plan are appended.
+func (e *Engine) rebuildSourceRoutes(part *core.PartitionPlan) {
+	for name := range e.plan.Catalog {
+		if e.plan.SourceStream(name) == nil {
+			continue
+		}
+		route, ok := part.Routes[name]
+		if !ok {
+			route = core.SourceRoute{Mode: core.PartitionBroadcast}
+		}
+		id := int32(len(e.srcNames))
+		if old, exists := e.srcs[name]; exists {
+			id = old.id
+		} else {
+			e.srcNames = append(e.srcNames, name)
+		}
+		sr := srcRoute{id: id, mode: route.Mode, attr: route.Attr}
+		if route.Mode == core.PartitionMulticast {
+			if e.cfg.Shards > 64 {
+				// Bitmask routing covers 64 shards; beyond that fall back
+				// to broadcasting the probe stream.
+				sr.mode = core.PartitionBroadcast
+			} else {
+				sr.table = make(map[int64]uint64, len(route.Table))
+				for v, partners := range route.Table {
+					sr.table[v] = partnerMask(partners, e.cfg.Shards)
+				}
+				sr.alwaysMask = partnerMask(route.Always, e.cfg.Shards)
+			}
+		}
+		e.srcs[name] = sr
+	}
 }
 
 // wireCallbacks installs per-engine result hooks when a user callback is
@@ -335,12 +358,14 @@ func (e *Engine) flushShard(shard int) {
 // order for windowed operators to expire correctly; concurrent pushers
 // are safe but interleave at the routing step.
 func (e *Engine) Push(source string, ts int64, vals []int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Route lookup under the ingestion lock: live deltas rebuild the
+	// source routing tables at the ApplyDelta barrier.
 	sr, ok := e.lookupRoute(source)
 	if !ok {
 		return fmt.Errorf("shard: source %q not in plan", source)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
 		return fmt.Errorf("shard: engine closed")
 	}
@@ -384,12 +409,12 @@ func (e *Engine) PushBatch(source string, ts []int64, vals [][]int64) error {
 	if len(ts) != len(vals) {
 		return fmt.Errorf("shard: PushBatch length mismatch: %d timestamps, %d value rows", len(ts), len(vals))
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	sr, ok := e.lookupRoute(source)
 	if !ok {
 		return fmt.Errorf("shard: source %q not in plan", source)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
 		return fmt.Errorf("shard: engine closed")
 	}
@@ -454,9 +479,93 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// ApplyDelta splices a live plan delta into every engine replica at a
+// batch-queue barrier: ingestion is blocked, all pending buffers are
+// flushed and every worker acknowledges quiescence; then the delta is
+// applied to each replica (re-lowering dirty m-ops with state migration),
+// the source routing tables are swapped to the new partition plan, the
+// merged final counts of the removed queries are frozen under the old
+// plan, and rewire (if non-nil — typically a result-callback rebuild with
+// the new query-name table) runs before ingestion resumes. The plan shared
+// by the replicas must already carry the delta's mutations.
+//
+// Concurrent Push/PushBatch callers block for the duration; maintenance
+// operations themselves must be serialized by the caller.
+func (e *Engine) ApplyDelta(d *core.Delta, part *core.PartitionPlan, removed []int, rewire func()) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("shard: engine closed")
+	}
+	// Barrier: hand every pending buffer over and wait for the workers to
+	// drain their queues. The lock stays held so no new tuples interleave
+	// with the delta.
+	for i := range e.pending {
+		e.flushShard(i)
+	}
+	acks := make([]chan error, len(e.workers))
+	for i, w := range e.workers {
+		ack := make(chan error, 1)
+		acks[i] = ack
+		w.ch <- msg{ack: ack}
+	}
+	var first error
+	for _, ack := range acks {
+		if err := <-ack; err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	// Quiescent. Freeze the removed queries' merged counts under the
+	// partition plan they were produced with.
+	e.statsMu.Lock()
+	if len(removed) > 0 && e.frozen == nil {
+		e.frozen = make(map[int]int64)
+	}
+	for _, qid := range removed {
+		e.frozen[qid] = e.mergedCountLocked(qid)
+	}
+	e.statsMu.Unlock()
+	// Splice the delta into each replica.
+	for i, w := range e.workers {
+		if err := w.eng.ApplyDelta(d); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	// Swap routing state.
+	e.statsMu.Lock()
+	e.part = part
+	for _, q := range e.plan.Queries {
+		if q.ID > e.maxQuery {
+			e.maxQuery = q.ID
+		}
+	}
+	e.statsMu.Unlock()
+	e.rebuildSourceRoutes(part)
+	if rewire != nil {
+		rewire()
+	}
+	return nil
+}
+
 // ResultCount returns the merged result count for a query. Counts are
-// stable only after Drain (or Close) has established quiescence.
+// stable only after Drain (or Close) has established quiescence — but the
+// call itself is safe concurrently with live maintenance operations. A
+// query removed by a live delta reports its frozen final count.
 func (e *Engine) ResultCount(queryID int) int64 {
+	e.statsMu.RLock()
+	defer e.statsMu.RUnlock()
+	if n, ok := e.frozen[queryID]; ok {
+		return n
+	}
+	return e.mergedCountLocked(queryID)
+}
+
+// mergedCountLocked merges the per-shard counters under the current
+// partition plan. Caller holds statsMu.
+func (e *Engine) mergedCountLocked(queryID int) int64 {
 	if e.part.ReplicatedSinks[queryID] {
 		return e.workers[0].eng.ResultCount(queryID)
 	}
@@ -468,11 +577,17 @@ func (e *Engine) ResultCount(queryID int) int64 {
 }
 
 // TotalResults returns the merged result count across all queries. Stable
-// only after Drain (or Close).
+// only after Drain (or Close); safe concurrently with live maintenance.
 func (e *Engine) TotalResults() int64 {
+	e.statsMu.RLock()
+	defer e.statsMu.RUnlock()
 	var n int64
 	for qid := 0; qid <= e.maxQuery; qid++ {
-		n += e.ResultCount(qid)
+		if f, ok := e.frozen[qid]; ok {
+			n += f
+			continue
+		}
+		n += e.mergedCountLocked(qid)
 	}
 	return n
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cql"
 	"repro/internal/engine"
+	"repro/internal/live"
 	"repro/internal/rules"
 	"repro/internal/stream"
 )
@@ -103,6 +104,14 @@ type System struct {
 	plan *core.Physical
 	eng  *engine.Engine
 
+	// ropts preserves the optimization options for incremental (live)
+	// rule application after Optimize.
+	ropts rules.Options
+
+	// removed maps names of live-removed queries to their frozen final
+	// result counts.
+	removed map[string]int64
+
 	onResult func(query string, ts int64, vals []int64)
 }
 
@@ -118,9 +127,6 @@ func New() *System {
 // non-empty sharableLabel marks streams of the same label as sharable
 // sources (§3.2 base case 2), making them candidates for channel encoding.
 func (s *System) DeclareStream(name, sharableLabel string, attrs ...string) error {
-	if s.plan != nil {
-		return fmt.Errorf("rumor: cannot declare streams after Optimize")
-	}
 	if _, dup := s.catalog[name]; dup {
 		return fmt.Errorf("rumor: stream %q already declared", name)
 	}
@@ -128,6 +134,8 @@ func (s *System) DeclareStream(name, sharableLabel string, attrs ...string) erro
 	if err != nil {
 		return fmt.Errorf("rumor: %w", err)
 	}
+	// Declaring after Optimize is allowed: the new stream enters the
+	// running plan when an AddQueryLive first scans it.
 	s.catalog[name] = core.SourceDecl{Schema: sch, Label: sharableLabel}
 	return nil
 }
@@ -200,13 +208,14 @@ func (s *System) buildPlan(opt Options) (*core.Physical, error) {
 	if err := rules.Optimize(plan, ropts); err != nil {
 		return nil, err
 	}
+	s.ropts = ropts
 	return plan, nil
 }
 
 // Optimize plans all registered queries, applies the m-rules, and builds
-// the execution engine. It must be called exactly once, after all queries
-// are registered (adding queries to a running plan is future work in the
-// paper, §7, and unsupported here).
+// the execution engine. It must be called exactly once; afterwards the
+// query set evolves through AddQueryLive and RemoveQuery (the §7 "future
+// work" of the paper, implemented here as incremental plan maintenance).
 func (s *System) Optimize(opt Options) error {
 	plan, err := s.buildPlan(opt)
 	if err != nil {
@@ -220,6 +229,89 @@ func (s *System) Optimize(opt Options) error {
 	s.eng = eng
 	s.wireCallback()
 	return nil
+}
+
+// AddQueryLive registers a continuous query on a running system: the
+// query is planned naively into the live physical plan, the m-rules are
+// re-applied incrementally (merging the new operators into the existing
+// shared m-ops and growing channel memberships append-only), and the
+// resulting delta is spliced into the engine's routing tables without
+// touching the operator state of the running queries. Before Optimize it
+// is equivalent to AddQuery.
+//
+// The new query starts from the shared state its merged operators expose:
+// a query that collapses onto an identical running operator (CSE) adopts
+// that operator's history outright; a query merged into a plain shared
+// group observes the group's stored window; a query gated by channel
+// memberships starts empty. Carrying window history into a newly shared
+// operator is future work (see ROADMAP).
+func (s *System) AddQueryLive(name string, root *Logical) error {
+	if s.plan == nil {
+		return s.AddQuery(name, root)
+	}
+	if _, dup := s.byName[name]; dup {
+		return fmt.Errorf("rumor: query %q already registered", name)
+	}
+	q := core.NewQuery(name, root)
+	m := live.NewMaintainer(s.plan, s.ropts)
+	d, err := m.AddQuery(q)
+	if err != nil {
+		return fmt.Errorf("rumor: %w", err)
+	}
+	if err := live.Apply(d, s.eng); err != nil {
+		return fmt.Errorf("rumor: %w", err)
+	}
+	s.queries = append(s.queries, q)
+	s.byName[name] = q
+	delete(s.removed, name)
+	s.wireCallback()
+	return nil
+}
+
+// RemoveQuery unsubscribes a continuous query. On a running system the
+// operators serving only this query are garbage-collected (reference
+// counts of shared operators drop; channel membership positions are
+// tombstoned; exclusively owned window and instance state is discarded),
+// and the engine's routing tables are updated in place. The removed
+// query's final result count stays available through ResultCount and
+// remains part of TotalResults.
+func (s *System) RemoveQuery(name string) error {
+	q, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("rumor: query %q not registered", name)
+	}
+	if s.plan == nil {
+		delete(s.byName, name)
+		s.queries = removeQueryFrom(s.queries, q)
+		return nil
+	}
+	final := s.eng.ResultCount(q.ID)
+	m := live.NewMaintainer(s.plan, s.ropts)
+	d, err := m.RemoveQuery(q.ID)
+	if err != nil {
+		return fmt.Errorf("rumor: %w", err)
+	}
+	if err := live.Apply(d, s.eng); err != nil {
+		return fmt.Errorf("rumor: %w", err)
+	}
+	delete(s.byName, name)
+	s.queries = removeQueryFrom(s.queries, q)
+	if s.removed == nil {
+		s.removed = make(map[string]int64)
+	}
+	s.removed[name] = final
+	s.wireCallback()
+	return nil
+}
+
+func removeQueryFrom(qs []*core.Query, q *core.Query) []*core.Query {
+	out := qs[:0]
+	for _, x := range qs {
+		if x != q {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func (s *System) wireCallback() {
@@ -294,15 +386,17 @@ func (s *System) PushShared(streamNames []string, ts int64, vals ...int64) error
 }
 
 // ResultCount returns the number of results produced so far for a query.
+// A query removed live reports its frozen final count.
 func (s *System) ResultCount(query string) int64 {
 	q, ok := s.byName[query]
 	if !ok || s.eng == nil {
-		return 0
+		return s.removed[query]
 	}
 	return s.eng.ResultCount(q.ID)
 }
 
-// TotalResults returns the number of results across all queries.
+// TotalResults returns the number of results across all queries,
+// including the final counts of queries removed live.
 func (s *System) TotalResults() int64 {
 	if s.eng == nil {
 		return 0

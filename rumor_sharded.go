@@ -2,8 +2,10 @@ package rumor
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/shard"
 	"repro/internal/stream"
 )
@@ -40,6 +42,17 @@ type ShardedSystem struct {
 
 	sh   *shard.Engine
 	part *core.PartitionPlan
+
+	// churnMu serializes live maintenance operations (AddQueryLive,
+	// RemoveQuery) against each other; pushes stay concurrent and block
+	// only for the barrier inside shard.Engine.ApplyDelta.
+	churnMu sync.Mutex
+	// nameMu guards the query-name bookkeeping (sys.byName, sys.queries,
+	// removed) so ResultCount stays safe against concurrent maintenance.
+	nameMu sync.RWMutex
+
+	// removed maps live-removed query names to their frozen final counts.
+	removed map[string]int64
 
 	onResult func(query string, ts int64, vals []int64)
 }
@@ -82,10 +95,12 @@ func (s *ShardedSystem) wireCallback() {
 		s.sh.OnResult(nil)
 		return
 	}
+	s.nameMu.RLock()
 	names := make(map[int]string, len(s.sys.queries))
 	for _, q := range s.sys.queries {
 		names[q.ID] = q.Name
 	}
+	s.nameMu.RUnlock()
 	fn := s.onResult
 	s.sh.OnResult(func(qid int, t *stream.Tuple) {
 		fn(names[qid], t.TS, t.Vals)
@@ -115,6 +130,110 @@ func (s *ShardedSystem) Optimize(opt Options) error {
 	if s.onResult != nil {
 		s.wireCallback()
 	}
+	return nil
+}
+
+// AddQueryLive registers a continuous query on the running sharded
+// system. The shared plan is re-optimized incrementally (see
+// System.AddQueryLive), the partition plan is extended — existing source
+// routes are pinned (the distributed operator state depends on them) and
+// only multicast tables grow and new sources receive fresh routes — and
+// the delta is applied to every engine replica at a batch-queue barrier.
+//
+// If the new query cannot be served under the pinned routes (it would
+// require re-routing a running source), the plan mutation is rolled back
+// and an error is returned; such a query needs an offline re-optimization.
+// Safe to call while other goroutines Push; maintenance operations are
+// serialized internally. Before Optimize it is equivalent to AddQuery.
+func (s *ShardedSystem) AddQueryLive(name string, root *Logical) error {
+	if s.sh == nil {
+		return s.sys.AddQuery(name, root)
+	}
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	s.nameMu.RLock()
+	_, dup := s.sys.byName[name]
+	s.nameMu.RUnlock()
+	if dup {
+		return fmt.Errorf("rumor: query %q already registered", name)
+	}
+	q := core.NewQuery(name, root)
+	m := live.NewMaintainer(s.sys.plan, s.sys.ropts)
+	d, err := m.AddQuery(q)
+	if err != nil {
+		return fmt.Errorf("rumor: %w", err)
+	}
+	part, perr := core.ExtendPartition(s.sys.plan, s.part)
+	if perr != nil {
+		// Roll back: remove the just-added query from the plan. The merged
+		// delta must still reach the replicas — merges may have moved the
+		// surviving operators to new node identities.
+		d2, err2 := m.RemoveQuery(q.ID)
+		if err2 != nil {
+			return fmt.Errorf("rumor: rollback failed: %w (after %v)", err2, perr)
+		}
+		d.Merge(d2)
+		if err2 := s.sh.ApplyDelta(d, s.part, nil, nil); err2 != nil {
+			return fmt.Errorf("rumor: rollback failed: %w (after %v)", err2, perr)
+		}
+		return fmt.Errorf("rumor: %w", perr)
+	}
+	s.nameMu.Lock()
+	s.sys.queries = append(s.sys.queries, q)
+	s.sys.byName[name] = q
+	delete(s.removed, name)
+	s.nameMu.Unlock()
+	if err := s.sh.ApplyDelta(d, part, nil, func() { s.wireCallback() }); err != nil {
+		return fmt.Errorf("rumor: %w", err)
+	}
+	s.part = part
+	return nil
+}
+
+// RemoveQuery unsubscribes a continuous query from the running sharded
+// system: its exclusively owned operators are garbage-collected on every
+// replica at a batch-queue barrier, multicast routing tables shed the
+// constants only it needed, and its merged final result count is frozen
+// (still visible through ResultCount and TotalResults). Safe to call
+// while other goroutines Push.
+func (s *ShardedSystem) RemoveQuery(name string) error {
+	if s.sh == nil {
+		return s.sys.RemoveQuery(name)
+	}
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	s.nameMu.RLock()
+	q, ok := s.sys.byName[name]
+	s.nameMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("rumor: query %q not registered", name)
+	}
+	m := live.NewMaintainer(s.sys.plan, s.sys.ropts)
+	d, err := m.RemoveQuery(q.ID)
+	if err != nil {
+		return fmt.Errorf("rumor: %w", err)
+	}
+	part, perr := core.ExtendPartition(s.sys.plan, s.part)
+	if perr != nil {
+		// Routes valid for the superset query set stay valid for the
+		// subset; keep the old routing (pruning is an optimization, not a
+		// correctness requirement).
+		part = s.part
+	}
+	s.nameMu.Lock()
+	s.sys.queries = removeQueryFrom(s.sys.queries, q)
+	delete(s.sys.byName, name)
+	s.nameMu.Unlock()
+	if err := s.sh.ApplyDelta(d, part, []int{q.ID}, func() { s.wireCallback() }); err != nil {
+		return fmt.Errorf("rumor: %w", err)
+	}
+	s.part = part
+	s.nameMu.Lock()
+	if s.removed == nil {
+		s.removed = make(map[string]int64)
+	}
+	s.removed[name] = s.sh.ResultCount(q.ID)
+	s.nameMu.Unlock()
 	return nil
 }
 
@@ -158,11 +277,15 @@ func (s *ShardedSystem) Close() error {
 }
 
 // ResultCount returns the merged result count for a query. Call Drain
-// first for a stable value.
+// first for a stable value. A query removed live reports its frozen final
+// count.
 func (s *ShardedSystem) ResultCount(query string) int64 {
+	s.nameMu.RLock()
 	q, ok := s.sys.byName[query]
+	frozen := s.removed[query]
+	s.nameMu.RUnlock()
 	if !ok || s.sh == nil {
-		return 0
+		return frozen
 	}
 	return s.sh.ResultCount(q.ID)
 }
