@@ -10,6 +10,7 @@
 //	rumorbench -fig 10c -rounds 5000
 //	rumorbench -fig scale -shards 4     # sharded-runtime scaling, 1..4 shards
 //	rumorbench -fig churn -shards 2     # live add/remove churn latency
+//	rumorbench -fig rebalance -shards 4 # online rebalancing on skewed W1
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, rebalance, or all")
 	tuples := flag.Int("tuples", 20000, "input events per S/T measurement")
 	rounds := flag.Int("rounds", 2000, "workload-3 rounds per measurement")
 	trace := flag.Int("trace", 240, "perfmon trace length in seconds (figure 11)")
@@ -41,6 +42,19 @@ func main() {
 	if *fig == "churn" {
 		rows, err := cfg.Churn(*shards)
 		bench.FprintChurn(os.Stdout, rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumorbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "rebalance" {
+		var counts []int
+		for n := 2; n <= *shards; n *= 2 {
+			counts = append(counts, n)
+		}
+		rows, err := cfg.Rebalance(counts)
+		bench.FprintRebalance(os.Stdout, rows)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rumorbench:", err)
 			os.Exit(1)

@@ -37,10 +37,11 @@ func TestChurnSmoke(t *testing.T) {
 }
 
 // BenchmarkChurnAddRemove measures one live add + remove cycle against a
-// running Workload 1 plan with warm operator state.
+// running Workload 1 plan with warm operator state, at a 500-query base
+// population (the add-latency scaling point ROADMAP tracks).
 func BenchmarkChurnAddRemove(b *testing.B) {
 	p := workload.DefaultParams()
-	p.NumQueries = 200
+	p.NumQueries = 500
 	aqs := p.Workload1()
 	qs, err := workload.ToRUMOR(aqs)
 	if err != nil {

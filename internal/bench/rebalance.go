@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// The rebalance figure measures online shard rebalancing on a Zipf-skewed
+// Workload 1: the stream's hot a0 values concentrate instance state and
+// probe traffic on the hot keys' shards. After half the input, Rebalance
+// drains the batch queues, moves (or splits) the hot keys' stored state
+// onto a balanced key placement, and resumes. Reported per shard count:
+// the per-shard busy-time and tuple balance of the phase before and after
+// the rebalance (total/max; the shard count is the flat optimum), the
+// number of state items moved, the explicit key placements installed, and
+// the ingestion pause.
+
+// RebalanceRow is one (shard count) rebalance measurement.
+type RebalanceRow struct {
+	Workload string
+	Shards   int
+
+	BusyBalanceBefore  float64 // phase-1 busy balance, total/max (n = flat)
+	BusyBalanceAfter   float64 // phase-2 busy balance
+	TupleBalanceBefore float64
+	TupleBalanceAfter  float64
+
+	Moved   int     // state items imported on a new owner
+	Keys    int     // keys with explicit placements
+	PauseMS float64 // ingestion pause of the rebalance barrier
+	Results int64   // total results (sanity: must not depend on shards)
+}
+
+// balanceOf returns total/max over the given counters (n = perfectly
+// flat, 1 = everything on one shard).
+func balanceOf(counts []int64) float64 {
+	var total, maxC int64
+	for _, c := range counts {
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return 0
+	}
+	return float64(total) / float64(maxC)
+}
+
+// Rebalance measures the drain/re-hash/resume protocol across the given
+// shard counts (counts below 2 are skipped: a single replica has nothing
+// to rebalance).
+func (cfg Config) Rebalance(shardCounts []int) ([]RebalanceRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{2, 4}
+	}
+	p := workload.DefaultParams()
+	p.Seed = cfg.Seed
+	if p.NumQueries > cfg.MaxQueries {
+		p.NumQueries = cfg.MaxQueries
+	}
+	qs, err := workload.ToRUMOR(p.Workload1())
+	if err != nil {
+		return nil, err
+	}
+	events := p.GenStreamsSkewed(cfg.Tuples)
+	var rows []RebalanceRow
+	for _, n := range shardCounts {
+		if n < 2 {
+			continue
+		}
+		e, err := BuildSharded(p.Catalog(), qs, false, n)
+		if err != nil {
+			return rows, err
+		}
+		row, err := rebalanceRun(e, events, n)
+		e.Close()
+		if err != nil {
+			return rows, fmt.Errorf("shards=%d: %w", n, err)
+		}
+		row.Workload = "W1 skewed (sigS;T)"
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func rebalanceRun(e *shard.Engine, events []workload.Event, n int) (RebalanceRow, error) {
+	row := RebalanceRow{Shards: n}
+	half := len(events) / 2
+	for _, ev := range events[:half] {
+		if err := e.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals); err != nil {
+			return row, err
+		}
+	}
+	if err := e.Drain(); err != nil {
+		return row, err
+	}
+	before := e.ShardStats()
+	st, err := e.Rebalance(nil)
+	if err != nil {
+		return row, err
+	}
+	for _, ev := range events[half:] {
+		if err := e.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals); err != nil {
+			return row, err
+		}
+	}
+	if err := e.Drain(); err != nil {
+		return row, err
+	}
+	after := e.ShardStats()
+	busy1 := make([]int64, n)
+	busy2 := make([]int64, n)
+	tup1 := make([]int64, n)
+	tup2 := make([]int64, n)
+	for i := range before {
+		busy1[i] = before[i].BusyNS
+		busy2[i] = after[i].BusyNS - before[i].BusyNS
+		tup1[i] = before[i].Tuples
+		tup2[i] = after[i].Tuples - before[i].Tuples
+	}
+	row.BusyBalanceBefore = balanceOf(busy1)
+	row.BusyBalanceAfter = balanceOf(busy2)
+	row.TupleBalanceBefore = balanceOf(tup1)
+	row.TupleBalanceAfter = balanceOf(tup2)
+	row.Moved = st.Moved
+	row.Keys = st.Keys
+	row.PauseMS = float64(st.Pause) / float64(time.Millisecond)
+	row.Results = e.TotalResults()
+	return row, nil
+}
+
+// FprintRebalance renders rebalance rows as an aligned table.
+func FprintRebalance(w io.Writer, rows []RebalanceRow) {
+	fmt.Fprintf(w, "%-20s %7s %11s %11s %11s %11s %8s %5s %9s %10s\n",
+		"workload", "shards", "busy bal<", "busy bal>", "tup bal<", "tup bal>",
+		"moved", "keys", "pause ms", "results")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %7d %10.2fx %10.2fx %10.2fx %10.2fx %8d %5d %9.2f %10d\n",
+			r.Workload, r.Shards, r.BusyBalanceBefore, r.BusyBalanceAfter,
+			r.TupleBalanceBefore, r.TupleBalanceAfter, r.Moved, r.Keys, r.PauseMS, r.Results)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 112))
+}

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRebalanceSmoke runs the rebalance measurement end to end at a tiny
+// scale: state must actually move and results must be reported.
+func TestRebalanceSmoke(t *testing.T) {
+	cfg := Config{Tuples: 6000, Rounds: 120, MaxQueries: 200, Seed: 1}
+	rows, err := cfg.Rebalance([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	base := rows[0].Results
+	for _, r := range rows {
+		if r.Moved == 0 {
+			t.Fatalf("shards=%d: no state moved (%+v)", r.Shards, r)
+		}
+		if r.Results != base {
+			t.Fatalf("results depend on the shard count: %d vs %d", r.Results, base)
+		}
+		if r.BusyBalanceAfter <= 0 || r.TupleBalanceAfter <= 0 {
+			t.Fatalf("shards=%d: empty post-rebalance phase (%+v)", r.Shards, r)
+		}
+	}
+	var sb strings.Builder
+	FprintRebalance(&sb, rows)
+	if !strings.Contains(sb.String(), "W1 skewed") {
+		t.Fatalf("table rendering broken:\n%s", sb.String())
+	}
+}

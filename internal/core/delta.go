@@ -119,6 +119,23 @@ func (p *Physical) NewEdge(id int) bool {
 	return p.rec != nil && p.rec.NewEdges[id]
 }
 
+// DirtyNodes returns the IDs of the nodes marked dirty by the active
+// recording, in ascending order (nil without an active recording). The
+// incremental rule pass seeds its candidate groups from these nodes: on a
+// plan otherwise at fixpoint, a rule can only fire on a group touching a
+// dirty operator.
+func (p *Physical) DirtyNodes() []int {
+	if p.rec == nil {
+		return nil
+	}
+	ids := make([]int, 0, len(p.rec.Dirty))
+	for id := range p.rec.Dirty {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 func (p *Physical) noteDirty(nodeID int) {
 	if p.rec != nil {
 		p.rec.Dirty[nodeID] = true
@@ -255,6 +272,7 @@ func (p *Physical) removeDeadOp(o *Op) {
 	if o.Out != nil {
 		dead := o.Out
 		dead.Dead = true
+		p.dropClassStream(dead)
 		delete(p.consumersOf, dead.ID)
 		if e := p.streamEdge[dead.ID]; e != nil {
 			if e.LiveStreams() == 0 {

@@ -88,6 +88,10 @@ type PartitionPlan struct {
 	// Parallel reports whether at least one source is actually
 	// partitioned; when false, sharding degenerates to replication.
 	Parallel bool
+	// Table is the versioned key-placement overlay (see rebalance.go): it
+	// relocates or splits individual hash keys away from their default
+	// ShardOfKey placement. nil means pure hashing (version 0).
+	Table *RoutingTable
 }
 
 // String renders the partition plan for inspection.
@@ -285,7 +289,9 @@ func ExtendPartition(p *Physical, prev *PartitionPlan) (*PartitionPlan, error) {
 			return nil, fmt.Errorf("core: pinned source %q changed attribute a%d -> a%d", name, old.Attr, now.Attr)
 		}
 	}
-	pp := &PartitionPlan{Routes: modes, ReplicatedSinks: make(map[int]bool)}
+	// The key-placement overlay travels with the pinned routes: the
+	// distributed state sits where the moves put it.
+	pp := &PartitionPlan{Routes: modes, ReplicatedSinks: make(map[int]bool), Table: prev.Table}
 	status := make(map[int]partStatus)
 	for _, q := range p.Queries {
 		out := p.OutputOf(q.ID)

@@ -95,6 +95,10 @@ type Physical struct {
 	sourceNode  map[string]*Node // source name → source node
 	sourceRef   map[string]*StreamRef
 	outStream   map[int]*StreamRef // query ID → output stream
+	// classStreams indexes live streams by their ∼ share class, so the
+	// incremental channel rule finds a dirty operator's sharing partners
+	// without scanning the plan.
+	classStreams map[string][]*StreamRef
 
 	nextStream, nextOp, nextNode, nextEdge, nextQuery int
 
@@ -106,15 +110,47 @@ type Physical struct {
 // NewPhysical creates an empty plan over the given source catalog.
 func NewPhysical(catalog map[string]SourceDecl) *Physical {
 	return &Physical{
-		Catalog:     catalog,
-		Nodes:       make(map[int]*Node),
-		Edges:       make(map[int]*Edge),
-		streamEdge:  make(map[int]*Edge),
-		consumersOf: make(map[int][]*Op),
-		sourceNode:  make(map[string]*Node),
-		sourceRef:   make(map[string]*StreamRef),
-		outStream:   make(map[int]*StreamRef),
+		Catalog:      catalog,
+		Nodes:        make(map[int]*Node),
+		Edges:        make(map[int]*Edge),
+		streamEdge:   make(map[int]*Edge),
+		consumersOf:  make(map[int][]*Op),
+		sourceNode:   make(map[string]*Node),
+		sourceRef:    make(map[string]*StreamRef),
+		outStream:    make(map[int]*StreamRef),
+		classStreams: make(map[string][]*StreamRef),
 	}
+}
+
+// addClassStream registers a freshly created stream in the share-class
+// index (its ShareClass must already be set).
+func (p *Physical) addClassStream(s *StreamRef) {
+	if s.ShareClass == "" {
+		return
+	}
+	p.classStreams[s.ShareClass] = append(p.classStreams[s.ShareClass], s)
+}
+
+// dropClassStream removes a dead stream from the share-class index.
+func (p *Physical) dropClassStream(s *StreamRef) {
+	list := p.classStreams[s.ShareClass]
+	out := list[:0]
+	for _, x := range list {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		delete(p.classStreams, s.ShareClass)
+	} else {
+		p.classStreams[s.ShareClass] = out
+	}
+}
+
+// StreamsOfClass returns the live streams of one ∼ share class. The result
+// is the index's backing slice; callers must not mutate it.
+func (p *Physical) StreamsOfClass(class string) []*StreamRef {
+	return p.classStreams[class]
 }
 
 // AddQuery plans q naively — one operator per m-op, one stream per edge —
@@ -179,6 +215,7 @@ func (p *Physical) build(queryID int, l *Logical) (*StreamRef, error) {
 	out := &StreamRef{ID: p.nextStream, Schema: outSchema, Producer: op}
 	p.nextStream++
 	out.ShareClass = p.shareClass(op, ins)
+	p.addClassStream(out)
 	op.Out = out
 	node := &Node{ID: p.nextNode, Kind: l.Def.Kind, Ops: []*Op{op}}
 	p.nextNode++
@@ -208,6 +245,7 @@ func (p *Physical) ensureSource(name string) *StreamRef {
 	} else {
 		s.ShareClass = "src#" + name
 	}
+	p.addClassStream(s)
 	op.Out = s
 	node := &Node{ID: p.nextNode, Kind: KindSource, Ops: []*Op{op}}
 	p.nextNode++
@@ -441,6 +479,7 @@ func (p *Physical) CollapseOps(ops []*Op) (*Op, error) {
 	}
 	for _, o := range ops[1:] {
 		dead := o.Out
+		p.dropClassStream(dead)
 		// Rewire consumers of the dead stream to keep.Out.
 		for _, c := range p.consumersOf[dead.ID] {
 			for i, s := range c.In {

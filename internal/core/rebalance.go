@@ -1,0 +1,206 @@
+package core
+
+import "fmt"
+
+// This file implements the routing-table and state-placement vocabulary of
+// online shard rebalancing (package shard): a versioned key→shard overlay
+// on top of the hash routes of a partition plan, and the per-operator
+// analysis telling the rebalancer where each stateful operator's stored
+// state carries its partition key.
+//
+// The default placement of a hash-routed key is ShardOfKey (the same
+// multiplicative hash everywhere: hash routes, multicast partner masks and
+// the rebalancer must agree on ownership). A RoutingTable overrides the
+// placement of individual keys: a single-shard entry relocates a key, a
+// multi-shard entry splits a hot key round-robin across its owners. The
+// overlay is shared by every hash route of the plan, so sources that
+// co-locate on an equi-key stay co-located after a move.
+
+// ShardOfKey is the default placement of a partition-key value across n
+// shards (Fibonacci multiplicative hash). Every routing layer — hash
+// routes, multicast partner masks, and the state rebalancer — derives
+// ownership from this single function (plus the plan's routing table).
+func ShardOfKey(v int64, n int) int {
+	h := uint64(v) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(n))
+}
+
+// RoutingTable is the versioned key-placement overlay of a partition plan.
+// Moves assigns explicit owner shards to individual key values, overriding
+// ShardOfKey; keys absent from Moves stay at their default placement. A
+// multi-shard entry splits a hot key: its tuples are spread round-robin
+// across the owners (legal only when PartitionPlan.SplitSafe holds — every
+// consumer of the keyed state must be reached by a multicast or broadcast
+// probe side, so each stored item still meets every tuple it must meet).
+type RoutingTable struct {
+	Version int
+	Moves   map[int64][]int
+}
+
+// Moved returns the explicit owner shards of key v, or nil when the key
+// sits at its default ShardOfKey placement. Hot routing paths use this to
+// stay allocation-free; the rebalancer uses Owners.
+func (pp *PartitionPlan) Moved(v int64) []int {
+	if pp != nil && pp.Table != nil {
+		if owners, ok := pp.Table.Moves[v]; ok && len(owners) > 0 {
+			return owners
+		}
+	}
+	return nil
+}
+
+// Owners returns the owner shard set of key v across n shards under the
+// plan's routing table (nil-table safe). The returned slice must not be
+// mutated.
+func (pp *PartitionPlan) Owners(v int64, n int) []int {
+	if owners := pp.Moved(v); owners != nil {
+		return owners
+	}
+	return []int{ShardOfKey(v, n)}
+}
+
+// Version returns the routing-table version of the plan (0 without a
+// table).
+func (pp *PartitionPlan) RoutingVersion() int {
+	if pp == nil || pp.Table == nil {
+		return 0
+	}
+	return pp.Table.Version
+}
+
+// WithMoves returns a copy of the plan carrying the given key moves as a
+// new routing-table version. The routes themselves are shared (they are
+// not mutated by rebalancing); a nil or empty moves map still bumps the
+// version so observers can tell a rebalance happened.
+func (pp *PartitionPlan) WithMoves(moves map[int64][]int) *PartitionPlan {
+	out := &PartitionPlan{
+		Routes:          pp.Routes,
+		ReplicatedSinks: pp.ReplicatedSinks,
+		Parallel:        pp.Parallel,
+		Table:           &RoutingTable{Version: pp.RoutingVersion() + 1, Moves: moves},
+	}
+	return out
+}
+
+// StreamDist classifies how a stream's tuples are distributed across the
+// shards under a partition plan — the rebalancer's view of the analysis's
+// internal partStatus.
+type StreamDist uint8
+
+const (
+	// DistReplicated: every shard sees the full stream; derived state is
+	// identical on every replica.
+	DistReplicated StreamDist = iota
+	// DistAny: each tuple lives on exactly one (arbitrary) shard.
+	DistAny
+	// DistKeyed: each tuple lives on the owner shard(s) of its key value
+	// at Attr.
+	DistKeyed
+	// DistMulticast: content-routed probe stream; nothing derived from it
+	// is stored.
+	DistMulticast
+)
+
+// String returns the distribution name.
+func (d StreamDist) String() string {
+	switch d {
+	case DistReplicated:
+		return "replicated"
+	case DistAny:
+		return "any"
+	case DistKeyed:
+		return "keyed"
+	case DistMulticast:
+		return "multicast"
+	}
+	return fmt.Sprintf("dist(%d)", uint8(d))
+}
+
+// SideDist is the distribution of one operator input: the stored state
+// built from that input carries its partition key at Attr (stream-schema
+// position) when Dist == DistKeyed.
+type SideDist struct {
+	Dist StreamDist
+	Attr int
+}
+
+// OpSideDists computes, for every stateful operator of the plan, the
+// distribution of each of its inputs under this partition plan. The
+// rebalancer compares the result for the old and new plans to decide which
+// stored state must move, replicate, or deduplicate. Stateless operator
+// kinds (select, project, source) are omitted.
+func (pp *PartitionPlan) OpSideDists(p *Physical) map[int][]SideDist {
+	a := &analysis{p: p, lineage: make(map[int][]string), multicastTried: make(map[string]bool)}
+	memo := make(map[int]partStatus)
+	dists := make(map[int][]SideDist)
+	for _, n := range a.sortedNodes() {
+		switch n.Kind {
+		case KindAgg, KindJoin, KindSeq, KindMu:
+		default:
+			continue
+		}
+		for _, o := range n.Ops {
+			sides := make([]SideDist, len(o.In))
+			for i, in := range o.In {
+				sides[i] = streamDist(a, in, pp.Routes, memo)
+			}
+			dists[o.ID] = sides
+		}
+	}
+	return dists
+}
+
+// streamDist converts the analysis status of a stream to a SideDist. An
+// unresolvable status (structurally impossible on a plan the analysis
+// validated) degrades to DistAny: the rebalancer then leaves that state in
+// place, which is always safe against moving it wrongly.
+func streamDist(a *analysis, s *StreamRef, modes map[string]SourceRoute, memo map[int]partStatus) SideDist {
+	st, ok := a.status(s, modes, memo)
+	if !ok {
+		return SideDist{Dist: DistAny}
+	}
+	switch st.kind {
+	case pRepl:
+		return SideDist{Dist: DistReplicated}
+	case pAttr:
+		return SideDist{Dist: DistKeyed, Attr: st.attr}
+	case pMulti:
+		return SideDist{Dist: DistMulticast}
+	default:
+		return SideDist{Dist: DistAny}
+	}
+}
+
+// SplitSafe reports whether multi-owner key moves (hot-key splitting)
+// preserve results under this plan. Splitting scatters the stored items of
+// one key across several shards, which is only sound when every consumer
+// of keyed state still delivers each probing tuple to every owner:
+//
+//   - an aggregate over a keyed input would split its group contributions
+//     (partial sums on two shards, both emitted) — unsafe;
+//   - a binary operator whose probe side is itself keyed co-locates pairs
+//     by sending each probe to ONE shard — unsafe;
+//   - a binary operator probed by a broadcast or multicast side reaches
+//     every owner of the split key, and each stored item exists exactly
+//     once — safe (the multicast partner masks union all owners).
+func (pp *PartitionPlan) SplitSafe(p *Physical) bool {
+	a := &analysis{p: p, lineage: make(map[int][]string), multicastTried: make(map[string]bool)}
+	memo := make(map[int]partStatus)
+	for _, n := range a.sortedNodes() {
+		for _, o := range n.Ops {
+			switch n.Kind {
+			case KindAgg:
+				if streamDist(a, o.In[0], pp.Routes, memo).Dist == DistKeyed {
+					return false
+				}
+			case KindJoin, KindSeq, KindMu:
+				ld := streamDist(a, o.In[0], pp.Routes, memo)
+				rd := streamDist(a, o.In[1], pp.Routes, memo)
+				if ld.Dist == DistKeyed && rd.Dist == DistKeyed {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -106,6 +106,12 @@ type Engine struct {
 
 	counts []int64 // query ID → result count (query IDs are dense)
 
+	// pool is the engine-private tuple pool: every tuple the engine's
+	// m-ops build or recycle stays within the engine's single-threaded
+	// execution domain, so high shard counts cause no cross-CPU pool
+	// traffic (ROADMAP: per-shard tuple pools).
+	pool *stream.Pool
+
 	queue []queued
 }
 
@@ -122,7 +128,7 @@ func New(p *core.Physical) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
 	}
-	e := &Engine{plan: p}
+	e := &Engine{plan: p, pool: stream.NewPool()}
 	for _, n := range p.Nodes {
 		if n.Kind == core.KindSource {
 			continue // sources are injected directly onto their edges
@@ -141,7 +147,7 @@ func New(p *core.Physical) (*Engine, error) {
 // lowerNode compiles one plan node into a runtime node with its emit
 // closure (built once so the delivery loop allocates no closures).
 func (e *Engine) lowerNode(n *core.Node) (*runtimeNode, error) {
-	low, err := mop.Lower(e.plan, n)
+	low, err := mop.Lower(e.plan, n, e.pool)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -287,7 +293,7 @@ func (e *Engine) ApplyDelta(d *core.Delta) error {
 			kept = append(kept, rn)
 		}
 	}
-	pool := mop.NewMigrationPool(olds)
+	reg := mop.NewStateRegistry(olds)
 	dirty := make([]int, 0, len(d.Dirty))
 	for id := range d.Dirty {
 		dirty = append(dirty, id)
@@ -305,7 +311,7 @@ func (e *Engine) ApplyDelta(d *core.Delta) error {
 		if err != nil {
 			return err
 		}
-		if err := pool.Adopt(&mop.Lowered{MOp: rn.m, InEdges: rn.in, OutEdges: rn.out, PortUses: rn.uses}); err != nil {
+		if err := reg.Adopt(&mop.Lowered{MOp: rn.m, InEdges: rn.in, OutEdges: rn.out, PortUses: rn.uses}); err != nil {
 			return fmt.Errorf("engine: node %d: %w", id, err)
 		}
 		if old := counters[rn.id]; old != nil {
@@ -313,7 +319,7 @@ func (e *Engine) ApplyDelta(d *core.Delta) error {
 		}
 		kept = append(kept, rn)
 	}
-	pool.DiscardRest()
+	reg.DiscardRest()
 	e.nodes = kept
 	sort.Slice(e.nodes, func(i, j int) bool { return e.nodes[i].id < e.nodes[j].id })
 	e.rebuildRoutes()
@@ -424,10 +430,23 @@ func (e *Engine) deliver(edge *core.Edge, t *stream.Tuple) {
 	}
 	// An Owned tuple was emitted exactly once with exclusive content; once
 	// its only delivery retained nothing and no result callback saw it, it
-	// goes back to the tuple pool.
+	// goes back to the engine's tuple pool.
 	if t.Owned && r.releasable && (!r.hasSink || e.OnResult == nil) {
-		t.Release()
+		e.pool.Put(t)
 	}
+}
+
+// StateRegistry builds the uniform keyed-state registry over the engine's
+// current m-ops (see package mop): the handle through which the sharded
+// runtime exports, imports, and sizes this replica's operator state during
+// an online rebalance. The engine must be quiescent while the registry is
+// used.
+func (e *Engine) StateRegistry() *mop.StateRegistry {
+	ms := make([]mop.MOp, 0, len(e.nodes))
+	for _, rn := range e.nodes {
+		ms = append(ms, rn.m)
+	}
+	return mop.NewStateRegistry(ms)
 }
 
 // NodeStats reports, per m-op node ID, the number of tuples delivered to

@@ -1,7 +1,9 @@
 package mop
 
 import (
+	"fmt"
 	"strconv"
+	"strings"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -124,6 +126,8 @@ type aggGroup struct {
 	state map[string]*aggState  // plain: group → state
 	frags map[string]*fragState // channel: frag key → fragment
 
+	pool *stream.Pool // engine tuple pool for output tuples
+
 	kbuf     []byte   // scratch for group key bytes
 	fbuf     []byte   // scratch for fragment key bytes
 	combined aggState // scratch for channel-mode combination
@@ -135,10 +139,10 @@ type AggMOp struct {
 	ce    *chanEmitter
 }
 
-func newAggMOp(p *core.Physical, n *core.Node, pm *portMap) (*AggMOp, error) {
+func newAggMOp(p *core.Physical, n *core.Node, pm *portMap, tp *stream.Pool) (*AggMOp, error) {
 	m := &AggMOp{
 		ports: make([][]*aggGroup, len(pm.inEdges)),
-		ce:    newChanEmitter(len(pm.outEdges)),
+		ce:    newChanEmitter(len(pm.outEdges), tp),
 	}
 	type gkey struct {
 		port int
@@ -156,6 +160,7 @@ func newAggMOp(p *core.Physical, n *core.Node, pm *portMap) (*AggMOp, error) {
 				groupBy: o.Def.GroupBy,
 				window:  o.Def.Window,
 				state:   make(map[string]*aggState),
+				pool:    tp,
 			}
 			groups[k] = g
 			m.ports[port] = append(m.ports[port], g)
@@ -338,13 +343,206 @@ func (m *AggMOp) Process(port int, t *stream.Tuple, emit Emit) {
 
 // outTuple builds the [group attrs..., aggregate] output tuple.
 func (g *aggGroup) outTuple(t *stream.Tuple, av int64) *stream.Tuple {
-	out := stream.GetTuple(t.TS, len(g.groupBy)+1)
+	out := g.pool.Get(t.TS, len(g.groupBy)+1)
 	for i, a := range g.groupBy {
 		out.Vals[i] = t.Vals[a]
 	}
 	out.Vals[len(g.groupBy)] = av
 	return out
 }
+
+// ---------------------------------------------------------------------------
+// State registry (uniform keyed-state holder, see registry.go)
+// ---------------------------------------------------------------------------
+
+// stateHolders implements the registry harvest for AggMOp.
+func (m *AggMOp) stateHolders() []stateHolder {
+	var out []stateHolder
+	for _, gs := range m.ports {
+		for _, g := range gs {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (g *aggGroup) stateOpIDs() []int { return g.opIDs }
+
+func (g *aggGroup) stateSides() []int { return aggSides }
+
+var aggSides = []int{0}
+
+func (g *aggGroup) stateKind() groupKind { return kindAggState }
+
+// adoptFrom moves a predecessor aggregation group's window wholesale.
+func (g *aggGroup) adoptFrom(old stateHolder) error {
+	og, ok := old.(*aggGroup)
+	if !ok {
+		return fmt.Errorf("agg group adopting %T state", old)
+	}
+	if og.channel != g.channel {
+		return fmt.Errorf("agg group changed channel mode during live delta")
+	}
+	g.buf, g.state, g.frags = og.buf, og.state, og.frags
+	if g.channel && g.frags == nil {
+		g.frags = make(map[string]*fragState)
+	}
+	return nil
+}
+
+// keyComponent returns the position of the partition attribute within the
+// group-by list. The partition analysis only declares an aggregate input
+// keyed when the key is a group-by column, so stored entries carry the key
+// inside their interned group-key strings.
+func (g *aggGroup) keyComponent(keyAttr int) int {
+	for j, a := range g.groupBy {
+		if a == keyAttr {
+			return j
+		}
+	}
+	return -1
+}
+
+// groupKeyComponent parses the j-th '|'-separated component of an interned
+// group-key string.
+func groupKeyComponent(key string, j int) int64 {
+	start := 0
+	for ; j > 0; j-- {
+		i := strings.IndexByte(key[start:], '|')
+		if i < 0 {
+			return 0
+		}
+		start += i + 1
+	}
+	rest := key[start:]
+	if i := strings.IndexByte(rest, '|'); i >= 0 {
+		rest = rest[:i]
+	}
+	v, _ := strconv.ParseInt(rest, 10, 64)
+	return v
+}
+
+// exportKeyed removes the selected window entries, unwinding their running
+// aggregates; the entries themselves travel in the payload and are
+// replayed by importKeyed, which reconstructs the states exactly (a
+// sliding-window aggregate is a pure function of its in-window entries).
+// A negative keyAttr exports without key extraction (every item reports
+// key 0) — the export-all transitions need no per-key selection.
+func (g *aggGroup) exportKeyed(side, keyAttr int, sel func(int64, int) bool) *StatePayload {
+	if side != 0 {
+		return nil
+	}
+	j := -1
+	if keyAttr >= 0 {
+		j = g.keyComponent(keyAttr)
+		if j < 0 {
+			return nil
+		}
+	}
+	pl := &StatePayload{kind: kindAggState, side: side}
+	ord := make(map[int64]int)
+	kept := g.buf[:0]
+	for _, e := range g.buf {
+		var key int64
+		if j >= 0 {
+			key = groupKeyComponent(e.group, j)
+		}
+		o := ord[key]
+		ord[key] = o + 1
+		if !sel(key, o) {
+			kept = append(kept, e)
+			continue
+		}
+		var member *bitset.Set
+		if g.channel {
+			if fs := g.frags[e.frag]; fs != nil {
+				member = fs.member
+				if st := fs.byGroup[e.group]; st != nil {
+					st.remove(e.val)
+					if st.count == 0 {
+						delete(fs.byGroup, e.group)
+						if len(fs.byGroup) == 0 {
+							delete(g.frags, e.frag)
+						}
+					}
+				}
+			}
+		} else {
+			if st := g.state[e.group]; st != nil {
+				st.remove(e.val)
+				if st.count == 0 {
+					delete(g.state, e.group)
+				}
+			}
+		}
+		pl.items = append(pl.items, stateItem{key: key, ts: e.ts, group: e.group, val: e.val, member: member})
+	}
+	n := len(kept)
+	clear(g.buf[n:])
+	g.buf = kept
+	return pl
+}
+
+// importKeyed replays exported entries into the window: running states are
+// rebuilt through the same add path arriving tuples use, and the entries
+// merge into the FIFO buffer by timestamp.
+func (g *aggGroup) importKeyed(pl *StatePayload, copied bool) error {
+	if pl.kind != kindAggState {
+		return fmt.Errorf("agg group importing %d-kind payload", pl.kind)
+	}
+	add := make([]aggEntry, 0, len(pl.items))
+	for _, it := range pl.items {
+		if g.channel {
+			if it.member == nil {
+				return fmt.Errorf("agg import: channel group received a plain entry")
+			}
+			g.fbuf = it.member.AppendKey(g.fbuf[:0])
+			fs := g.frags[string(g.fbuf)]
+			if fs == nil {
+				fs = &fragState{
+					key:     string(g.fbuf),
+					member:  it.member.Clone(),
+					byGroup: make(map[string]*aggState),
+				}
+				g.frags[fs.key] = fs
+			}
+			st := fs.byGroup[it.group]
+			if st == nil {
+				st = newAggState(g.fn, it.group)
+				fs.byGroup[st.key] = st
+			}
+			st.add(it.val)
+			add = append(add, aggEntry{ts: it.ts, group: st.key, frag: fs.key, val: it.val})
+		} else {
+			if it.member != nil {
+				return fmt.Errorf("agg import: plain group received a channel entry")
+			}
+			st := g.state[it.group]
+			if st == nil {
+				st = newAggState(g.fn, it.group)
+				g.state[st.key] = st
+			}
+			st.add(it.val)
+			add = append(add, aggEntry{ts: it.ts, group: st.key, val: it.val})
+		}
+	}
+	g.buf = mergeByTS(g.buf, add, func(e aggEntry) int64 { return e.ts })
+	return nil
+}
+
+// keyHistogram counts in-window entries per partition key.
+func (g *aggGroup) keyHistogram(side, keyAttr int, h map[int64]int64) {
+	j := g.keyComponent(keyAttr)
+	if side != 0 || j < 0 {
+		return
+	}
+	for _, e := range g.buf {
+		h[groupKeyComponent(e.group, j)]++
+	}
+}
+
+// discardState: aggregation groups own no pooled state.
+func (g *aggGroup) discardState() {}
 
 // emitOne emits a per-operator output (channel mode; values can differ per
 // operator, so each output carries its own interned singleton membership).

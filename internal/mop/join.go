@@ -93,6 +93,7 @@ type joinGroup struct {
 	// opIDs[i] is the plan operator ID behind ops[i] (co-sorted with ops);
 	// live maintenance keys state migration on it.
 	opIDs []int
+	pool  *stream.Pool // engine tuple pool for output tuples
 	// tgScratch collects plain emission targets per match (reused).
 	tgScratch []target
 }
@@ -152,10 +153,10 @@ type portGroup struct {
 	isLeft bool
 }
 
-func newJoinMOp(p *core.Physical, n *core.Node, pm *portMap) (*JoinMOp, error) {
+func newJoinMOp(p *core.Physical, n *core.Node, pm *portMap, tp *stream.Pool) (*JoinMOp, error) {
 	m := &JoinMOp{
 		portGroups: make([][]portGroup, len(pm.inEdges)),
-		ce:         newChanEmitter(len(pm.outEdges)),
+		ce:         newChanEmitter(len(pm.outEdges), tp),
 	}
 	type gkey struct {
 		lport, rport int
@@ -172,7 +173,7 @@ func newJoinMOp(p *core.Physical, n *core.Node, pm *portMap) (*JoinMOp, error) {
 		k := gkey{lport: lport, rport: rport, def: o.Def.KeyModuloWindow()}
 		g, ok := groups[k]
 		if !ok {
-			g = &joinGroup{pred: o.Def.Pred2}
+			g = &joinGroup{pred: o.Def.Pred2, pool: tp}
 			if la, ra, res, isEq := expr.EqJoinParts(o.Def.Pred2); isEq {
 				g.hasEq, g.lAttr, g.rAttr, g.pred = true, la, ra, res
 				g.left.hash = newHashIndex[*stream.Tuple]()
@@ -259,7 +260,7 @@ func (m *JoinMOp) Process(port int, t *stream.Tuple, emit Emit) {
 			if len(tgs) == 0 && chanAdds == 0 {
 				continue
 			}
-			out := concatTuples(l, r, t.TS)
+			out := concatTuples(g.pool, l, r, t.TS)
 			if len(tgs) == 1 && chanAdds == 0 {
 				out.Owned = true
 			}
@@ -271,9 +272,119 @@ func (m *JoinMOp) Process(port int, t *stream.Tuple, emit Emit) {
 	}
 }
 
-// concatTuples builds the joined/sequenced output tuple l ++ r at time ts.
-func concatTuples(l, r *stream.Tuple, ts int64) *stream.Tuple {
-	out := stream.GetTuple(ts, len(l.Vals)+len(r.Vals))
+// ---------------------------------------------------------------------------
+// State registry (uniform keyed-state holder, see registry.go)
+// ---------------------------------------------------------------------------
+
+// stateHolders implements the registry harvest for JoinMOp: each group
+// registers once (via its left port entry).
+func (m *JoinMOp) stateHolders() []stateHolder {
+	var out []stateHolder
+	for _, pgs := range m.portGroups {
+		for _, pg := range pgs {
+			if pg.isLeft {
+				out = append(out, pg.g)
+			}
+		}
+	}
+	return out
+}
+
+func (g *joinGroup) stateOpIDs() []int { return g.opIDs }
+
+func (g *joinGroup) stateSides() []int { return joinSideList }
+
+var joinSideList = []int{0, 1}
+
+func (g *joinGroup) stateKind() groupKind { return kindJoinState }
+
+// adoptFrom moves a predecessor join group's window buffers and hash
+// indexes wholesale. The index configuration (equi attributes) is
+// definition-derived and identical by construction.
+func (g *joinGroup) adoptFrom(old stateHolder) error {
+	og, ok := old.(*joinGroup)
+	if !ok {
+		return fmt.Errorf("join group adopting %T state", old)
+	}
+	g.left, g.right = og.left, og.right
+	return nil
+}
+
+// sideOf maps a side index to the group's stored side.
+func (g *joinGroup) sideOf(side int) *joinSide {
+	if side == 0 {
+		return &g.left
+	}
+	return &g.right
+}
+
+// exportKeyed removes the selected stored tuples of one side. The FIFO
+// buffer keeps its timestamp order (in-place filter); the hash index is
+// pruned per removed tuple.
+func (g *joinGroup) exportKeyed(side, keyAttr int, sel func(int64, int) bool) *StatePayload {
+	s := g.sideOf(side)
+	pl := &StatePayload{kind: kindJoinState, side: side}
+	ord := make(map[int64]int)
+	kept := s.buf[:0]
+	for _, t := range s.buf {
+		var key int64
+		if keyAttr >= 0 && keyAttr < len(t.Vals) {
+			key = t.Vals[keyAttr]
+		}
+		o := ord[key]
+		ord[key] = o + 1
+		if !sel(key, o) {
+			kept = append(kept, t)
+			continue
+		}
+		if s.hash != nil {
+			s.hash.remove(t.Vals[s.attr], t)
+		}
+		pl.items = append(pl.items, stateItem{key: key, ts: t.TS, tuple: t})
+	}
+	n := len(kept)
+	clear(s.buf[n:])
+	s.buf = kept
+	return pl
+}
+
+// importKeyed merges exported tuples into the side's buffer by timestamp
+// and re-indexes them. Stored tuples are immutable and may be shared
+// across replicas, so a copied import needs no deep copy.
+func (g *joinGroup) importKeyed(pl *StatePayload, copied bool) error {
+	if pl.kind != kindJoinState {
+		return fmt.Errorf("join group importing %d-kind payload", pl.kind)
+	}
+	s := g.sideOf(pl.side)
+	add := make([]*stream.Tuple, 0, len(pl.items))
+	for _, it := range pl.items {
+		add = append(add, it.tuple)
+		if s.hash != nil {
+			s.hash.add(it.tuple.Vals[s.attr], it.tuple)
+		}
+	}
+	s.buf = mergeByTS(s.buf, add, func(t *stream.Tuple) int64 { return t.TS })
+	return nil
+}
+
+// keyHistogram counts stored tuples per partition key.
+func (g *joinGroup) keyHistogram(side, keyAttr int, h map[int64]int64) {
+	s := g.sideOf(side)
+	for _, t := range s.buf {
+		if keyAttr >= 0 && keyAttr < len(t.Vals) {
+			h[t.Vals[keyAttr]]++
+		}
+	}
+}
+
+// discardState: join groups own no pooled state (stored tuples belong to
+// the stream).
+func (g *joinGroup) discardState() {}
+
+// concatTuples builds the joined/sequenced output tuple l ++ r at time ts,
+// drawn from the engine's tuple pool.
+func concatTuples(tp *stream.Pool, l, r *stream.Tuple, ts int64) *stream.Tuple {
+	out := tp.Get(ts, len(l.Vals)+len(r.Vals))
 	n := copy(out.Vals, l.Vals)
 	copy(out.Vals[n:], r.Vals)
 	return out

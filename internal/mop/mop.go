@@ -146,8 +146,11 @@ func (pm *portMap) outLoc(p *core.Physical, s *core.StreamRef) target {
 	return target{port: pm.outPortOf[e.ID], pos: i}
 }
 
-// Lower compiles a plan node into an executable m-op.
-func Lower(p *core.Physical, n *core.Node) (*Lowered, error) {
+// Lower compiles a plan node into an executable m-op. tp is the engine's
+// tuple pool: every tuple the m-op builds or recycles goes through it, so
+// the engine's single-threaded execution domain never touches a shared
+// pool (tp may be nil; the m-op then falls back to the global pool).
+func Lower(p *core.Physical, n *core.Node, tp *stream.Pool) (*Lowered, error) {
 	if len(n.Ops) == 0 {
 		return nil, fmt.Errorf("node %d has no operators", n.ID)
 	}
@@ -160,17 +163,17 @@ func Lower(p *core.Physical, n *core.Node) (*Lowered, error) {
 	case core.KindSource:
 		m = newSourceMOp()
 	case core.KindSelect:
-		m, err = newSelectMOp(p, n, pm)
+		m, err = newSelectMOp(p, n, pm, tp)
 	case core.KindProject:
-		m, err = newProjectMOp(p, n, pm)
+		m, err = newProjectMOp(p, n, pm, tp)
 	case core.KindAgg:
-		m, err = newAggMOp(p, n, pm)
+		m, err = newAggMOp(p, n, pm, tp)
 	case core.KindJoin:
-		m, err = newJoinMOp(p, n, pm)
+		m, err = newJoinMOp(p, n, pm, tp)
 	case core.KindSeq:
-		m, err = newSeqMOp(p, n, pm, false)
+		m, err = newSeqMOp(p, n, pm, tp, false)
 	case core.KindMu:
-		m, err = newSeqMOp(p, n, pm, true)
+		m, err = newSeqMOp(p, n, pm, tp, true)
 	default:
 		err = fmt.Errorf("cannot lower node kind %s", n.Kind)
 	}
@@ -222,6 +225,7 @@ func (sourceMOp) Process(_ int, t *stream.Tuple, emit Emit) {
 type chanEmitter struct {
 	member  []memberAcc
 	touched []int
+	pool    *stream.Pool
 }
 
 type memberAcc struct {
@@ -229,8 +233,8 @@ type memberAcc struct {
 	inUse bool
 }
 
-func newChanEmitter(nPorts int) *chanEmitter {
-	return &chanEmitter{member: make([]memberAcc, nPorts)}
+func newChanEmitter(nPorts int, tp *stream.Pool) *chanEmitter {
+	return &chanEmitter{member: make([]memberAcc, nPorts), pool: tp}
 }
 
 // add records that the operator with the given target produced the shared
@@ -267,7 +271,7 @@ func (c *chanEmitter) flush(base *stream.Tuple, emit Emit, baseExclusive bool) {
 	for _, port := range c.touched {
 		acc := &c.member[port]
 		m := newMember(acc.bits)
-		emit(port, base.WithMember(m))
+		emit(port, c.pool.WithMember(base, m))
 		acc.bits = acc.bits[:0]
 		acc.inUse = false
 	}

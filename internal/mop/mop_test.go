@@ -392,7 +392,7 @@ func TestLowerErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	empty := &core.Node{ID: 999, Kind: core.KindSelect}
-	if _, err := mop.Lower(p, empty); err == nil {
+	if _, err := mop.Lower(p, empty, nil); err == nil {
 		t.Fatal("empty node must not lower")
 	}
 }

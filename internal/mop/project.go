@@ -18,12 +18,14 @@ type projGroup struct {
 type ProjectMOp struct {
 	ports [][]*projGroup
 	ce    *chanEmitter
+	pool  *stream.Pool
 }
 
-func newProjectMOp(p *core.Physical, n *core.Node, pm *portMap) (*ProjectMOp, error) {
+func newProjectMOp(p *core.Physical, n *core.Node, pm *portMap, tp *stream.Pool) (*ProjectMOp, error) {
 	m := &ProjectMOp{
 		ports: make([][]*projGroup, len(pm.inEdges)),
-		ce:    newChanEmitter(len(pm.outEdges)),
+		ce:    newChanEmitter(len(pm.outEdges), tp),
+		pool:  tp,
 	}
 	type gkey struct {
 		port int
@@ -54,7 +56,7 @@ func (m *ProjectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 				continue
 			}
 			if out == nil {
-				out = stream.GetTuple(t.TS, len(g.m.Cols))
+				out = m.pool.Get(t.TS, len(g.m.Cols))
 				for i, e := range g.m.Cols {
 					out.Vals[i] = e.Eval(t)
 				}

@@ -48,16 +48,18 @@ type selPort struct {
 type SelectMOp struct {
 	ports []selPort
 	ce    *chanEmitter
+	pool  *stream.Pool
 	// tgScratch collects plain emission targets per tuple (reused), so
 	// single-forward calls can pass tuple ownership through to the
 	// downstream edge instead of pinning the tuple.
 	tgScratch []target
 }
 
-func newSelectMOp(p *core.Physical, n *core.Node, pm *portMap) (*SelectMOp, error) {
+func newSelectMOp(p *core.Physical, n *core.Node, pm *portMap, tp *stream.Pool) (*SelectMOp, error) {
 	m := &SelectMOp{
 		ports: make([]selPort, len(pm.inEdges)),
-		ce:    newChanEmitter(len(pm.outEdges)),
+		ce:    newChanEmitter(len(pm.outEdges), tp),
+		pool:  tp,
 	}
 	// Group ops by (port, def key) so equal predicates are evaluated once.
 	type gkey struct {
@@ -165,7 +167,7 @@ func (m *SelectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 		if len(tgs) > 0 {
 			// The stripped copy shares Vals with t (and t may be stored by
 			// other consumers of the channel edge), so it is never Owned.
-			stripped := t.WithMember(nil)
+			stripped := m.pool.WithMember(t, nil)
 			for _, tg := range tgs {
 				emit(tg.port, stripped)
 			}

@@ -77,6 +77,7 @@ type stateGroup struct {
 	// channel tuple is stored only if its membership intersects the mask
 	// (the decoding step of §3.1 applied at insertion time).
 	leftMask *bitset.Set
+	pool     *stream.Pool // engine tuple pool for state and output tuples
 	// tgScratch collects plain emission targets per match (reused).
 	tgScratch []target
 }
@@ -162,12 +163,12 @@ type SeqMOp struct {
 	ce     *chanEmitter
 }
 
-func newSeqMOp(p *core.Physical, n *core.Node, pm *portMap, mu bool) (*SeqMOp, error) {
+func newSeqMOp(p *core.Physical, n *core.Node, pm *portMap, tp *stream.Pool, mu bool) (*SeqMOp, error) {
 	m := &SeqMOp{
 		mu:     mu,
 		lefts:  make(map[int]*leftDispatch),
 		rights: make(map[int]*rightDispatch),
-		ce:     newChanEmitter(len(pm.outEdges)),
+		ce:     newChanEmitter(len(pm.outEdges), tp),
 	}
 	type gkey struct {
 		lport, rport int
@@ -188,6 +189,7 @@ func newSeqMOp(p *core.Physical, n *core.Node, pm *portMap, mu bool) (*SeqMOp, e
 				startArity: o.In[0].Schema.Arity(),
 				rightArity: o.In[1].Schema.Arity(),
 				filter:     o.Def.Filter2,
+				pool:       tp,
 			}
 			var info seqGroupInfo
 			pred := o.Def.Pred2
@@ -351,10 +353,10 @@ func (g *stateGroup) takeInst() *seqInst {
 
 // recycleInst returns a dead, unreferenced instance to the free list. For µ
 // the state tuple is group-constructed and instance-private, so its value
-// buffer goes back to the tuple pool.
+// buffer goes back to the engine's tuple pool.
 func (g *stateGroup) recycleInst(inst *seqInst) {
 	if g.mu && inst.state != nil {
-		inst.state.Release()
+		g.pool.Put(inst.state)
 	}
 	*inst = seqInst{}
 	g.free = append(g.free, inst)
@@ -376,7 +378,7 @@ func (g *stateGroup) insert(t *stream.Tuple) {
 		// state = start ++ last, with last initialised from the start
 		// tuple (padded/truncated to the right schema's arity). The state
 		// tuple is pooled; padding gaps must be zeroed explicitly.
-		st := stream.GetTuple(t.TS, g.startArity+g.rightArity)
+		st := g.pool.Get(t.TS, g.startArity+g.rightArity)
 		n := copy(st.Vals, t.Vals)
 		for i := n; i < g.startArity; i++ {
 			st.Vals[i] = 0
@@ -463,10 +465,10 @@ func (g *stateGroup) matchInst(inst *seqInst, t *stream.Tuple, ce *chanEmitter, 
 	switch {
 	case matched && filterOK:
 		// Duplicate: one copy stays at the state unchanged, one rebinds.
-		// Clone draws from the tuple pool, reusing buffers of recycled
-		// instances.
+		// Clone draws from the engine's tuple pool, reusing buffers of
+		// recycled instances.
 		stay := g.takeInst()
-		stay.start, stay.state, stay.member = inst.start, inst.state.Clone(), inst.member
+		stay.start, stay.state, stay.member = inst.start, g.pool.Clone(inst.state), inst.member
 		g.insts = append(g.insts, stay)
 		if g.hash != nil {
 			g.hash.add(stay.state.Vals[g.lAttr], stay)
@@ -544,7 +546,7 @@ func (g *stateGroup) emitMatch(inst *seqInst, t *stream.Tuple, ce *chanEmitter, 
 	if len(tgs) == 0 && chanAdds == 0 {
 		return
 	}
-	out := concatTuples(inst.start, t, t.TS)
+	out := concatTuples(g.pool, inst.start, t, t.TS)
 	if len(tgs) == 1 && chanAdds == 0 {
 		out.Owned = true
 	}
@@ -617,6 +619,160 @@ func (g *stateGroup) maybeCompact() {
 		g.recycleInst(inst)
 	}
 	g.dead = g.dead[:0]
+}
+
+// ---------------------------------------------------------------------------
+// State registry (uniform keyed-state holder, see registry.go)
+// ---------------------------------------------------------------------------
+
+// groups returns the m-op's state groups (each exactly once).
+func (m *SeqMOp) groups() []*stateGroup {
+	var out []*stateGroup
+	for _, ld := range m.lefts {
+		out = append(out, ld.rest...)
+		for i := range ld.fr {
+			ld.fr[i].byConst.forEach(func(g *stateGroup) { out = append(out, g) })
+		}
+	}
+	return out
+}
+
+// stateHolders implements the registry harvest for SeqMOp.
+func (m *SeqMOp) stateHolders() []stateHolder {
+	gs := m.groups()
+	out := make([]stateHolder, len(gs))
+	for i, g := range gs {
+		out[i] = g
+	}
+	return out
+}
+
+func (g *stateGroup) stateOpIDs() []int { return g.opIDs }
+
+func (g *stateGroup) stateSides() []int { return seqSideList }
+
+var seqSideList = []int{0} // right tuples only probe; instances store left
+
+func (g *stateGroup) stateKind() groupKind {
+	if g.mu {
+		return kindMuState
+	}
+	return kindSeqState
+}
+
+// adoptFrom moves a predecessor group's instance store wholesale.
+func (g *stateGroup) adoptFrom(old stateHolder) error {
+	og, ok := old.(*stateGroup)
+	if !ok {
+		return fmt.Errorf("seq group adopting %T state", old)
+	}
+	if (g.hash == nil) != (og.hash == nil) {
+		return fmt.Errorf("seq group changed AI-index shape during live delta")
+	}
+	g.insts, g.hash, g.deadCount = og.insts, og.hash, og.deadCount
+	g.free, g.dead = og.free, og.dead
+	return nil
+}
+
+// exportKeyed removes the selected live instances. Dead instances
+// (tombstones awaiting compaction) stay behind: they carry no state and
+// their hash-bucket slots are pruned locally. The instance store keeps its
+// start-timestamp order (in-place filter); exported instance headers are
+// recycled, while start/state tuples and memberships travel.
+func (g *stateGroup) exportKeyed(side, keyAttr int, sel func(int64, int) bool) *StatePayload {
+	if side != 0 {
+		return nil
+	}
+	pl := &StatePayload{kind: g.stateKind(), side: side}
+	ord := make(map[int64]int)
+	kept := g.insts[:0]
+	for _, inst := range g.insts {
+		if inst.dead {
+			kept = append(kept, inst)
+			continue
+		}
+		var key int64
+		if keyAttr >= 0 && keyAttr < len(inst.start.Vals) {
+			key = inst.start.Vals[keyAttr]
+		}
+		o := ord[key]
+		ord[key] = o + 1
+		if !sel(key, o) {
+			kept = append(kept, inst)
+			continue
+		}
+		if g.hash != nil {
+			g.hash.remove(inst.state.Vals[g.lAttr], inst)
+		}
+		pl.items = append(pl.items, stateItem{
+			key: key, ts: inst.start.TS,
+			start: inst.start, state: inst.state, member: inst.member,
+		})
+		*inst = seqInst{}
+		g.free = append(g.free, inst)
+	}
+	n := len(kept)
+	clear(g.insts[n:])
+	g.insts = kept
+	return pl
+}
+
+// importKeyed merges exported instances into the store by start timestamp
+// and re-indexes them. Start tuples and memberships are immutable and may
+// be shared; µ state tuples are instance-private and pool-owned, so a
+// copied import deep-copies them into this engine's pool.
+func (g *stateGroup) importKeyed(pl *StatePayload, copied bool) error {
+	if pl.kind != g.stateKind() {
+		return fmt.Errorf("seq group importing %d-kind payload", pl.kind)
+	}
+	add := make([]*seqInst, 0, len(pl.items))
+	for _, it := range pl.items {
+		inst := g.takeInst()
+		inst.start = it.start
+		st := it.state
+		if g.mu && copied {
+			st = g.pool.Clone(st)
+		}
+		inst.state = st
+		inst.member = it.member
+		if g.hash != nil {
+			g.hash.add(st.Vals[g.lAttr], inst)
+		}
+		add = append(add, inst)
+	}
+	g.insts = mergeByTS(g.insts, add, func(i *seqInst) int64 { return i.start.TS })
+	return nil
+}
+
+// keyHistogram counts live stored instances per partition key.
+func (g *stateGroup) keyHistogram(side, keyAttr int, h map[int64]int64) {
+	if side != 0 {
+		return
+	}
+	for _, inst := range g.insts {
+		if inst.dead {
+			continue
+		}
+		if keyAttr >= 0 && keyAttr < len(inst.start.Vals) {
+			h[inst.start.Vals[keyAttr]]++
+		}
+	}
+}
+
+// discardState releases group-owned pooled state. Only µ groups own their
+// instance state tuples (a ; instance's state IS the stored input tuple,
+// which the group does not own).
+func (g *stateGroup) discardState() {
+	if !g.mu {
+		return
+	}
+	for _, inst := range g.insts {
+		if inst.state != nil {
+			g.pool.Put(inst.state)
+			inst.state = nil
+		}
+	}
+	g.insts = nil
 }
 
 // Size reports the number of live stored instances (for tests).

@@ -40,16 +40,42 @@ func (Channelize) Name() string { return "channelize" }
 
 // Apply implements Rule.
 func (r Channelize) Apply(p *core.Physical) (bool, error) {
-	return applyChannelize(p, r.MinStreams, false)
+	return applyChannelize(p, allNodes(p), r.MinStreams, false)
 }
 
-func applyChannelize(p *core.Physical, minStreams int, live bool) (bool, error) {
+func (r Channelize) applyNodes(p *core.Physical, nodes []*core.Node) (bool, error) {
+	return applyChannelize(p, nodes, r.MinStreams, false)
+}
+
+// partnerStreams: channel partners consume the live streams of the
+// input's ∼ share class (both sides for joins, which channelize both
+// inputs), found through the plan's share-class index.
+func (r Channelize) partnerStreams(p *core.Physical, o *core.Op) []*core.StreamRef {
+	return channelPartnerStreams(p, o)
+}
+
+func channelPartnerStreams(p *core.Physical, o *core.Op) []*core.StreamRef {
+	if len(o.In) == 0 {
+		return nil
+	}
+	sides := o.In[:1]
+	if o.Def.Kind == core.KindJoin {
+		sides = o.In
+	}
+	var out []*core.StreamRef
+	for _, in := range sides {
+		out = append(out, p.StreamsOfClass(in.ShareClass)...)
+	}
+	return out
+}
+
+func applyChannelize(p *core.Physical, nodes []*core.Node, minStreams int, live bool) (bool, error) {
 	if minStreams < 2 {
 		minStreams = 2
 	}
 	groups := make(map[string][]*core.Op)
 	joinSides := make(map[string]bool) // group keys that channelize both inputs
-	for _, n := range p.Nodes {
+	for _, n := range nodes {
 		if n.Kind == core.KindSource {
 			continue
 		}

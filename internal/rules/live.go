@@ -31,25 +31,36 @@ func (LiveChannelize) Name() string { return "channelize-live" }
 
 // Apply implements Rule.
 func (r LiveChannelize) Apply(p *core.Physical) (bool, error) {
-	return applyChannelize(p, r.MinStreams, true)
+	return applyChannelize(p, allNodes(p), r.MinStreams, true)
+}
+
+func (r LiveChannelize) applyNodes(p *core.Physical, nodes []*core.Node) (bool, error) {
+	return applyChannelize(p, nodes, r.MinStreams, true)
+}
+
+// partnerStreams: same sharing partners as the offline channel rule.
+func (r LiveChannelize) partnerStreams(p *core.Physical, o *core.Op) []*core.StreamRef {
+	return channelPartnerStreams(p, o)
 }
 
 // LiveRules returns the rule set for incremental optimization of a running
-// plan: the merge rules unchanged (they only ever fire on groups involving
-// the new operators — everything else is already at fixpoint) plus the
-// append-only channel rule.
+// plan: the merge rules and the append-only channel rule, each seeded from
+// the active delta's dirty nodes — on a plan otherwise at fixpoint a rule
+// can only fire on a group touching a delta operator, so an add visits its
+// own sharing partners (found through the consumer, edge, and share-class
+// indexes) instead of re-scanning the whole plan.
 func LiveRules(opt Options) []Rule {
 	rs := []Rule{
-		CSE{},
-		MergeSameInput{Kind: core.KindSelect},
-		MergeSameInput{Kind: core.KindProject},
-		MergeAgg{},
-		MergeJoin{},
-		MergeSeq{Kind: core.KindSeq},
-		MergeSeq{Kind: core.KindMu},
+		Seeded{CSE{}},
+		Seeded{MergeSameInput{Kind: core.KindSelect}},
+		Seeded{MergeSameInput{Kind: core.KindProject}},
+		Seeded{MergeAgg{}},
+		Seeded{MergeJoin{}},
+		Seeded{MergeSeq{Kind: core.KindSeq}},
+		Seeded{MergeSeq{Kind: core.KindMu}},
 	}
 	if opt.Channels {
-		rs = append(rs, LiveChannelize{MinStreams: opt.ChannelMinStreams})
+		rs = append(rs, Seeded{LiveChannelize{MinStreams: opt.ChannelMinStreams}})
 	}
 	return rs
 }

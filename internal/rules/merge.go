@@ -18,9 +18,15 @@ type CSE struct{}
 func (CSE) Name() string { return "cse" }
 
 // Apply implements Rule.
-func (CSE) Apply(p *core.Physical) (bool, error) {
+func (r CSE) Apply(p *core.Physical) (bool, error) {
+	return r.applyNodes(p, allNodes(p))
+}
+
+// applyNodes runs the rule over the ops of the given nodes only (the full
+// plan for Apply; a dirty-seeded candidate set for the live pass).
+func (CSE) applyNodes(p *core.Physical, nodes []*core.Node) (bool, error) {
 	groups := make(map[string][]*core.Op)
-	for _, n := range p.Nodes {
+	for _, n := range nodes {
 		if n.Kind == core.KindSource {
 			continue
 		}
@@ -49,6 +55,14 @@ func (CSE) Apply(p *core.Physical) (bool, error) {
 	return changed, nil
 }
 
+// partnerStreams: CSE partners read the same first input stream.
+func (CSE) partnerStreams(p *core.Physical, o *core.Op) []*core.StreamRef {
+	if len(o.In) == 0 {
+		return nil
+	}
+	return o.In[:1]
+}
+
 // MergeSameInput is the sτ rule for unary operator kinds: operators of
 // kind τ reading the same edge are merged into one m-op. For selections
 // this is predicate indexing (sσ, [10,16]); for projections the shared π
@@ -62,14 +76,29 @@ func (r MergeSameInput) Name() string { return "s" + r.Kind.String() }
 
 // Apply implements Rule.
 func (r MergeSameInput) Apply(p *core.Physical) (bool, error) {
+	return r.applyNodes(p, allNodes(p))
+}
+
+func (r MergeSameInput) applyNodes(p *core.Physical, nodes []*core.Node) (bool, error) {
 	groups := make(map[string][]*core.Node)
-	for _, n := range liveNodes(p, r.Kind) {
+	for _, n := range nodes {
+		if n.Kind != r.Kind {
+			continue
+		}
 		for _, o := range n.Ops {
 			e, _ := p.EdgeOf(o.In[0])
 			groups[fmt.Sprintf("e%d", e.ID)] = append(groups[fmt.Sprintf("e%d", e.ID)], n)
 		}
 	}
 	return mergeNodeGroups(p, groups)
+}
+
+// partnerStreams: partners read any stream of the same input edge.
+func (r MergeSameInput) partnerStreams(p *core.Physical, o *core.Op) []*core.StreamRef {
+	if len(o.In) == 0 {
+		return nil
+	}
+	return edgeStreams(p, o.In[0])
 }
 
 // MergeAgg is sα (shared aggregate evaluation, [22]): aggregation
@@ -82,9 +111,16 @@ type MergeAgg struct{}
 func (MergeAgg) Name() string { return "sagg" }
 
 // Apply implements Rule.
-func (MergeAgg) Apply(p *core.Physical) (bool, error) {
+func (r MergeAgg) Apply(p *core.Physical) (bool, error) {
+	return r.applyNodes(p, allNodes(p))
+}
+
+func (MergeAgg) applyNodes(p *core.Physical, nodes []*core.Node) (bool, error) {
 	groups := make(map[string][]*core.Node)
-	for _, n := range liveNodes(p, core.KindAgg) {
+	for _, n := range nodes {
+		if n.Kind != core.KindAgg {
+			continue
+		}
 		for _, o := range n.Ops {
 			e, _ := p.EdgeOf(o.In[0])
 			k := fmt.Sprintf("e%d|%s|a%d|w%d", e.ID, o.Def.Agg, o.Def.AggAttr, o.Def.Window)
@@ -92,6 +128,14 @@ func (MergeAgg) Apply(p *core.Physical) (bool, error) {
 		}
 	}
 	return mergeNodeGroups(p, groups)
+}
+
+// partnerStreams: partners read any stream of the same input edge.
+func (MergeAgg) partnerStreams(p *core.Physical, o *core.Op) []*core.StreamRef {
+	if len(o.In) == 0 {
+		return nil
+	}
+	return edgeStreams(p, o.In[0])
 }
 
 // MergeJoin is s⨝ (shared join evaluation, [12]): join operators reading
@@ -104,15 +148,30 @@ type MergeJoin struct{}
 func (MergeJoin) Name() string { return "sjoin" }
 
 // Apply implements Rule.
-func (MergeJoin) Apply(p *core.Physical) (bool, error) {
+func (r MergeJoin) Apply(p *core.Physical) (bool, error) {
+	return r.applyNodes(p, allNodes(p))
+}
+
+func (MergeJoin) applyNodes(p *core.Physical, nodes []*core.Node) (bool, error) {
 	groups := make(map[string][]*core.Node)
-	for _, n := range liveNodes(p, core.KindJoin) {
+	for _, n := range nodes {
+		if n.Kind != core.KindJoin {
+			continue
+		}
 		for _, o := range n.Ops {
 			k := inEdgeKey(p, o) + "|" + o.Def.KeyModuloWindow()
 			groups[k] = append(groups[k], n)
 		}
 	}
 	return mergeNodeGroups(p, groups)
+}
+
+// partnerStreams: partners read any stream of the same left edge.
+func (MergeJoin) partnerStreams(p *core.Physical, o *core.Op) []*core.StreamRef {
+	if len(o.In) == 0 {
+		return nil
+	}
+	return edgeStreams(p, o.In[0])
 }
 
 // MergeSeq merges ; (or µ) operators that read the same right stream into
@@ -137,8 +196,15 @@ func (r MergeSeq) Name() string {
 
 // Apply implements Rule.
 func (r MergeSeq) Apply(p *core.Physical) (bool, error) {
+	return r.applyNodes(p, allNodes(p))
+}
+
+func (r MergeSeq) applyNodes(p *core.Physical, nodes []*core.Node) (bool, error) {
 	groups := make(map[string][]*core.Node)
-	for _, n := range liveNodes(p, r.Kind) {
+	for _, n := range nodes {
+		if n.Kind != r.Kind {
+			continue
+		}
 		for _, o := range n.Ops {
 			e, _ := p.EdgeOf(o.In[1])
 			k := fmt.Sprintf("e%d", e.ID)
@@ -146,4 +212,12 @@ func (r MergeSeq) Apply(p *core.Physical) (bool, error) {
 		}
 	}
 	return mergeNodeGroups(p, groups)
+}
+
+// partnerStreams: partners read any stream of the same right edge.
+func (r MergeSeq) partnerStreams(p *core.Physical, o *core.Op) []*core.StreamRef {
+	if len(o.In) < 2 {
+		return nil
+	}
+	return edgeStreams(p, o.In[1])
 }

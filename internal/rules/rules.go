@@ -141,16 +141,25 @@ func Optimize(p *core.Physical, opt Options) error {
 // helpers
 // ---------------------------------------------------------------------------
 
-// liveNodes returns plan nodes of a kind in deterministic order.
-func liveNodes(p *core.Physical, kind core.OpKind) []*core.Node {
-	var out []*core.Node
+// allNodes returns every plan node in ID order (the full-scan candidate
+// set of the standard rules).
+func allNodes(p *core.Physical) []*core.Node {
+	out := make([]*core.Node, 0, len(p.Nodes))
 	for _, n := range p.Nodes {
-		if n.Kind == kind {
-			out = append(out, n)
-		}
+		out = append(out, n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// edgeStreams returns every stream carried by the edge of s (whose
+// consumers are the sharing partners of the edge-keyed merge rules).
+func edgeStreams(p *core.Physical, s *core.StreamRef) []*core.StreamRef {
+	e, _ := p.EdgeOf(s)
+	if e == nil {
+		return nil
+	}
+	return e.Streams
 }
 
 // mergeNodeGroups merges each group of ≥2 distinct live nodes.

@@ -1,0 +1,82 @@
+package rules
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// candidateRule is a rule that can run over a subset of the plan's nodes
+// and name the sharing partners of one operator. Every standard rule
+// implements it; Seeded uses it to turn a full-plan scan into a
+// dirty-neighbourhood scan.
+type candidateRule interface {
+	Rule
+	// applyNodes runs the rule's condition/action over the ops of the
+	// given nodes only. Groups are formed exactly as by Apply, so passing
+	// a superset of any fireable group's nodes preserves behaviour.
+	applyNodes(p *core.Physical, nodes []*core.Node) (bool, error)
+	// partnerStreams returns the streams whose consumers could share with
+	// o under this rule (the op's input stream, its edge's streams, or its
+	// share class). Seeded dedupes the streams across a dirty node's ops
+	// before walking consumers, keeping the expansion linear even when a
+	// merge just produced a node with hundreds of operators.
+	partnerStreams(p *core.Physical, o *core.Op) []*core.StreamRef
+}
+
+// Seeded restricts a rule to the neighbourhood of the active delta's dirty
+// nodes: the candidate set is the dirty nodes plus each dirty operator's
+// sharing partners. On a plan at the rule set's fixpoint before the delta,
+// every fireable group contains a dirty operator, so the restriction is
+// behaviour-preserving — and an AddQueryLive touches O(|query| + partners)
+// operators instead of the whole plan. Without an active delta recording,
+// Seeded degrades to the full scan.
+type Seeded struct {
+	inner candidateRule
+}
+
+// Name implements Rule.
+func (s Seeded) Name() string { return s.inner.Name() }
+
+// Apply implements Rule.
+func (s Seeded) Apply(p *core.Physical) (bool, error) {
+	if !p.Recording() {
+		return s.inner.Apply(p)
+	}
+	cand := make(map[int]*core.Node)
+	add := func(n *core.Node) {
+		if n != nil {
+			if cur, ok := p.Nodes[n.ID]; ok && cur == n {
+				cand[n.ID] = n
+			}
+		}
+	}
+	seen := make(map[int]bool) // partner stream IDs already expanded
+	for _, id := range p.DirtyNodes() {
+		n, ok := p.Nodes[id]
+		if !ok {
+			continue
+		}
+		add(n)
+		for _, o := range n.Ops {
+			for _, ps := range s.inner.partnerStreams(p, o) {
+				if seen[ps.ID] {
+					continue
+				}
+				seen[ps.ID] = true
+				for _, po := range p.Consumers(ps) {
+					add(po.Node)
+				}
+			}
+		}
+	}
+	if len(cand) == 0 {
+		return false, nil
+	}
+	nodes := make([]*core.Node, 0, len(cand))
+	for _, n := range cand {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	return s.inner.applyNodes(p, nodes)
+}

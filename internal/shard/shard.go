@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -73,9 +74,9 @@ type worker struct {
 	eng    *engine.Engine
 	ch     chan msg
 	done   chan struct{}
-	tuples int64 // entries replayed (written by the worker only)
-	busyNS int64 // time spent replaying (written by the worker only)
-	err    error // first replay error (written by the worker only)
+	tuples atomic.Int64 // entries replayed (written by the worker only)
+	busyNS atomic.Int64 // time spent replaying (written by the worker only)
+	err    error        // first replay error (written by the worker only)
 
 	// replay scratch, reused across batches.
 	ts   []int64
@@ -124,7 +125,16 @@ type Engine struct {
 	// ran with (a replicated sink must not be re-summed across shards
 	// after its entry leaves ReplicatedSinks).
 	frozen map[int]int64
-	// statsMu guards part, maxQuery, and frozen against readers
+	// base holds, per query, the merged count accumulated under earlier
+	// routing epochs: a rebalance rebases the replica counters to zero
+	// (engine.ResetCounts) after folding them in here, so a query whose
+	// sink flips between partitioned and replicated across epochs is never
+	// double- or under-counted.
+	base map[int]int64
+	// busyBase snapshots each worker's busy time at the last rebalance, so
+	// Imbalance measures drift since then, not since startup.
+	busyBase []int64
+	// statsMu guards part, maxQuery, frozen, and base against readers
 	// (ResultCount/TotalResults) running concurrently with a live delta.
 	// Per-worker counters are NOT guarded: their values are stable (and
 	// meaningful) only after Drain, as documented.
@@ -140,11 +150,13 @@ func New(p *core.Physical, part *core.PartitionPlan, cfg Config) (*Engine, error
 		part = core.AnalyzePartition(p)
 	}
 	e := &Engine{
-		plan:    p,
-		part:    part,
-		cfg:     cfg,
-		srcs:    make(map[string]srcRoute),
-		pending: make([][]entry, cfg.Shards),
+		plan:     p,
+		part:     part,
+		cfg:      cfg,
+		srcs:     make(map[string]srcRoute),
+		pending:  make([][]entry, cfg.Shards),
+		base:     make(map[int]int64),
+		busyBase: make([]int64, cfg.Shards),
 	}
 	e.batchPool.New = func() any { s := make([]entry, 0, cfg.BatchSize); return &s }
 	e.rebuildSourceRoutes(part)
@@ -203,9 +215,9 @@ func (e *Engine) rebuildSourceRoutes(part *core.PartitionPlan) {
 			} else {
 				sr.table = make(map[int64]uint64, len(route.Table))
 				for v, partners := range route.Table {
-					sr.table[v] = partnerMask(partners, e.cfg.Shards)
+					sr.table[v] = partnerMask(partners, e.cfg.Shards, part)
 				}
-				sr.alwaysMask = partnerMask(route.Always, e.cfg.Shards)
+				sr.alwaysMask = partnerMask(route.Always, e.cfg.Shards, part)
 			}
 		}
 		e.srcs[name] = sr
@@ -253,7 +265,7 @@ func (w *worker) run(e *Engine) {
 		}
 		start := time.Now()
 		w.replay(e, m.entries)
-		w.busyNS += time.Since(start).Nanoseconds()
+		w.busyNS.Add(time.Since(start).Nanoseconds())
 		clear(m.entries) // drop value-slice refs before pooling
 		b := m.entries[:0]
 		e.batchPool.Put(&b)
@@ -280,7 +292,7 @@ func (w *worker) replay(e *Engine, entries []entry) {
 		if err := w.eng.PushBatch(e.srcNames[src], w.ts, w.vals); err != nil && w.err == nil {
 			w.err = fmt.Errorf("shard %d: %w", w.idx, err)
 		}
-		w.tuples += int64(j - i)
+		w.tuples.Add(int64(j - i))
 		i = j
 	}
 	clear(w.vals)
@@ -298,22 +310,22 @@ func (e *Engine) lookupRoute(name string) (srcRoute, bool) {
 	return sr, ok
 }
 
-// hashShard maps a partition-key value to its owning shard.
-func hashShard(v int64, n int) int {
-	h := uint64(v) * 0x9E3779B97F4A7C15
-	return int((h >> 32) % uint64(n))
-}
-
-// partnerMask folds partner-key values into a shard bitmask.
-func partnerMask(partners []int64, n int) uint64 {
+// partnerMask folds partner-key values into a shard bitmask, honouring the
+// plan's key-placement overlay: a moved (or split) partner key contributes
+// every shard that owns a slice of its instances.
+func partnerMask(partners []int64, n int, part *core.PartitionPlan) uint64 {
 	var m uint64
 	for _, p := range partners {
-		m |= 1 << uint(hashShard(p, n))
+		for _, o := range part.Owners(p, n) {
+			m |= 1 << uint(o)
+		}
 	}
 	return m
 }
 
-// shardOf picks the shard for one tuple under a route.
+// shardOf picks the shard for one tuple under a route. Hash routes honour
+// the key-placement overlay of the partition plan: a moved key goes to its
+// explicit owner, a split key round-robins across its owners.
 func (e *Engine) shardOf(sr srcRoute, vals []int64) int {
 	n := len(e.workers)
 	if n == 1 {
@@ -325,7 +337,14 @@ func (e *Engine) shardOf(sr srcRoute, vals []int64) int {
 		if sr.attr < len(vals) {
 			v = vals[sr.attr]
 		}
-		return hashShard(v, n)
+		if owners := e.part.Moved(v); owners != nil {
+			if len(owners) == 1 {
+				return owners[0]
+			}
+			e.rr++
+			return owners[e.rr%uint64(len(owners))]
+		}
+		return core.ShardOfKey(v, n)
 	default: // round-robin
 		e.rr++
 		return int(e.rr % uint64(n))
@@ -479,27 +498,10 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// ApplyDelta splices a live plan delta into every engine replica at a
-// batch-queue barrier: ingestion is blocked, all pending buffers are
-// flushed and every worker acknowledges quiescence; then the delta is
-// applied to each replica (re-lowering dirty m-ops with state migration),
-// the source routing tables are swapped to the new partition plan, the
-// merged final counts of the removed queries are frozen under the old
-// plan, and rewire (if non-nil — typically a result-callback rebuild with
-// the new query-name table) runs before ingestion resumes. The plan shared
-// by the replicas must already carry the delta's mutations.
-//
-// Concurrent Push/PushBatch callers block for the duration; maintenance
-// operations themselves must be serialized by the caller.
-func (e *Engine) ApplyDelta(d *core.Delta, part *core.PartitionPlan, removed []int, rewire func()) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return fmt.Errorf("shard: engine closed")
-	}
-	// Barrier: hand every pending buffer over and wait for the workers to
-	// drain their queues. The lock stays held so no new tuples interleave
-	// with the delta.
+// quiesceLocked hands every pending buffer over and waits for the workers
+// to drain their queues. Called with mu held; the lock stays held so no
+// new tuples interleave with the maintenance operation that follows.
+func (e *Engine) quiesceLocked() error {
 	for i := range e.pending {
 		e.flushShard(i)
 	}
@@ -515,8 +517,43 @@ func (e *Engine) ApplyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 			first = err
 		}
 	}
-	if first != nil {
-		return first
+	return first
+}
+
+// ApplyDelta splices a live plan delta into every engine replica at a
+// batch-queue barrier: ingestion is blocked, all pending buffers are
+// flushed and every worker acknowledges quiescence; then the delta is
+// applied to each replica (re-lowering dirty m-ops with state migration),
+// the source routing tables are swapped to the new partition plan, the
+// merged final counts of the removed queries are frozen under the old
+// plan, and rewire (if non-nil — typically a result-callback rebuild with
+// the new query-name table) runs before ingestion resumes. The plan shared
+// by the replicas must already carry the delta's mutations.
+//
+// Concurrent Push/PushBatch callers block for the duration; maintenance
+// operations themselves must be serialized by the caller.
+func (e *Engine) ApplyDelta(d *core.Delta, part *core.PartitionPlan, removed []int, rewire func()) error {
+	return e.applyDelta(d, part, removed, rewire, false)
+}
+
+// ApplyDeltaRebalance is ApplyDelta for deltas whose extended partition
+// plan re-routes running sources: after the delta is spliced, the stored
+// operator state is migrated from its placement under the old routes to
+// its placement under part (drain → export → re-hash → import), inside
+// the same barrier. This is how a live add that the pinned-route
+// ExtendPartition would reject is served without an offline restart.
+func (e *Engine) ApplyDeltaRebalance(d *core.Delta, part *core.PartitionPlan, removed []int, rewire func()) error {
+	return e.applyDelta(d, part, removed, rewire, true)
+}
+
+func (e *Engine) applyDelta(d *core.Delta, part *core.PartitionPlan, removed []int, rewire func(), rebalance bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("shard: engine closed")
+	}
+	if err := e.quiesceLocked(); err != nil {
+		return err
 	}
 	// Quiescent. Freeze the removed queries' merged counts under the
 	// partition plan they were produced with.
@@ -534,6 +571,13 @@ func (e *Engine) ApplyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
+	if rebalance {
+		if _, err := e.migrateStateLocked(e.registriesLocked(), e.part.OpSideDists(e.plan), part); err != nil {
+			return err
+		}
+		e.rebaseCountsLocked()
+		e.snapshotBusyLocked()
+	}
 	// Swap routing state.
 	e.statsMu.Lock()
 	e.part = part
@@ -550,6 +594,23 @@ func (e *Engine) ApplyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 	return nil
 }
 
+// rebaseCountsLocked folds every replica's result counters into the base
+// table and resets them, so counting starts fresh under the routing epoch
+// about to take effect. Called at a barrier with mu held.
+func (e *Engine) rebaseCountsLocked() {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	for qid := 0; qid <= e.maxQuery; qid++ {
+		if _, ok := e.frozen[qid]; ok {
+			continue
+		}
+		e.base[qid] = e.mergedCountLocked(qid)
+	}
+	for _, w := range e.workers {
+		w.eng.ResetCounts()
+	}
+}
+
 // ResultCount returns the merged result count for a query. Counts are
 // stable only after Drain (or Close) has established quiescence — but the
 // call itself is safe concurrently with live maintenance operations. A
@@ -564,12 +625,13 @@ func (e *Engine) ResultCount(queryID int) int64 {
 }
 
 // mergedCountLocked merges the per-shard counters under the current
-// partition plan. Caller holds statsMu.
+// partition plan, on top of the counts accumulated in earlier routing
+// epochs (base). Caller holds statsMu.
 func (e *Engine) mergedCountLocked(queryID int) int64 {
+	n := e.base[queryID]
 	if e.part.ReplicatedSinks[queryID] {
-		return e.workers[0].eng.ResultCount(queryID)
+		return n + e.workers[0].eng.ResultCount(queryID)
 	}
-	var n int64
 	for _, w := range e.workers {
 		n += w.eng.ResultCount(queryID)
 	}
@@ -600,12 +662,13 @@ type ShardStat struct {
 	Results int64 // results produced by the shard's engine
 }
 
-// ShardStats returns per-shard load counters. Stable only after Drain (or
+// ShardStats returns per-shard load counters. Tuples and BusyNS are always
+// safe to read (monotone atomics); Results is stable only after Drain (or
 // Close).
 func (e *Engine) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(e.workers))
 	for i, w := range e.workers {
-		out[i] = ShardStat{Shard: i, Tuples: w.tuples, BusyNS: w.busyNS, Results: w.eng.TotalResults()}
+		out[i] = ShardStat{Shard: i, Tuples: w.tuples.Load(), BusyNS: w.busyNS.Load(), Results: w.eng.TotalResults()}
 	}
 	return out
 }

@@ -96,6 +96,31 @@ func (p Params) GenStreams(n int) []Event {
 	return events
 }
 
+// GenStreamsSkewed is GenStreams with a0 drawn from the workload's Zipf
+// constant distribution instead of uniformly: the hot constants then
+// dominate both instance creation (a Workload 1 selection σ(S.a0 = c1)
+// fires mostly for hot c1) and probe traffic, concentrating operator state
+// and routed tuples on the hot keys' shards — the skew scenario online
+// rebalancing flattens.
+func (p Params) GenStreamsSkewed(n int) []Event {
+	hot := zipf.New(p.ConstDomain, p.Zipf, p.Seed+31)
+	g := zipf.New(p.ConstDomain, 0, p.Seed+7)
+	events := make([]Event, n)
+	for ts := 0; ts < n; ts++ {
+		vals := make([]int64, p.NumAttrs)
+		for i := range vals {
+			vals[i] = int64(g.Next0())
+		}
+		vals[0] = int64(hot.Next0())
+		src := "S"
+		if ts%2 == 1 {
+			src = "T"
+		}
+		events[ts] = Event{Source: src, Tuple: &stream.Tuple{TS: int64(ts), Vals: vals}}
+	}
+	return events
+}
+
 // Workload1 generates the §5.2 Workload 1 queries: σθ1(S) ;θ2∧θ3 T with
 // θ1: S.a0 = c, θ3: T.a0 = c′ (Zipf-drawn constants) and θ2 the duration
 // predicate (Zipf-drawn window). Returned as automata; translate with

@@ -1,0 +1,376 @@
+package rumor_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	rumor "repro"
+	"repro/internal/workload"
+)
+
+// TestLiveAddReRoutesSource exercises the lifted pinned-route rejection:
+// Workload 2 hash-partitions S and T on a0; an unkeyed aggregate over S
+// then requires S (and transitively T) broadcast, which ExtendPartition
+// cannot serve under the pinned routes. The sharded system must accept the
+// add anyway — re-analyzing the plan and migrating the running operator
+// state to the new routes at the delta barrier — and stay result-identical
+// to a single-engine system performing the same live add at the same
+// stream position.
+func TestLiveAddReRoutesSource(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 80
+	p.ConstDomain = 50
+	qs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := p.GenStreams(6000)
+
+	aggRoot := rumor.Agg(rumor.Count, 1, 800, nil, rumor.Scan("S"))
+
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sys := rumor.NewSharded(rumor.ShardConfig{Shards: shards, BatchSize: 64})
+			defer sys.Close()
+			ref := rumor.New()
+			for name, decl := range p.Catalog() {
+				if err := sys.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, q := range qs {
+				if err := sys.AddQuery(q.Name, q.Root); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.AddQuery(q.Name, q.Root); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sys.Optimize(rumor.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Optimize(rumor.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			// The plan must actually be hash-partitioned for the scenario
+			// to mean anything.
+			if got := sys.PartitionInfo(); got == "" {
+				t.Fatal("no partition info")
+			}
+
+			half := len(events) / 2
+			push := func(evs []workload.Event) {
+				for _, ev := range evs {
+					if err := sys.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+						t.Fatal(err)
+					}
+					if err := ref.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			push(events[:half])
+			// This add re-routes the running sources S and T: it must be
+			// accepted (scoped rebalance), not rejected.
+			if err := sys.AddQueryLive("s_total", aggRoot); err != nil {
+				t.Fatalf("live add re-routing a running source was rejected: %v", err)
+			}
+			if err := ref.AddQueryLive("s_total", aggRoot); err != nil {
+				t.Fatal(err)
+			}
+			push(events[half:])
+			if err := sys.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if ref.TotalResults() == 0 {
+				t.Fatal("no results; equivalence is vacuous")
+			}
+			for _, q := range qs {
+				if got, want := sys.ResultCount(q.Name), ref.ResultCount(q.Name); got != want {
+					t.Fatalf("query %s: %d results, want %d", q.Name, got, want)
+				}
+			}
+			if got, want := sys.ResultCount("s_total"), ref.ResultCount("s_total"); got != want {
+				t.Fatalf("live-added aggregate: %d results, want %d", got, want)
+			}
+			if got, want := sys.TotalResults(), ref.TotalResults(); got != want {
+				t.Fatalf("total results %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestLiveAddReplicatesKeyedAggState pins the keyed→replicated migration
+// of aggregation state whose partition key is NOT attribute 0: a grouped
+// aggregate keyed on a1 runs hash-partitioned; a live unkeyed aggregate
+// then forces the source broadcast, so the grouped aggregate's window
+// must be merged onto every replica (key extraction reads the group-key
+// component, not column 0).
+func TestLiveAddReplicatesKeyedAggState(t *testing.T) {
+	p := workload.DefaultParams()
+	p.ConstDomain = 20
+	events := p.GenStreams(4000)
+
+	grouped := rumor.Agg(rumor.Sum, 2, 600, []int{1}, rumor.Scan("S"))
+	unkeyed := rumor.Agg(rumor.Count, 0, 600, nil, rumor.Scan("S"))
+
+	sys := rumor.NewSharded(rumor.ShardConfig{Shards: 4, BatchSize: 64})
+	defer sys.Close()
+	ref := rumor.New()
+	// Result counts alone cannot see a mis-migrated window (an aggregate
+	// emits one result per input either way): compare the result VALUE
+	// multisets.
+	collect := func() (map[string]int, func(q string, ts int64, vals []int64)) {
+		seen := make(map[string]int)
+		var mu sync.Mutex
+		return seen, func(q string, ts int64, vals []int64) {
+			mu.Lock()
+			seen[fmt.Sprintf("%s@%d%v", q, ts, vals)]++
+			mu.Unlock()
+		}
+	}
+	sysSeen, sysFn := collect()
+	refSeen, refFn := collect()
+	sys.OnResult(sysFn)
+	ref.OnResult(refFn)
+	for name, decl := range p.Catalog() {
+		if err := sys.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.AddQuery("by_a1", grouped); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.AddQuery("by_a1", grouped); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Optimize(rumor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Optimize(rumor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if info := sys.PartitionInfo(); !strings.Contains(info, "S: hash(a1)") {
+		t.Fatalf("scenario requires S hash-keyed on a1; got:\n%s", info)
+	}
+	half := len(events) / 2
+	push := func(evs []workload.Event) {
+		for _, ev := range evs {
+			if ev.Source != "S" {
+				continue // only S is in the plan
+			}
+			if err := sys.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	push(events[:half])
+	if err := sys.AddQueryLive("s_total", unkeyed); err != nil {
+		t.Fatalf("live unkeyed aggregate rejected: %v", err)
+	}
+	if err := ref.AddQueryLive("s_total", unkeyed); err != nil {
+		t.Fatal(err)
+	}
+	push(events[half:])
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"by_a1", "s_total"} {
+		got, want := sys.ResultCount(q), ref.ResultCount(q)
+		if want == 0 {
+			t.Fatalf("query %s produced nothing; test is vacuous", q)
+		}
+		if got != want {
+			t.Fatalf("query %s: %d results, want %d", q, got, want)
+		}
+	}
+	if len(sysSeen) == 0 {
+		t.Fatal("no result values collected")
+	}
+	for k, n := range refSeen {
+		if sysSeen[k] != n {
+			t.Fatalf("result value multiset diverged at %s: sharded %d, reference %d", k, sysSeen[k], n)
+		}
+	}
+	for k, n := range sysSeen {
+		if refSeen[k] != n {
+			t.Fatalf("sharded produced unexpected result %s ×%d (reference %d)", k, n, refSeen[k])
+		}
+	}
+}
+
+// TestShardedRebalanceDuringChurn drives the public API end to end: a
+// mid-stream explicit Rebalance on a Zipf-skewed Workload 1, interleaved
+// with live adds and removes, must keep every surviving query's counts
+// identical to a from-scratch single-engine run.
+func TestShardedRebalanceDuringChurn(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 60
+	p.ConstDomain = 50
+	p.Zipf = 1.8
+	qs, err := workload.ToRUMOR(p.Workload1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	surv, trans := qs[:40], qs[40:]
+	events := p.GenStreamsSkewed(8000)
+
+	sys := rumor.NewSharded(rumor.ShardConfig{Shards: 4, BatchSize: 64})
+	defer sys.Close()
+	ref := rumor.New()
+	for name, decl := range p.Catalog() {
+		if err := sys.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range surv {
+		if err := sys.AddQuery(q.Name, q.Root); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AddQuery(q.Name, q.Root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Optimize(rumor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Optimize(rumor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	chunks := 2 * len(trans)
+	var active []string
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*len(events)/chunks, (i+1)*len(events)/chunks
+		for _, ev := range events[lo:hi] {
+			if err := sys.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		switch {
+		case i == chunks/2:
+			if _, err := sys.Rebalance(); err != nil {
+				t.Fatalf("mid-stream rebalance: %v", err)
+			}
+		case i%2 == 0 && i/2 < len(trans):
+			name := fmt.Sprintf("tr_%d", i/2)
+			if err := sys.AddQueryLive(name, trans[i/2].Root); err != nil {
+				t.Fatal(err)
+			}
+			active = append(active, name)
+		case len(active) > 0:
+			if err := sys.RemoveQuery(active[0]); err != nil {
+				t.Fatal(err)
+			}
+			active = active[1:]
+		}
+	}
+	for _, name := range active {
+		if err := sys.RemoveQuery(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, q := range surv {
+		got, want := sys.ResultCount(q.Name), ref.ResultCount(q.Name)
+		if got != want {
+			t.Fatalf("query %s: %d results, want %d", q.Name, got, want)
+		}
+		total += got
+	}
+	if total == 0 {
+		t.Fatal("survivors produced no results; equivalence is vacuous")
+	}
+}
+
+// TestConcurrentPushRebalanceChurn races Push, Rebalance/MaybeRebalance,
+// and AddQueryLive/RemoveQuery (run under -race).
+func TestConcurrentPushRebalanceChurn(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 30
+	p.ConstDomain = 50
+	qs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := p.GenStreamsSkewed(8000)
+	sys := rumor.NewSharded(rumor.ShardConfig{Shards: 4, BatchSize: 32})
+	defer sys.Close()
+	for name, decl := range p.Catalog() {
+		if err := sys.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range qs[:15] {
+		if err := sys.AddQuery(q.Name, q.Root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Optimize(rumor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ev := range events {
+			if err := sys.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if _, err := sys.Rebalance(); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := sys.MaybeRebalance(1.1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("c_%d", i)
+		if err := sys.AddQueryLive(name, qs[15+i%15].Root); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 2 {
+			if err := sys.RemoveQuery(fmt.Sprintf("c_%d", i-2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wg.Wait()
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.TotalResults() == 0 {
+		t.Fatal("no results under concurrent churn and rebalance")
+	}
+}
+

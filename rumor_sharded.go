@@ -140,9 +140,13 @@ func (s *ShardedSystem) Optimize(opt Options) error {
 // only multicast tables grow and new sources receive fresh routes — and
 // the delta is applied to every engine replica at a batch-queue barrier.
 //
-// If the new query cannot be served under the pinned routes (it would
-// require re-routing a running source), the plan mutation is rolled back
-// and an error is returned; such a query needs an offline re-optimization.
+// When the new query cannot be served under the pinned routes (it would
+// re-route a running source — e.g. it needs a broadcast of a currently
+// partitioned stream), the system performs a scoped rebalance instead of
+// rejecting the add: the grown plan is re-analyzed from scratch and, at
+// the same barrier that splices the delta, every stateful operator's
+// stored state is drained, re-hashed to its owners under the new routes,
+// and imported there before ingestion resumes (shard.ApplyDeltaRebalance).
 // Safe to call while other goroutines Push; maintenance operations are
 // serialized internally. Before Optimize it is equivalent to AddQuery.
 func (s *ShardedSystem) AddQueryLive(name string, root *Logical) error {
@@ -164,30 +168,80 @@ func (s *ShardedSystem) AddQueryLive(name string, root *Logical) error {
 		return fmt.Errorf("rumor: %w", err)
 	}
 	part, perr := core.ExtendPartition(s.sys.plan, s.part)
+	rebalance := false
 	if perr != nil {
-		// Roll back: remove the just-added query from the plan. The merged
-		// delta must still reach the replicas — merges may have moved the
-		// surviving operators to new node identities.
-		d2, err2 := m.RemoveQuery(q.ID)
-		if err2 != nil {
-			return fmt.Errorf("rumor: rollback failed: %w (after %v)", err2, perr)
-		}
-		d.Merge(d2)
-		if err2 := s.sh.ApplyDelta(d, s.part, nil, nil); err2 != nil {
-			return fmt.Errorf("rumor: rollback failed: %w (after %v)", err2, perr)
-		}
-		return fmt.Errorf("rumor: %w", perr)
+		// The pinned routes cannot serve the grown plan. Re-analyze from
+		// scratch; the state migration below moves the running operator
+		// state to wherever the new routes place it. The key-placement
+		// overlay restarts empty under a bumped version (adaptive
+		// rebalancing re-flattens later if skew rebuilds).
+		part = core.AnalyzePartition(s.sys.plan)
+		part.Table = &core.RoutingTable{Version: s.part.RoutingVersion() + 1}
+		rebalance = true
 	}
 	s.nameMu.Lock()
 	s.sys.queries = append(s.sys.queries, q)
 	s.sys.byName[name] = q
 	delete(s.removed, name)
 	s.nameMu.Unlock()
-	if err := s.sh.ApplyDelta(d, part, nil, func() { s.wireCallback() }); err != nil {
+	apply := s.sh.ApplyDelta
+	if rebalance {
+		apply = s.sh.ApplyDeltaRebalance
+	}
+	if err := apply(d, part, nil, func() { s.wireCallback() }); err != nil {
 		return fmt.Errorf("rumor: %w", err)
 	}
 	s.part = part
 	return nil
+}
+
+// Rebalance drains the shards, migrates stored operator state onto a
+// freshly balanced key placement (hot keys move — or split, when the plan
+// allows — off overloaded shards), swaps the versioned routing table, and
+// resumes ingestion. Results are unaffected; only placement changes. Safe
+// to call while other goroutines Push.
+func (s *ShardedSystem) Rebalance() (RebalanceStats, error) {
+	if s.sh == nil {
+		return RebalanceStats{}, fmt.Errorf("rumor: call Optimize before Rebalance")
+	}
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	st, err := s.sh.Rebalance(nil)
+	return s.finishRebalance(st, err == nil), err
+}
+
+// finishRebalance adopts the routing table a shard-level rebalance
+// installed and converts its stats. Caller holds churnMu.
+func (s *ShardedSystem) finishRebalance(st shard.RebalanceStats, ran bool) RebalanceStats {
+	if ran {
+		s.part = s.sh.PartitionPlan()
+	}
+	return RebalanceStats{
+		Moved: st.Moved, Dropped: st.Dropped, Keys: st.Keys,
+		PauseNS: st.Pause.Nanoseconds(), Version: st.Version,
+	}
+}
+
+// MaybeRebalance rebalances only when the busy-time drift across shards
+// since the last rebalance exceeds maxImbalance (slowest shard over mean;
+// e.g. 1.25 tolerates 25%). It reports whether a rebalance ran.
+func (s *ShardedSystem) MaybeRebalance(maxImbalance float64) (bool, RebalanceStats, error) {
+	if s.sh == nil {
+		return false, RebalanceStats{}, fmt.Errorf("rumor: call Optimize before MaybeRebalance")
+	}
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	ran, st, err := s.sh.MaybeRebalance(maxImbalance)
+	return ran, s.finishRebalance(st, ran && err == nil), err
+}
+
+// RebalanceStats reports one online rebalance.
+type RebalanceStats struct {
+	Moved   int   // state items imported on a new owner shard
+	Dropped int   // replicated copies deduplicated away
+	Keys    int   // keys with explicit placements afterwards
+	PauseNS int64 // ingestion pause, barrier to resume
+	Version int   // routing-table version now in effect
 }
 
 // RemoveQuery unsubscribes a continuous query from the running sharded
