@@ -9,7 +9,8 @@
 //	rumorbench -fig 9a -maxq 100000     # paper-scale query sweep
 //	rumorbench -fig 10c -rounds 5000
 //	rumorbench -fig scale -shards 4     # sharded-runtime scaling, 1..4 shards
-//	rumorbench -fig churn -shards 2     # live add/remove churn latency
+//	rumorbench -fig churn -shards 2     # live add/remove churn latency +
+//	                                    # channel width (live/total slots)
 //	rumorbench -fig rebalance -shards 4 # online rebalancing on skewed W1
 package main
 

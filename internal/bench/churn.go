@@ -43,6 +43,14 @@ type ChurnRow struct {
 	DipPct    float64 // 100 * (1 - ChurnEPS/SteadyEPS), at the OpEvery rate
 
 	FinalQueries int // live queries at the end (base population retained)
+
+	// Channel membership width over the churn cycle: live/total encoded
+	// slots at the end of the run, and the minimum ratio observed after
+	// any maintenance operation. Compaction + slot reuse keep MinSlotRatio
+	// ≥ 0.5; without them tombstones accrete and the ratio decays toward 0.
+	LiveSlots    int
+	TotalSlots   int
+	MinSlotRatio float64
 }
 
 // churnTarget abstracts the two runtimes under churn.
@@ -119,10 +127,13 @@ func (t *shardTarget) applyRemove(m *live.Maintainer, queryID int) error {
 // then the event stream in three phases — warm-up, steady (timed, no
 // churn), churn (timed, one maintenance operation every opEvery events).
 func churnRun(catalog map[string]core.SourceDecl, base, pool []*core.Query,
-	events []workload.Event, shards int, seed int64) (ChurnRow, error) {
+	events []workload.Event, shards int, channels bool, seed int64) (ChurnRow, error) {
 	row := ChurnRow{Mode: "engine"}
 	if shards > 1 {
 		row.Mode = fmt.Sprintf("shard=%d", shards)
+	}
+	if channels {
+		row.Mode += "/ch"
 	}
 	plan := core.NewPhysical(catalog)
 	for _, q := range base {
@@ -130,7 +141,7 @@ func churnRun(catalog map[string]core.SourceDecl, base, pool []*core.Query,
 			return row, err
 		}
 	}
-	opts := rules.Options{}
+	opts := rules.Options{Channels: channels}
 	if err := rules.Optimize(plan, opts); err != nil {
 		return row, err
 	}
@@ -199,6 +210,17 @@ func churnRun(catalog map[string]core.SourceDecl, base, pool []*core.Query,
 	var active []*core.Query
 	nextAdd := 0
 	var addDur, remDur []time.Duration
+	row.MinSlotRatio = 1
+	sampleWidth := func() {
+		st := plan.Stats()
+		row.LiveSlots, row.TotalSlots = st.LiveSlots, st.TotalSlots
+		if st.TotalSlots > 0 {
+			if r := float64(st.LiveSlots) / float64(st.TotalSlots); r < row.MinSlotRatio {
+				row.MinSlotRatio = r
+			}
+		}
+	}
+	sampleWidth()
 	start = time.Now()
 	sinceOp := 0
 	for _, ev := range churnEvents {
@@ -229,6 +251,7 @@ func churnRun(catalog map[string]core.SourceDecl, base, pool []*core.Query,
 			}
 			remDur = append(remDur, time.Since(t0))
 		}
+		sampleWidth()
 	}
 	if err := target.sync(); err != nil {
 		return row, err
@@ -310,27 +333,39 @@ func (cfg Config) Churn(shards int) ([]ChurnRow, error) {
 			counts = append(counts, shards)
 		}
 		for _, n := range counts {
-			row, err := churnRun(w.catalog, base, pool, w.events, n, cfg.Seed)
-			if err != nil {
-				return rows, fmt.Errorf("%s (%d shards): %w", w.name, n, err)
+			// The channel-enabled pass exercises the churn-durability
+			// machinery (tombstoning, slot reuse, compaction, replay) and
+			// reports membership width over the cycle.
+			for _, channels := range []bool{false, true} {
+				row, err := churnRun(w.catalog, base, pool, w.events, n, channels, cfg.Seed)
+				if err != nil {
+					return rows, fmt.Errorf("%s (%d shards, channels=%v): %w", w.name, n, channels, err)
+				}
+				row.Workload = w.name
+				rows = append(rows, row)
 			}
-			row.Workload = w.name
-			rows = append(rows, row)
 		}
 	}
 	return rows, nil
 }
 
-// FprintChurn renders churn rows as an aligned table.
+// FprintChurn renders churn rows as an aligned table. The width column
+// reports channel membership slots live/total at the end of the cycle and
+// the minimum live ratio observed after any maintenance operation ("-"
+// when the plan has no channels).
 func FprintChurn(w io.Writer, rows []ChurnRow) {
-	fmt.Fprintf(w, "%-18s %-8s %5s %5s %6s %16s %16s %11s %11s %6s\n",
+	fmt.Fprintf(w, "%-18s %-10s %5s %5s %6s %16s %16s %11s %11s %6s %12s\n",
 		"workload", "mode", "adds", "rems", "every", "add us avg/max", "rem us avg/max",
-		"steady ev/s", "churn ev/s", "dip%")
+		"steady ev/s", "churn ev/s", "dip%", "width l/t@min")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-18s %-8s %5d %5d %6d %7.0f/%-8.0f %7.0f/%-8.0f %11.0f %11.0f %5.1f%%\n",
+		width := "-"
+		if r.TotalSlots > 0 {
+			width = fmt.Sprintf("%d/%d@%.2f", r.LiveSlots, r.TotalSlots, r.MinSlotRatio)
+		}
+		fmt.Fprintf(w, "%-18s %-10s %5d %5d %6d %7.0f/%-8.0f %7.0f/%-8.0f %11.0f %11.0f %5.1f%% %12s\n",
 			r.Workload, r.Mode, r.Adds, r.Removes, r.OpEvery,
 			r.AddAvgUS, r.AddMaxUS, r.RemAvgUS, r.RemMaxUS,
-			r.SteadyEPS, r.ChurnEPS, r.DipPct)
+			r.SteadyEPS, r.ChurnEPS, r.DipPct, width)
 	}
-	fmt.Fprintln(w, strings.Repeat("-", 111))
+	fmt.Fprintln(w, strings.Repeat("-", 126))
 }

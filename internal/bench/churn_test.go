@@ -18,9 +18,10 @@ func TestChurnSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 { // 3 workloads × {engine, shard=2}
-		t.Fatalf("rows = %d, want 6", len(rows))
+	if len(rows) != 12 { // 3 workloads × {engine, shard=2} × {plain, channels}
+		t.Fatalf("rows = %d, want 12", len(rows))
 	}
+	sawWidth := false
 	for _, r := range rows {
 		if r.Adds == 0 || r.Removes == 0 {
 			t.Fatalf("%s %s: no churn operations measured (%+v)", r.Workload, r.Mode, r)
@@ -28,6 +29,16 @@ func TestChurnSmoke(t *testing.T) {
 		if r.SteadyEPS <= 0 || r.ChurnEPS <= 0 {
 			t.Fatalf("%s %s: non-positive throughput (%+v)", r.Workload, r.Mode, r)
 		}
+		if r.TotalSlots > 0 {
+			sawWidth = true
+			if r.MinSlotRatio < 0.5 {
+				t.Fatalf("%s %s: channel width unbounded under churn: min live ratio %.2f (%+v)",
+					r.Workload, r.Mode, r.MinSlotRatio, r)
+			}
+		}
+	}
+	if !sawWidth {
+		t.Fatal("no channel-enabled row reported membership width")
 	}
 	var sb strings.Builder
 	FprintChurn(&sb, rows)

@@ -32,6 +32,16 @@ type Delta struct {
 	// NewEdges is the set of edge IDs created during the delta. The live
 	// channel rule uses it to restrict encoding to freshly built streams.
 	NewEdges map[int]bool
+	// NewStreams is the set of stream IDs created during the delta. The
+	// engine's re-merge replay uses it to spot operators whose channel
+	// membership position is fresh (their view of a shared store must be
+	// re-derived from the stored items).
+	NewStreams map[int]bool
+	// Remaps lists channel re-encodings performed during the delta, in
+	// application order: each one tells the engine to push a membership
+	// position remap through the operator state stored against the
+	// rewritten channel before re-lowering its consumers.
+	Remaps []ChannelRemap
 	// NewQueries lists the query IDs registered during the delta. Even a
 	// delta with no node changes (a query fully absorbed by CSE, or a bare
 	// scan of an existing source) must reach the engine: its output sink
@@ -41,12 +51,37 @@ type Delta struct {
 	RemovedQueries []int
 }
 
+// ChannelRemap records one channel re-encoding: tombstoned membership
+// positions were dropped (compaction) or scrubbed for reuse by a fresh
+// stream, so stored memberships inside the running m-ops must be rewritten
+// before the delta's re-lowering takes effect.
+type ChannelRemap struct {
+	// EdgeID is the channel's pre-rewrite edge ID — the identity under
+	// which the engine's current wiring knows it.
+	EdgeID int
+	// Table maps each old membership position to its new position, or -1
+	// when the old position's bit must be dropped from stored memberships
+	// (a removed tombstone slot, or a slot scrubbed for reuse).
+	Table []int
+	// Ops lists the consumer operators whose state groups hold memberships
+	// encoded against the old positions, with the input side that reads
+	// the channel.
+	Ops []RemapOp
+}
+
+// RemapOp addresses one state-holding consumer of a remapped channel.
+type RemapOp struct {
+	OpID int
+	Side int
+}
+
 func newDelta() *Delta {
 	return &Delta{
 		Dirty:        make(map[int]bool),
 		Removed:      make(map[int]bool),
 		RemovedEdges: make(map[int]bool),
 		NewEdges:     make(map[int]bool),
+		NewStreams:   make(map[int]bool),
 	}
 }
 
@@ -54,6 +89,7 @@ func newDelta() *Delta {
 func (d *Delta) Empty() bool {
 	return d == nil || (len(d.Dirty) == 0 && len(d.Removed) == 0 &&
 		len(d.RemovedEdges) == 0 && len(d.NewEdges) == 0 &&
+		len(d.NewStreams) == 0 && len(d.Remaps) == 0 &&
 		len(d.NewQueries) == 0 && len(d.RemovedQueries) == 0)
 }
 
@@ -76,6 +112,10 @@ func (d *Delta) Merge(o *Delta) {
 		delete(d.NewEdges, id)
 		d.RemovedEdges[id] = true
 	}
+	for id := range o.NewStreams {
+		d.NewStreams[id] = true
+	}
+	d.Remaps = append(d.Remaps, o.Remaps...)
 	d.NewQueries = append(d.NewQueries, o.NewQueries...)
 	d.RemovedQueries = append(d.RemovedQueries, o.RemovedQueries...)
 }
@@ -90,8 +130,8 @@ func (d *Delta) String() string {
 		sort.Ints(out)
 		return out
 	}
-	return fmt.Sprintf("delta{dirty:%v removed:%v edges:-%v +%v queries:-%v}",
-		ids(d.Dirty), ids(d.Removed), ids(d.RemovedEdges), ids(d.NewEdges), d.RemovedQueries)
+	return fmt.Sprintf("delta{dirty:%v removed:%v edges:-%v +%v remaps:%d queries:-%v}",
+		ids(d.Dirty), ids(d.Removed), ids(d.RemovedEdges), ids(d.NewEdges), len(d.Remaps), d.RemovedQueries)
 }
 
 // BeginDelta starts recording plan mutations. Exactly one recording may be
@@ -153,6 +193,48 @@ func (p *Physical) noteNewEdge(edgeID int) {
 	if p.rec != nil {
 		p.rec.NewEdges[edgeID] = true
 	}
+}
+
+func (p *Physical) noteNewStream(streamID int) {
+	if p.rec != nil {
+		p.rec.NewStreams[streamID] = true
+	}
+}
+
+func (p *Physical) noteDroppedStream(streamID int) {
+	if p.rec != nil {
+		delete(p.rec.NewStreams, streamID)
+	}
+}
+
+// noteRemap records a channel re-encoding: the edge's pre-rewrite ID, the
+// position table, and the consumers currently holding state keyed against
+// the old positions. Consumers are harvested from the plan's live streams
+// of the edge at call time (tombstones have none).
+func (p *Physical) noteRemap(edgeID int, table []int, streams []*StreamRef) {
+	if p.rec == nil {
+		return
+	}
+	cr := ChannelRemap{EdgeID: edgeID, Table: table}
+	for _, s := range streams {
+		if s.Dead {
+			continue
+		}
+		for _, c := range p.consumersOf[s.ID] {
+			for side, in := range c.In {
+				if in == s {
+					cr.Ops = append(cr.Ops, RemapOp{OpID: c.ID, Side: side})
+				}
+			}
+		}
+	}
+	sort.Slice(cr.Ops, func(i, j int) bool {
+		if cr.Ops[i].OpID != cr.Ops[j].OpID {
+			return cr.Ops[i].OpID < cr.Ops[j].OpID
+		}
+		return cr.Ops[i].Side < cr.Ops[j].Side
+	})
+	p.rec.Remaps = append(p.rec.Remaps, cr)
 }
 
 func (p *Physical) noteRemovedEdge(edgeID int) {
@@ -273,6 +355,7 @@ func (p *Physical) removeDeadOp(o *Op) {
 		dead := o.Out
 		dead.Dead = true
 		p.dropClassStream(dead)
+		p.noteDroppedStream(dead.ID)
 		delete(p.consumersOf, dead.ID)
 		if e := p.streamEdge[dead.ID]; e != nil {
 			if e.LiveStreams() == 0 {

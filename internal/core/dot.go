@@ -14,6 +14,12 @@ import (
 func (p *Physical) Dot() string {
 	var b strings.Builder
 	b.WriteString("digraph rumor {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n")
+	// Plan-level channel width: live membership slots over total slots
+	// (tombstones included) — the quantity channel compaction bounds.
+	if st := p.Stats(); st.TotalSlots > 0 {
+		fmt.Fprintf(&b, "  label=\"channels %d, slots %d/%d live\";\n",
+			st.Channels, st.LiveSlots, st.TotalSlots)
+	}
 
 	refs := p.OpRefcounts()
 	nodeIDs := make([]int, 0, len(p.Nodes))

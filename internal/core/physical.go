@@ -214,6 +214,7 @@ func (p *Physical) build(queryID int, l *Logical) (*StreamRef, error) {
 	p.nextOp++
 	out := &StreamRef{ID: p.nextStream, Schema: outSchema, Producer: op}
 	p.nextStream++
+	p.noteNewStream(out.ID)
 	out.ShareClass = p.shareClass(op, ins)
 	p.addClassStream(out)
 	op.Out = out
@@ -240,6 +241,7 @@ func (p *Physical) ensureSource(name string) *StreamRef {
 	p.nextOp++
 	s := &StreamRef{ID: p.nextStream, Schema: decl.Schema, Producer: op, Source: name}
 	p.nextStream++
+	p.noteNewStream(s.ID)
 	if decl.Label != "" {
 		s.ShareClass = "src:" + decl.Label
 	} else {
@@ -480,6 +482,7 @@ func (p *Physical) CollapseOps(ops []*Op) (*Op, error) {
 	for _, o := range ops[1:] {
 		dead := o.Out
 		p.dropClassStream(dead)
+		p.noteDroppedStream(dead.ID)
 		// Rewire consumers of the dead stream to keep.Out.
 		for _, c := range p.consumersOf[dead.ID] {
 			for i, s := range c.In {
@@ -528,12 +531,19 @@ func (p *Physical) CollapseOps(ops []*Op) (*Op, error) {
 // already-merged) edges produced by the same node, with union-compatible
 // schemas — the channel-based MQO sharing criteria (§3.2) are checked by
 // the rules, not here; this primitive only enforces structural sanity.
+//
+// In live mode (an active delta recording), a pre-existing channel that
+// absorbs delta-new streams hands its tombstoned slots to the newcomers
+// before growing: each reused slot's bit is scrubbed from the stored
+// memberships of the running consumers (recorded as a ChannelRemap on the
+// delta), so an add/remove/add cycle reclaims dead positions instead of
+// widening every membership word forever.
 func (p *Physical) EncodeChannel(streams []*StreamRef) (*Edge, error) {
 	if len(streams) < 2 {
 		return nil, fmt.Errorf("EncodeChannel: need at least 2 streams")
 	}
 	seenEdge := map[int]bool{}
-	var all []*StreamRef
+	var edges []*Edge
 	for _, s := range streams {
 		e := p.streamEdge[s.ID]
 		if e == nil {
@@ -541,6 +551,49 @@ func (p *Physical) EncodeChannel(streams []*StreamRef) (*Edge, error) {
 		}
 		if !seenEdge[e.ID] {
 			seenEdge[e.ID] = true
+			edges = append(edges, e)
+		}
+	}
+	var all []*StreamRef
+	if p.rec != nil && len(edges) > 1 && !p.rec.NewEdges[edges[0].ID] && edges[0].IsChannel() {
+		// Live growth of a pre-existing channel (the caller orders its
+		// streams first): fill tombstoned slots with the incoming streams,
+		// then append the rest. Reused slots are scrubbed: stored tuples
+		// whose membership carried the dead stream's bit must not appear
+		// to belong to the newcomer.
+		base := edges[0]
+		slots := append([]*StreamRef(nil), base.Streams...)
+		var table []int
+		for _, e := range edges[1:] {
+			for _, s := range e.Streams {
+				placed := false
+				for i, old := range slots {
+					if !old.Dead {
+						continue
+					}
+					if table == nil {
+						table = make([]int, len(base.Streams))
+						for j := range table {
+							table[j] = j
+						}
+					}
+					table[i] = -1
+					delete(p.streamEdge, old.ID)
+					slots[i] = s
+					placed = true
+					break
+				}
+				if !placed {
+					slots = append(slots, s)
+				}
+			}
+		}
+		if table != nil {
+			p.noteRemap(base.ID, table, base.Streams)
+		}
+		all = slots
+	} else {
+		for _, e := range edges {
 			all = append(all, e.Streams...)
 		}
 	}
@@ -588,6 +641,89 @@ func (p *Physical) EncodeChannel(streams []*StreamRef) (*Edge, error) {
 	return ch, nil
 }
 
+// CompactChannels re-encodes every channel whose tombstoned slots dominate
+// (live streams < half the total slots): dead positions are dropped, the
+// surviving streams are packed down in order, and the position remap is
+// recorded on the active delta so the engines rewrite the memberships
+// stored inside the running m-ops before re-lowering the consumers. When a
+// channel is left with a single live stream, one tombstone slot is kept
+// (scrubbed of its stored bits) so the edge stays structurally a channel —
+// running operators keep their membership-gated lowering, and the slot is
+// the first candidate for reuse on a later add. It returns the number of
+// edges compacted.
+//
+// Compaction preserves the steady-state width invariant live/total ≥ 1/2:
+// an edge only ever drops below it transiently, inside the maintenance
+// operation that immediately compacts it.
+func (p *Physical) CompactChannels() int {
+	// Candidate scan first: the common removal leaves no channel below
+	// threshold, and must not pay a sort over every edge.
+	var ids []int
+	for id, e := range p.Edges {
+		if !e.IsChannel() {
+			continue
+		}
+		live := e.LiveStreams()
+		if live > 0 && live*2 < len(e.Streams) {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	sort.Ints(ids) // deterministic delta order
+	for _, id := range ids {
+		e := p.Edges[id]
+		p.compactEdge(e, e.LiveStreams())
+	}
+	return len(ids)
+}
+
+// compactEdge rewrites one channel in place: live streams keep their
+// relative order at packed positions, dead slots are dropped (their bits
+// scrubbed from stored memberships via the recorded remap). With a single
+// live stream one dead slot survives, scrubbed, to keep the edge a channel.
+func (p *Physical) compactEdge(e *Edge, live int) {
+	table := make([]int, len(e.Streams))
+	kept := make([]*StreamRef, 0, live+1)
+	pad := 0
+	if live < 2 {
+		pad = 2 - live
+	}
+	for i, s := range e.Streams {
+		if s.Dead {
+			if pad > 0 {
+				// Tombstone kept for channel-ness; its stored bits are
+				// scrubbed (no operator gates on a dead position).
+				pad--
+				table[i] = -1
+				kept = append(kept, s)
+				continue
+			}
+			table[i] = -1
+			delete(p.streamEdge, s.ID)
+			continue
+		}
+		table[i] = len(kept)
+		kept = append(kept, s)
+	}
+	p.noteRemap(e.ID, table, e.Streams)
+	e.Streams = kept
+	// Re-lower everything wired to the channel: membership positions (and
+	// the channel's width) changed.
+	for _, s := range kept {
+		if s.Dead {
+			continue
+		}
+		if s.Producer != nil {
+			p.noteDirty(s.Producer.Node.ID)
+		}
+		for _, c := range p.consumersOf[s.ID] {
+			p.noteDirty(c.Node.ID)
+		}
+	}
+}
+
 func removeOp(s []*Op, o *Op) []*Op {
 	out := s[:0]
 	for _, x := range s {
@@ -620,6 +756,12 @@ type Stats struct {
 	Edges    int
 	Channels int // edges encoding >1 stream
 	Streams  int
+	// LiveSlots / TotalSlots measure channel membership width: live
+	// streams vs total slots (including tombstones from live query
+	// removal) summed over all channel edges. Compaction keeps
+	// LiveSlots/TotalSlots ≥ 1/2 in steady state.
+	LiveSlots  int
+	TotalSlots int
 }
 
 // Stats returns summary counts for the plan.
@@ -633,6 +775,10 @@ func (p *Physical) Stats() Stats {
 		st.Streams += live
 		if live > 1 {
 			st.Channels++
+		}
+		if e.IsChannel() {
+			st.LiveSlots += live
+			st.TotalSlots += len(e.Streams)
 		}
 	}
 	return st

@@ -14,9 +14,11 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/expr"
 	"repro/internal/mop"
 	"repro/internal/stream"
 )
@@ -262,12 +264,15 @@ func (e *Engine) rebuildRoutes() {
 	}
 }
 
-// ApplyDelta splices a live plan delta into the running engine: runtime
-// nodes of removed plan nodes are dropped (their unadopted operator state
-// is discarded), dirty nodes are re-lowered with their predecessors'
-// state migrated in (package mop), and the dense routing tables are
-// recomputed. The engine must be quiescent (no in-flight drain); the push
-// path itself is untouched by delta application.
+// ApplyDelta splices a live plan delta into the running engine: channel
+// position remaps recorded by compaction / slot reuse are pushed through
+// the stored memberships of the running m-ops, runtime nodes of removed
+// plan nodes are dropped (their unadopted operator state is discarded),
+// dirty nodes are re-lowered with their predecessors' state migrated in
+// (package mop), freshly merged channel members replay the shared stores
+// they joined, and the dense routing tables are recomputed. The engine
+// must be quiescent (no in-flight drain); the push path itself is
+// untouched by delta application.
 func (e *Engine) ApplyDelta(d *core.Delta) error {
 	if d == nil || d.Empty() {
 		return nil
@@ -294,11 +299,22 @@ func (e *Engine) ApplyDelta(d *core.Delta) error {
 		}
 	}
 	reg := mop.NewStateRegistry(olds)
+	// Channel compaction / slot reuse: rewrite the memberships stored
+	// against the re-encoded channels before the state migrates into the
+	// re-lowered consumers. Remaps apply in recording order (a channel may
+	// be compacted and then grown within one delta).
+	for _, cr := range d.Remaps {
+		rm := mop.NewRemap(cr.Table)
+		for _, t := range cr.Ops {
+			reg.RemapMemberships(t.OpID, t.Side, rm)
+		}
+	}
 	dirty := make([]int, 0, len(d.Dirty))
 	for id := range d.Dirty {
 		dirty = append(dirty, id)
 	}
 	sort.Ints(dirty)
+	lowered := make(map[int]*runtimeNode, len(dirty))
 	for _, id := range dirty {
 		n, ok := e.plan.Nodes[id]
 		if !ok {
@@ -317,13 +333,121 @@ func (e *Engine) ApplyDelta(d *core.Delta) error {
 		if old := counters[rn.id]; old != nil {
 			rn.processed, rn.emitted = old.processed, old.emitted
 		}
+		lowered[id] = rn
 		kept = append(kept, rn)
 	}
 	reg.DiscardRest()
+	if err := e.replayNewMembers(d, lowered); err != nil {
+		return err
+	}
 	e.nodes = kept
 	sort.Slice(e.nodes, func(i, j int) bool { return e.nodes[i].id < e.nodes[j].id })
 	e.rebuildRoutes()
 	return nil
+}
+
+// replayNewMembers implements full-window state replay on live re-merge:
+// an operator whose input stream was created during the delta and encoded
+// into a channel joined an existing shared state group cold — its
+// membership position gates it out of every stored item. When the stored
+// items carry enough content to re-evaluate the operator's gating chain,
+// the group replays them under the new member's bit, so a mid-stream
+// subscriber observes the full retained window from its first batch.
+//
+// Soundness gate: the channel's share class must be a single-source class
+// ("src#..."), so every stream on it is that source or a selection chain
+// over it and every stored item's content IS the source tuple the gating
+// selections would have seen. For aggregation groups — whose windows store
+// only the group-by columns and the aggregated attribute — the gating
+// predicates must additionally be evaluable over exactly those attributes.
+// Channels over multi-source share labels ("src:...") or over derived
+// operators are skipped: their stored contents differ per stream, so a
+// replay would fabricate history (the member starts cold, as before).
+func (e *Engine) replayNewMembers(d *core.Delta, lowered map[int]*runtimeNode) error {
+	if len(d.NewStreams) == 0 {
+		return nil
+	}
+	for id, rn := range lowered {
+		n := e.plan.Nodes[id]
+		if n == nil {
+			continue
+		}
+		switch n.Kind {
+		case core.KindAgg, core.KindJoin, core.KindSeq, core.KindMu:
+		default:
+			continue
+		}
+		var reg *mop.StateRegistry
+		for _, o := range n.Ops {
+			for side, in := range o.In {
+				if !d.NewStreams[in.ID] {
+					continue
+				}
+				edge, pos := e.plan.EdgeOf(in)
+				if edge == nil || !edge.IsChannel() || pos < 0 {
+					continue
+				}
+				keep, ok := replayKeep(o, in)
+				if !ok {
+					continue
+				}
+				if reg == nil {
+					reg = mop.NewStateRegistry([]mop.MOp{rn.m})
+				}
+				if _, err := reg.ReplayMember(o.ID, side, pos, keep); err != nil {
+					return fmt.Errorf("engine: replay op %d: %w", o.ID, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// replayKeep builds the replay acceptance test for one new channel member:
+// the conjunction of the selection predicates between the member's input
+// stream and its source, evaluated against stored item content. It reports
+// ok=false when the soundness gate fails (see replayNewMembers).
+func replayKeep(o *core.Op, in *core.StreamRef) (func(t *stream.Tuple) bool, bool) {
+	if !strings.HasPrefix(in.ShareClass, "src#") {
+		return nil, false
+	}
+	var preds []expr.Pred
+	cur := in
+	for cur.Producer != nil && cur.Producer.Def.Kind == core.KindSelect {
+		preds = append(preds, cur.Producer.Def.Pred)
+		cur = cur.Producer.In[0]
+	}
+	if cur.Producer != nil && cur.Producer.Def.Kind != core.KindSource {
+		return nil, false
+	}
+	if o.Def.Kind == core.KindAgg {
+		// The window reconstructs only the group-by columns and the
+		// aggregated attribute; the gating predicates must not read
+		// anything else.
+		known := map[int]bool{o.Def.AggAttr: true}
+		for _, a := range o.Def.GroupBy {
+			known[a] = true
+		}
+		for _, p := range preds {
+			attrs, ok := expr.PredAttrs(p)
+			if !ok {
+				return nil, false
+			}
+			for _, a := range attrs {
+				if !known[a] {
+					return nil, false
+				}
+			}
+		}
+	}
+	return func(t *stream.Tuple) bool {
+		for _, p := range preds {
+			if !p.Eval(t) {
+				return false
+			}
+		}
+		return true
+	}, true
 }
 
 // Push injects a tuple into the named source stream and drains the plan.

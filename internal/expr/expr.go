@@ -223,6 +223,53 @@ func IndexableEq(p Pred) (attr int, c int64, residual Pred, ok bool) {
 	return 0, 0, nil, false
 }
 
+// PredAttrs returns the attribute positions a predicate reads, and whether
+// the predicate's structure is fully analyzable (every node is one of the
+// package's standard combinators). The live re-merge replay uses it to
+// decide whether a gating selection can be re-evaluated against partially
+// reconstructed stored state (e.g. an aggregation window exposes only the
+// group-by columns and the aggregated attribute).
+func PredAttrs(p Pred) ([]int, bool) {
+	seen := map[int]bool{}
+	if !collectPredAttrs(p, seen) {
+		return nil, false
+	}
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out, true
+}
+
+func collectPredAttrs(p Pred, seen map[int]bool) bool {
+	switch q := p.(type) {
+	case ConstCmp:
+		seen[q.Attr] = true
+	case AttrCmp:
+		seen[q.A] = true
+		seen[q.B] = true
+	case True, False:
+	case And:
+		for _, part := range q.Parts {
+			if !collectPredAttrs(part, seen) {
+				return false
+			}
+		}
+	case Or:
+		for _, part := range q.Parts {
+			if !collectPredAttrs(part, seen) {
+				return false
+			}
+		}
+	case Not:
+		return collectPredAttrs(q.P, seen)
+	default:
+		return false
+	}
+	return true
+}
+
 // ---------------------------------------------------------------------------
 // Binary predicates (over a stored left tuple and an incoming right tuple)
 // ---------------------------------------------------------------------------

@@ -18,17 +18,28 @@
 // collected (nodes shrink or disappear, channel positions are tombstoned
 // so surviving memberships stay valid, pooled seq-instance state of
 // µ groups returns to the tuple pool), and the same delta path updates
-// the engines.
+// the engines. Channels whose tombstoned slots come to dominate are then
+// compacted in the same delta (core.CompactChannels): dead positions are
+// dropped, the position remap travels on the delta, and the engines
+// rewrite the stored memberships before re-lowering — so sustained churn
+// keeps membership words bounded (live/total slots ≥ 1/2 in steady
+// state). Tombstoned slots that survive are handed to the next live add
+// (EncodeChannel slot reuse) before the channel grows.
 //
 // State semantics: an operator that keeps serving at least one surviving
 // query keeps its state untouched — surviving queries' results are
 // bit-identical to a run that planned only them up front. A new query
-// merged into an existing shared operator starts from that operator's
-// current shared state where the sharing structure exposes it (CSE reuses
-// the running operator outright; a plain-mode shared group serves its
-// whole store to every member), and from empty state where memberships
-// gate it (channel-mode groups). Migrating window history into a newly
-// shared operator is future work (see ROADMAP).
+// merged into an existing shared operator starts from the shared state
+// the sharing structure exposes: CSE reuses the running operator
+// outright; a plain-mode shared group serves its whole store to every
+// member; and a channel-mode member at a fresh membership position has
+// its view re-derived by full-window state replay (engine.ApplyDelta) —
+// the stored items are pushed through the member's gating selections and
+// tagged with its membership bit wherever the stored content permits an
+// exact re-evaluation (single-source channels; for aggregation windows
+// additionally predicates over the stored columns only). Members outside
+// those conditions start cold, as the channel encoding alone would have
+// them.
 package live
 
 import (
@@ -90,7 +101,8 @@ func (m *Maintainer) AddQuery(q *core.Query) (*core.Delta, error) {
 }
 
 // RemoveQuery garbage-collects the query's exclusively owned operators
-// from the running plan and returns the recorded delta.
+// from the running plan, compacts any channel the removal leaves
+// tombstone-dominated, and returns the recorded delta.
 func (m *Maintainer) RemoveQuery(queryID int) (*core.Delta, error) {
 	if err := m.Plan.BeginDelta(); err != nil {
 		return nil, fmt.Errorf("live: %w", err)
@@ -99,6 +111,7 @@ func (m *Maintainer) RemoveQuery(queryID int) (*core.Delta, error) {
 		m.Plan.TakeDelta()
 		return nil, fmt.Errorf("live: %w", err)
 	}
+	m.Plan.CompactChannels()
 	d := m.Plan.TakeDelta()
 	if err := m.Plan.Validate(); err != nil {
 		return nil, fmt.Errorf("live: plan invalid after remove: %w", err)

@@ -541,6 +541,129 @@ func (g *aggGroup) keyHistogram(side, keyAttr int, h map[int64]int64) {
 	}
 }
 
+// remapMemberships rewrites the fragment memberships of a channel-mode
+// group through a channel position remap: fragments are re-keyed under
+// their remapped memberships, fragments that collide after the remap (they
+// differed only in scrubbed positions) merge their partial aggregates, and
+// fragments whose membership empties are dropped together with their
+// buffered entries (they belonged only to scrubbed slots). Entry order —
+// and thus window expiry — is preserved.
+func (g *aggGroup) remapMemberships(side int, rm *Remap) {
+	if side != 0 || !g.channel || len(g.frags) == 0 {
+		return
+	}
+	old := g.frags
+	g.frags = make(map[string]*fragState, len(old))
+	keyMap := make(map[string]string, len(old))
+	for _, fs := range old {
+		nm := rm.Apply(fs.member)
+		if nm.Empty() {
+			keyMap[fs.key] = ""
+			continue
+		}
+		g.fbuf = nm.AppendKey(g.fbuf[:0])
+		nk := string(g.fbuf)
+		keyMap[fs.key] = nk
+		ex := g.frags[nk]
+		if ex == nil {
+			g.frags[nk] = &fragState{key: nk, member: nm, byGroup: fs.byGroup}
+			continue
+		}
+		for gk, st := range fs.byGroup {
+			est := ex.byGroup[gk]
+			if est == nil {
+				ex.byGroup[gk] = st
+				continue
+			}
+			est.sum += st.sum
+			est.count += st.count
+			if est.counts != nil {
+				for v, c := range st.counts {
+					est.counts[v] += c
+				}
+			}
+		}
+	}
+	kept := g.buf[:0]
+	for _, e := range g.buf {
+		nk, ok := keyMap[e.frag]
+		if ok && nk == "" {
+			continue // fragment dropped: the entry's streams are all dead
+		}
+		if ok {
+			e.frag = nk
+		}
+		kept = append(kept, e)
+	}
+	n := len(kept)
+	clear(g.buf[n:])
+	g.buf = kept
+}
+
+// replayMember grants a freshly merged aggregation operator (membership
+// position pos) its view of the shared window: every buffered entry whose
+// reconstructed contribution keep() accepts migrates to the fragment
+// carrying the entry's membership plus bit pos, moving its partial
+// aggregate along. The reconstruction exposes exactly the attributes the
+// window stores — the group-by columns (parsed from the interned group
+// key) and the aggregated attribute — so the caller must only pass keep
+// predicates over those attributes (the engine checks evaluability before
+// replaying).
+func (g *aggGroup) replayMember(side, pos int, keep func(*stream.Tuple) bool) int {
+	if side != 0 || !g.channel {
+		return 0
+	}
+	arity := g.attr + 1
+	for _, a := range g.groupBy {
+		if a+1 > arity {
+			arity = a + 1
+		}
+	}
+	scratch := &stream.Tuple{Vals: make([]int64, arity)}
+	moved := 0
+	for i := range g.buf {
+		e := &g.buf[i]
+		fs := g.frags[e.frag]
+		if fs == nil || fs.member.Test(pos) {
+			continue
+		}
+		for j, a := range g.groupBy {
+			scratch.Vals[a] = groupKeyComponent(e.group, j)
+		}
+		scratch.Vals[g.attr] = e.val
+		scratch.TS = e.ts
+		if !keep(scratch) {
+			continue
+		}
+		nm := fs.member.Clone()
+		nm.Set(pos)
+		g.fbuf = nm.AppendKey(g.fbuf[:0])
+		nfs := g.frags[string(g.fbuf)]
+		if nfs == nil {
+			nfs = &fragState{key: string(g.fbuf), member: nm, byGroup: make(map[string]*aggState)}
+			g.frags[nfs.key] = nfs
+		}
+		if st := fs.byGroup[e.group]; st != nil {
+			st.remove(e.val)
+			if st.count == 0 {
+				delete(fs.byGroup, e.group)
+				if len(fs.byGroup) == 0 {
+					delete(g.frags, e.frag)
+				}
+			}
+		}
+		nst := nfs.byGroup[e.group]
+		if nst == nil {
+			nst = newAggState(g.fn, e.group)
+			nfs.byGroup[nst.key] = nst
+		}
+		nst.add(e.val)
+		e.frag = nfs.key
+		moved++
+	}
+	return moved
+}
+
 // discardState: aggregation groups own no pooled state.
 func (g *aggGroup) discardState() {}
 

@@ -349,8 +349,11 @@ func (g *joinGroup) exportKeyed(side, keyAttr int, sel func(int64, int) bool) *S
 }
 
 // importKeyed merges exported tuples into the side's buffer by timestamp
-// and re-indexes them. Stored tuples are immutable and may be shared
-// across replicas, so a copied import needs no deep copy.
+// and re-indexes them. Tuple contents are immutable and the Vals arrays
+// may be shared across replicas; a copied import shallow-copies the tuple
+// header, because a later channel remap rewrites the stored tuple's
+// Member field in place per replica — a header shared by two replicas
+// would be remapped twice.
 func (g *joinGroup) importKeyed(pl *StatePayload, copied bool) error {
 	if pl.kind != kindJoinState {
 		return fmt.Errorf("join group importing %d-kind payload", pl.kind)
@@ -358,9 +361,13 @@ func (g *joinGroup) importKeyed(pl *StatePayload, copied bool) error {
 	s := g.sideOf(pl.side)
 	add := make([]*stream.Tuple, 0, len(pl.items))
 	for _, it := range pl.items {
-		add = append(add, it.tuple)
+		t := it.tuple
+		if copied {
+			t = &stream.Tuple{TS: t.TS, Vals: t.Vals, Member: t.Member}
+		}
+		add = append(add, t)
 		if s.hash != nil {
-			s.hash.add(it.tuple.Vals[s.attr], it.tuple)
+			s.hash.add(t.Vals[s.attr], t)
 		}
 	}
 	s.buf = mergeByTS(s.buf, add, func(t *stream.Tuple) int64 { return t.TS })
@@ -375,6 +382,55 @@ func (g *joinGroup) keyHistogram(side, keyAttr int, h map[int64]int64) {
 			h[t.Vals[keyAttr]]++
 		}
 	}
+}
+
+// remapMemberships rewrites the memberships of one side's stored tuples
+// through a channel position remap. The membership set is replaced (the
+// remap's cache keeps sharing: the same tuple stored by several groups of
+// this m-op passes through unchanged on the second visit); a tuple whose
+// membership empties belonged only to scrubbed slots and is dropped.
+func (g *joinGroup) remapMemberships(side int, rm *Remap) {
+	s := g.sideOf(side)
+	kept := s.buf[:0]
+	for _, t := range s.buf {
+		if t.Member == nil {
+			kept = append(kept, t)
+			continue
+		}
+		nm := rm.Apply(t.Member)
+		if nm.Empty() {
+			if s.hash != nil {
+				s.hash.remove(t.Vals[s.attr], t)
+			}
+			continue
+		}
+		t.Member = nm
+		kept = append(kept, t)
+	}
+	n := len(kept)
+	clear(s.buf[n:])
+	s.buf = kept
+}
+
+// replayMember grants a freshly merged join operator its view of one
+// side's shared buffer: every stored tuple keep() accepts gains the
+// operator's membership bit (copied set, shared sets stay untouched).
+func (g *joinGroup) replayMember(side, pos int, keep func(*stream.Tuple) bool) int {
+	s := g.sideOf(side)
+	n := 0
+	for _, t := range s.buf {
+		if t.Member == nil || t.Member.Test(pos) {
+			continue
+		}
+		if !keep(t) {
+			continue
+		}
+		nm := t.Member.Clone()
+		nm.Set(pos)
+		t.Member = nm
+		n++
+	}
+	return n
 }
 
 // discardState: join groups own no pooled state (stored tuples belong to

@@ -59,8 +59,93 @@ type stateHolder interface {
 	importKeyed(pl *StatePayload, copied bool) error
 	// keyHistogram adds the side's per-key stored-item counts to h.
 	keyHistogram(side, keyAttr int, h map[int64]int64)
+	// remapMemberships rewrites the channel memberships stored against one
+	// input side through a position remap (channel compaction / slot
+	// reuse). Memberships are replaced, never mutated in place: stored
+	// sets may be shared (µ duplicate instances, replicated imports), so
+	// the old set must stay intact for every other reader.
+	remapMemberships(side int, rm *Remap)
+	// replayMember re-derives a freshly merged member's view of the shared
+	// store: every stored live item whose content keep() accepts gains the
+	// member's membership bit, so a mid-stream subscriber starts with the
+	// full retained window instead of empty gated state. Returns the
+	// number of items tagged.
+	replayMember(side, pos int, keep func(*stream.Tuple) bool) int
 	// discardState releases group-owned pooled state (unadopted groups).
 	discardState()
+}
+
+// Remap applies a channel-position table to stored membership sets within
+// one engine replica's delta application. Sets are replaced through a
+// cache: a set shared by several stored items (µ duplicates, join tuples
+// stored on both group sides) is rewritten exactly once and stays shared,
+// and a set the remap itself produced is recognized and never remapped
+// twice (the same stored tuple can be visited through several groups).
+type Remap struct {
+	table []int
+	width int
+	out   map[*bitset.Set]*bitset.Set
+	made  map[*bitset.Set]bool
+	seen  map[remapSeen]bool
+}
+
+type remapSeen struct {
+	h    stateHolder
+	side int
+}
+
+// NewRemap builds a remap from an old-position → new-position table
+// (-1 drops the position's bit).
+func NewRemap(table []int) *Remap {
+	w := 0
+	for _, np := range table {
+		if np+1 > w {
+			w = np + 1
+		}
+	}
+	return &Remap{
+		table: table,
+		width: w,
+		out:   make(map[*bitset.Set]*bitset.Set),
+		made:  make(map[*bitset.Set]bool),
+		seen:  make(map[remapSeen]bool),
+	}
+}
+
+// Apply returns the remapped replacement of s (nil-safe). The result is
+// cached per input set; inputs the remap produced itself pass through.
+func (r *Remap) Apply(s *bitset.Set) *bitset.Set {
+	if s == nil {
+		return nil
+	}
+	if r.made[s] {
+		return s
+	}
+	if n, ok := r.out[s]; ok {
+		return n
+	}
+	n := bitset.New(r.width)
+	s.ForEach(func(i int) bool {
+		if i < len(r.table) && r.table[i] >= 0 {
+			n.Set(r.table[i])
+		}
+		return true
+	})
+	r.out[s] = n
+	r.made[n] = true
+	return n
+}
+
+// visit marks one (holder, side) as rewritten, reporting whether it
+// already was: several operators of one state group must not push the
+// same remap through the group twice.
+func (r *Remap) visit(h stateHolder, side int) bool {
+	k := remapSeen{h: h, side: side}
+	if r.seen[k] {
+		return true
+	}
+	r.seen[k] = true
+	return false
 }
 
 // groupKind tags the payload representation of a state group.
@@ -356,4 +441,32 @@ func (r *StateRegistry) Histogram(opID, side, keyAttr int, h map[int64]int64) {
 	if g, ok := r.byOp[opID]; ok {
 		g.keyHistogram(side, keyAttr, h)
 	}
+}
+
+// RemapMemberships pushes a channel-position remap through the state group
+// serving the operator's given input side. Operators without a stored
+// state group (stateless consumers, or delta-new operators the registry
+// never lowered) are skipped; a group reached through several of its
+// operators is rewritten once per side.
+func (r *StateRegistry) RemapMemberships(opID, side int, rm *Remap) {
+	h, ok := r.byOp[opID]
+	if !ok {
+		return
+	}
+	if rm.visit(h, side) {
+		return
+	}
+	h.remapMemberships(side, rm)
+}
+
+// ReplayMember re-derives a freshly merged operator's view of its group's
+// shared store (see stateHolder.replayMember). The group is addressed by
+// the operator's ID; pos is the operator's membership position on the
+// group's input channel.
+func (r *StateRegistry) ReplayMember(opID, side, pos int, keep func(*stream.Tuple) bool) (int, error) {
+	h, ok := r.byOp[opID]
+	if !ok {
+		return 0, fmt.Errorf("mop: no state group serves operator %d", opID)
+	}
+	return h.replayMember(side, pos, keep), nil
 }

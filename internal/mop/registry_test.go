@@ -1,0 +1,63 @@
+package mop
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/stream"
+)
+
+func TestRemapSharedSets(t *testing.T) {
+	rm := NewRemap([]int{0, -1, 1})
+	s := bitset.FromIndices(1, 2)
+	a := rm.Apply(s)
+	if a.Test(0) || !a.Test(1) || a.Test(2) {
+		t.Fatalf("remapped set = %v, want {1}", a)
+	}
+	if s.Test(1) != true || s.Test(2) != true {
+		t.Fatal("remap mutated the input set (it may be shared across replicas)")
+	}
+	if rm.Apply(s) != a {
+		t.Fatal("second apply of a shared set must return the cached replacement")
+	}
+	if rm.Apply(a) != a {
+		t.Fatal("a set the remap produced must pass through unchanged (double-remap)")
+	}
+	if got := rm.Apply(nil); got != nil {
+		t.Fatalf("nil set remapped to %v", got)
+	}
+	// Positions beyond the table are dropped (they cannot exist on the
+	// remapped edge).
+	if b := rm.Apply(bitset.FromIndices(7)); !b.Empty() {
+		t.Fatalf("out-of-table position survived: %v", b)
+	}
+}
+
+// TestSeqExportDropsDead pins the satellite fix: a rebalance export must
+// drop tombstoned instances (recycling their headers and hash slots) and
+// reset deadCount, so the post-export maybeCompact ratio reflects the
+// store instead of firing against a shrunken one.
+func TestSeqExportDropsDead(t *testing.T) {
+	g := &stateGroup{}
+	mk := func(ts int64, dead bool) *seqInst {
+		tp := &stream.Tuple{TS: ts, Vals: []int64{ts}}
+		return &seqInst{start: tp, state: tp, dead: dead}
+	}
+	g.insts = []*seqInst{mk(1, false), mk(2, true), mk(3, false), mk(4, true)}
+	g.deadCount = 2
+
+	pl := g.exportKeyed(0, 0, func(key int64, _ int) bool { return key == 1 })
+	if pl.Len() != 1 {
+		t.Fatalf("exported %d items, want 1", pl.Len())
+	}
+	if g.deadCount != 0 {
+		t.Fatalf("deadCount %d after export, want 0", g.deadCount)
+	}
+	if len(g.insts) != 1 || g.insts[0].start.TS != 3 {
+		t.Fatalf("store after export = %d insts, want only the unselected live one", len(g.insts))
+	}
+	// Both tombstones and the exported header recycle.
+	if len(g.free) != 3 {
+		t.Fatalf("free list holds %d headers, want 3", len(g.free))
+	}
+}

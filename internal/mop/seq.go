@@ -675,10 +675,14 @@ func (g *stateGroup) adoptFrom(old stateHolder) error {
 }
 
 // exportKeyed removes the selected live instances. Dead instances
-// (tombstones awaiting compaction) stay behind: they carry no state and
-// their hash-bucket slots are pruned locally. The instance store keeps its
-// start-timestamp order (in-place filter); exported instance headers are
-// recycled, while start/state tuples and memberships travel.
+// (tombstones awaiting compaction) are dropped outright — they carry no
+// state, their hash-bucket slots are pruned, and their headers recycle —
+// and deadCount is reset to match, so the maybeCompact ratio reflects the
+// post-export store instead of firing eagerly against a shrunken one. The
+// instance store keeps its start-timestamp order (in-place filter);
+// exported instance headers are recycled, while start/state tuples and
+// memberships travel. Dropping the dead is replica-deterministic: dead
+// flags agree across replicas holding identical (replicated) stores.
 func (g *stateGroup) exportKeyed(side, keyAttr int, sel func(int64, int) bool) *StatePayload {
 	if side != 0 {
 		return nil
@@ -688,7 +692,10 @@ func (g *stateGroup) exportKeyed(side, keyAttr int, sel func(int64, int) bool) *
 	kept := g.insts[:0]
 	for _, inst := range g.insts {
 		if inst.dead {
-			kept = append(kept, inst)
+			if g.hash != nil {
+				g.hash.remove(inst.state.Vals[g.lAttr], inst)
+			}
+			g.recycleInst(inst)
 			continue
 		}
 		var key int64
@@ -714,6 +721,7 @@ func (g *stateGroup) exportKeyed(side, keyAttr int, sel func(int64, int) bool) *
 	n := len(kept)
 	clear(g.insts[n:])
 	g.insts = kept
+	g.deadCount = 0
 	return pl
 }
 
@@ -757,6 +765,64 @@ func (g *stateGroup) keyHistogram(side, keyAttr int, h map[int64]int64) {
 			h[inst.start.Vals[keyAttr]]++
 		}
 	}
+}
+
+// remapMemberships rewrites stored instance memberships through a channel
+// position remap. An instance whose membership becomes empty belonged only
+// to scrubbed (tombstoned or reused) slots: no surviving operator can ever
+// emit it, so it is dropped and recycled. Memberships are replaced via the
+// remap's cache — a µ duplicate pair sharing one set stays shared, and
+// sets shared across engine replicas (replicated imports) are never
+// mutated in place.
+func (g *stateGroup) remapMemberships(side int, rm *Remap) {
+	if side != 0 {
+		return
+	}
+	kept := g.insts[:0]
+	for _, inst := range g.insts {
+		if inst.dead || inst.member == nil {
+			kept = append(kept, inst)
+			continue
+		}
+		nm := rm.Apply(inst.member)
+		if nm.Empty() {
+			if g.hash != nil {
+				g.hash.remove(inst.state.Vals[g.lAttr], inst)
+			}
+			g.recycleInst(inst)
+			continue
+		}
+		inst.member = nm
+		kept = append(kept, inst)
+	}
+	n := len(kept)
+	clear(g.insts[n:])
+	g.insts = kept
+}
+
+// replayMember grants a freshly merged operator (membership position pos)
+// its view of the shared instance store: every live stored instance whose
+// start tuple keep() accepts gains bit pos, so the operator's first probe
+// sees the full retained window. Memberships are copied, not mutated (they
+// may be shared with µ duplicates or peer replicas).
+func (g *stateGroup) replayMember(side, pos int, keep func(*stream.Tuple) bool) int {
+	if side != 0 {
+		return 0
+	}
+	n := 0
+	for _, inst := range g.insts {
+		if inst.dead || inst.member == nil || inst.member.Test(pos) {
+			continue
+		}
+		if !keep(inst.start) {
+			continue
+		}
+		nm := inst.member.Clone()
+		nm.Set(pos)
+		inst.member = nm
+		n++
+	}
+	return n
 }
 
 // discardState releases group-owned pooled state. Only µ groups own their

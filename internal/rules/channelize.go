@@ -136,6 +136,9 @@ func applyChannelize(p *core.Physical, nodes []*core.Node, minStreams int, live 
 // from delta-new edges exclusively. Re-encoding a pre-existing plain edge
 // is refused — it would retroactively give stored plain tuples a
 // membership structure the running operators' state does not carry.
+// Extending a pre-existing channel hands its tombstoned slots to the new
+// streams first (EncodeChannel slot reuse), so membership words stay
+// bounded under add/remove churn.
 func channelizeGroup(p *core.Physical, ops []*core.Op, inIdx, minStreams int, live bool) (bool, error) {
 	sort.Slice(ops, func(i, j int) bool { return ops[i].ID < ops[j].ID })
 

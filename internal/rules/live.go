@@ -13,7 +13,10 @@
 //     channel may grow by the new streams, and new channels may form from
 //     delta-new edges, but a pre-existing plain edge is never re-encoded —
 //     stored plain tuples carry no membership, so re-encoding would make
-//     the running consumers' state unreadable.
+//     the running consumers' state unreadable. Growth first reclaims
+//     tombstoned slots (EncodeChannel slot reuse, scrubbing their stored
+//     bits through a delta-recorded remap), so an add/remove/add cycle of
+//     the same query does not widen the membership words.
 package rules
 
 import "repro/internal/core"

@@ -596,12 +596,18 @@ func (e *Engine) applyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 
 // rebaseCountsLocked folds every replica's result counters into the base
 // table and resets them, so counting starts fresh under the routing epoch
-// about to take effect. Called at a barrier with mu held.
+// about to take effect. A frozen (removed) query's count is final: its
+// base entry is dropped rather than rebased, so no later epoch — another
+// rebalance, a compaction delta, or a re-add reusing the query's channel
+// slot — can fold replica counters into it again (the frozen map is the
+// single source of truth from the moment of removal). Called at a barrier
+// with mu held.
 func (e *Engine) rebaseCountsLocked() {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	for qid := 0; qid <= e.maxQuery; qid++ {
 		if _, ok := e.frozen[qid]; ok {
+			delete(e.base, qid)
 			continue
 		}
 		e.base[qid] = e.mergedCountLocked(qid)

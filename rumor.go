@@ -93,6 +93,14 @@ type PlanInfo struct {
 	Operators int // operator instances implemented by the m-ops
 	Channels  int // edges encoding more than one stream
 	Streams   int // logical streams
+
+	// LiveSlots / TotalSlots measure channel membership width: live
+	// streams vs total encoded slots (including tombstones left by live
+	// query removal), summed over the channel edges. Channel compaction
+	// keeps LiveSlots ≥ TotalSlots/2 in steady state, so membership words
+	// stay bounded under sustained add/remove churn.
+	LiveSlots  int
+	TotalSlots int
 }
 
 // System is a RUMOR stream-processing instance.
@@ -242,9 +250,16 @@ func (s *System) Optimize(opt Options) error {
 // The new query starts from the shared state its merged operators expose:
 // a query that collapses onto an identical running operator (CSE) adopts
 // that operator's history outright; a query merged into a plain shared
-// group observes the group's stored window; a query gated by channel
-// memberships starts empty. Carrying window history into a newly shared
-// operator is future work (see ROADMAP).
+// group observes the group's stored window; and a query merged into a
+// channel-mode agg/join/seq group at a fresh membership position has the
+// group's retained window replayed under its bit — the stored items are
+// re-filtered through the query's gating selections, so a mid-stream
+// subscriber over a single-source channel sees full-window results from
+// its first batch (exactly the results a from-scratch plan retains,
+// whenever the shared store's contents cover the new gating — e.g. the
+// gating predicate is implied by a live member's). Channel growth reuses
+// tombstoned membership slots before widening, so an add/remove/add cycle
+// of the same query does not grow the membership words.
 func (s *System) AddQueryLive(name string, root *Logical) error {
 	if s.plan == nil {
 		return s.AddQuery(name, root)
@@ -272,9 +287,13 @@ func (s *System) AddQueryLive(name string, root *Logical) error {
 // operators serving only this query are garbage-collected (reference
 // counts of shared operators drop; channel membership positions are
 // tombstoned; exclusively owned window and instance state is discarded),
-// and the engine's routing tables are updated in place. The removed
-// query's final result count stays available through ResultCount and
-// remains part of TotalResults.
+// and the engine's routing tables are updated in place. Channels whose
+// tombstones come to dominate are compacted in the same step: dead
+// positions are dropped and the memberships stored inside the running
+// m-ops are rewritten through the position remap, keeping membership
+// words bounded under sustained churn (live/total slots ≥ 1/2). The
+// removed query's final result count stays available through ResultCount
+// and remains part of TotalResults.
 func (s *System) RemoveQuery(name string) error {
 	q, ok := s.byName[name]
 	if !ok {
@@ -420,11 +439,13 @@ func (s *System) PlanInfo() PlanInfo {
 		ops += len(n.Ops)
 	}
 	return PlanInfo{
-		Queries:   st.Queries,
-		MOps:      st.Nodes - sources,
-		Operators: ops,
-		Channels:  st.Channels,
-		Streams:   st.Streams,
+		Queries:    st.Queries,
+		MOps:       st.Nodes - sources,
+		Operators:  ops,
+		Channels:   st.Channels,
+		Streams:    st.Streams,
+		LiveSlots:  st.LiveSlots,
+		TotalSlots: st.TotalSlots,
 	}
 }
 

@@ -303,6 +303,111 @@ func TestShardedRebalanceDuringChurn(t *testing.T) {
 	}
 }
 
+// TestFrozenCountsAcrossEpochs pins the removed-query count contract
+// against every epoch boundary the runtime has: a frozen final count must
+// survive subsequent channel compactions, rebalance count rebases, and a
+// re-add of the same definition (slot reuse + replay) — and TotalResults
+// must keep equalling the sum of live counts plus frozen finals (no
+// double-rebase, no drop).
+func TestFrozenCountsAcrossEpochs(t *testing.T) {
+	p := workload.DefaultParams()
+	p.NumQueries = 20
+	p.ConstDomain = 40
+	p.Zipf = 1.8
+	qs, err := workload.ToRUMOR(p.Workload1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := p.GenStreamsSkewed(9000)
+
+	sys := rumor.NewSharded(rumor.ShardConfig{Shards: 4, BatchSize: 64})
+	defer sys.Close()
+	for name, decl := range p.Catalog() {
+		if err := sys.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range qs {
+		if err := sys.AddQuery(q.Name, q.Root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Optimize(rumor.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	third := len(events) / 3
+	push := func(evs []workload.Event) {
+		t.Helper()
+		for _, ev := range evs {
+			if err := sys.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(events[:third])
+
+	frozen := map[string]int64{}
+	remove := func(name string) {
+		t.Helper()
+		if err := sys.RemoveQuery(name); err != nil {
+			t.Fatal(err)
+		}
+		frozen[name] = sys.ResultCount(name)
+	}
+	checkFrozen := func(stage string) {
+		t.Helper()
+		for name, want := range frozen {
+			if got := sys.ResultCount(name); got != want {
+				t.Fatalf("%s: frozen count of %s drifted: %d, want %d", stage, name, got, want)
+			}
+		}
+		var live int64
+		for _, q := range qs {
+			if _, dead := frozen[q.Name]; dead {
+				continue
+			}
+			live += sys.ResultCount(q.Name)
+		}
+		live += sys.ResultCount("readd_0")
+		var fro int64
+		for _, f := range frozen {
+			fro += f
+		}
+		if got := sys.TotalResults(); got != live+fro {
+			t.Fatalf("%s: TotalResults %d, want live %d + frozen %d = %d", stage, got, live, fro, live+fro)
+		}
+	}
+
+	remove(qs[0].Name)
+	remove(qs[1].Name)
+	checkFrozen("after removals")
+	if _, err := sys.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	checkFrozen("after rebalance")
+	push(events[third : 2*third])
+	checkFrozen("after epoch traffic")
+	// Re-adding the first query's definition reuses its tombstoned slot
+	// and replays the shared window; its count restarts from zero while
+	// the frozen final stays.
+	if err := sys.AddQueryLive("readd_0", qs[0].Root); err != nil {
+		t.Fatal(err)
+	}
+	remove(qs[2].Name) // may trigger channel compaction
+	checkFrozen("after re-add + compacting removal")
+	if _, err := sys.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	push(events[2*third:])
+	checkFrozen("after second rebalance epoch")
+	if sys.TotalResults() == 0 {
+		t.Fatal("no results; the count audit is vacuous")
+	}
+}
+
 // TestConcurrentPushRebalanceChurn races Push, Rebalance/MaybeRebalance,
 // and AddQueryLive/RemoveQuery (run under -race).
 func TestConcurrentPushRebalanceChurn(t *testing.T) {

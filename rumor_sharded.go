@@ -147,8 +147,14 @@ func (s *ShardedSystem) Optimize(opt Options) error {
 // the same barrier that splices the delta, every stateful operator's
 // stored state is drained, re-hashed to its owners under the new routes,
 // and imported there before ingestion resumes (shard.ApplyDeltaRebalance).
-// Safe to call while other goroutines Push; maintenance operations are
-// serialized internally. Before Optimize it is equivalent to AddQuery.
+//
+// State semantics match System.AddQueryLive: a query merged into an
+// existing channel-mode stateful group has each replica's retained window
+// replayed under its membership bit (filtered through its gating
+// selections), and channel growth reuses tombstoned slots before
+// widening. Safe to call while other goroutines Push; maintenance
+// operations are serialized internally. Before Optimize it is equivalent
+// to AddQuery.
 func (s *ShardedSystem) AddQueryLive(name string, root *Logical) error {
 	if s.sh == nil {
 		return s.sys.AddQuery(name, root)
@@ -247,9 +253,12 @@ type RebalanceStats struct {
 // RemoveQuery unsubscribes a continuous query from the running sharded
 // system: its exclusively owned operators are garbage-collected on every
 // replica at a batch-queue barrier, multicast routing tables shed the
-// constants only it needed, and its merged final result count is frozen
-// (still visible through ResultCount and TotalResults). Safe to call
-// while other goroutines Push.
+// constants only it needed, tombstone-dominated channels are compacted
+// (every replica rewrites its stored memberships through the recorded
+// position remap at the same barrier), and its merged final result count
+// is frozen (still visible through ResultCount and TotalResults, across
+// later compactions and rebalance epoch rebases). Safe to call while
+// other goroutines Push.
 func (s *ShardedSystem) RemoveQuery(name string) error {
 	if s.sh == nil {
 		return s.sys.RemoveQuery(name)

@@ -1,0 +1,172 @@
+package rumor_test
+
+import (
+	"fmt"
+	"testing"
+
+	rumor "repro"
+)
+
+// The churn soak test hammers the live query lifecycle: ≥1000 interleaved
+// AddQueryLive/RemoveQuery operations against a running engine (transient
+// definitions cycled from a fixed pool, so the same query is re-added many
+// times), with events flowing between operations. It asserts the two
+// churn-durability guarantees of this PR on top of the usual survivor
+// equivalence:
+//
+//   - bounded membership width: after every maintenance operation the
+//     plan-wide channel slot ratio live/total stays ≥ 1/2 (compaction +
+//     slot reuse), so a long-lived engine does not accrete tombstones;
+//   - no drift: the surviving queries' final counts equal a from-scratch
+//     run that planned only them.
+
+// soakSys extends the churn surface with plan introspection.
+type soakSys interface {
+	churnSys
+	PlanInfo() rumor.PlanInfo
+}
+
+func runSoak(t *testing.T, sys soakSys, drain func(), wl string, minOps int) {
+	t.Helper()
+	catalog, surv, events := churnWorkload(t, wl, 24, 6000, 5)
+	_, pool, _ := churnWorkload(t, wl, 48, 0, 101)
+
+	declareAll(t, sys, catalog)
+	half := len(surv) / 2
+	for _, q := range surv[:half] {
+		if err := sys.AddQuery(q.Name, q.Root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Optimize(rumor.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	ops := 0
+	minRatio := 1.0
+	checkWidth := func() {
+		pi := sys.PlanInfo()
+		if pi.TotalSlots == 0 {
+			return
+		}
+		r := float64(pi.LiveSlots) / float64(pi.TotalSlots)
+		if r < minRatio {
+			minRatio = r
+		}
+		if 2*pi.LiveSlots < pi.TotalSlots {
+			t.Fatalf("after %d ops: channel width unbounded: %d/%d live slots (ratio %.2f)",
+				ops, pi.LiveSlots, pi.TotalSlots, r)
+		}
+	}
+	for _, q := range surv[half:] {
+		if err := sys.AddQueryLive(q.Name, q.Root); err != nil {
+			t.Fatal(err)
+		}
+		ops++
+		checkWidth()
+	}
+
+	// Transient churn: cycle the pool so identical definitions are added,
+	// removed, and re-added over and over (slot reuse + compaction under
+	// sustained pressure). Keep a few transients alive at all times.
+	rounds := (minOps - ops) / 2
+	var active []string
+	next, gen := 0, 0
+	for i := 0; i < rounds; i++ {
+		lo, hi := i*len(events)/rounds, (i+1)*len(events)/rounds
+		for _, ev := range events[lo:hi] {
+			if err := sys.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := pool[gen%len(pool)]
+		name := fmt.Sprintf("tr_%d", gen)
+		gen++
+		if err := sys.AddQueryLive(name, q.Root); err != nil {
+			t.Fatal(err)
+		}
+		active = append(active, name)
+		ops++
+		checkWidth()
+		if len(active[next:]) > 3 {
+			if err := sys.RemoveQuery(active[next]); err != nil {
+				t.Fatal(err)
+			}
+			next++
+			ops++
+			checkWidth()
+		}
+	}
+	for ; next < len(active); next++ {
+		if err := sys.RemoveQuery(active[next]); err != nil {
+			t.Fatal(err)
+		}
+		ops++
+		checkWidth()
+	}
+	drain()
+	if ops < minOps {
+		t.Fatalf("only %d churn operations, want ≥ %d", ops, minOps)
+	}
+	t.Logf("%d churn ops, min live/total slot ratio %.2f, final plan %+v", ops, minRatio, sys.PlanInfo())
+
+	// Survivor equivalence against a from-scratch plan.
+	ref := rumor.New()
+	declareAll(t, ref, catalog)
+	for _, q := range surv {
+		if err := ref.AddQuery(q.Name, q.Root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Optimize(rumor.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := ref.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for _, q := range surv {
+		got, want := sys.ResultCount(q.Name), ref.ResultCount(q.Name)
+		if got != want {
+			t.Fatalf("query %s: soak run = %d results, from-scratch = %d", q.Name, got, want)
+		}
+		total += got
+	}
+	if total == 0 {
+		t.Fatal("survivors produced no results; the soak equivalence is vacuous")
+	}
+}
+
+// soakOps returns the per-configuration operation floor: the full ≥1000-op
+// soak in regular runs (the CI race job), a light version under -short.
+func soakOps(t *testing.T) int {
+	if testing.Short() {
+		return 120
+	}
+	return 1000
+}
+
+func TestChurnSoakSystem(t *testing.T) {
+	for _, wl := range []string{"w1", "w2", "w3"} {
+		t.Run(wl, func(t *testing.T) {
+			runSoak(t, rumor.New(), func() {}, wl, soakOps(t))
+		})
+	}
+}
+
+func TestChurnSoakSharded(t *testing.T) {
+	for _, wl := range []string{"w1", "w2", "w3"} {
+		for _, shards := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", wl, shards), func(t *testing.T) {
+				sys := rumor.NewSharded(rumor.ShardConfig{Shards: shards, BatchSize: 64})
+				defer sys.Close()
+				runSoak(t, sys, func() {
+					if err := sys.Drain(); err != nil {
+						t.Fatal(err)
+					}
+				}, wl, soakOps(t))
+			})
+		}
+	}
+}
