@@ -12,6 +12,8 @@
 //	rumorbench -fig churn -shards 2     # live add/remove churn latency +
 //	                                    # channel width (live/total slots)
 //	rumorbench -fig rebalance -shards 4 # online rebalancing on skewed W1
+//	rumorbench -fig recover -shards 4   # checkpoint size, restore latency,
+//	                                    # recovery pause vs window size
 package main
 
 import (
@@ -23,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, rebalance, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, rebalance, recover, or all")
 	tuples := flag.Int("tuples", 20000, "input events per S/T measurement")
 	rounds := flag.Int("rounds", 2000, "workload-3 rounds per measurement")
 	trace := flag.Int("trace", 240, "perfmon trace length in seconds (figure 11)")
@@ -56,6 +58,19 @@ func main() {
 		}
 		rows, err := cfg.Rebalance(counts)
 		bench.FprintRebalance(os.Stdout, rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumorbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "recover" {
+		var counts []int
+		for n := 2; n <= *shards; n *= 2 {
+			counts = append(counts, n)
+		}
+		rows, err := cfg.Recover(counts)
+		bench.FprintRecover(os.Stdout, rows)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rumorbench:", err)
 			os.Exit(1)

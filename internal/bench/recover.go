@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	rumor "repro"
+	"repro/internal/core"
+	"repro/internal/faultpoint"
+	"repro/internal/workload"
+)
+
+// The recover figure measures the PR 6 durability machinery as a function
+// of stored window size: a sharded Workload-2 system (seq state keyed on
+// a0) runs a warmup stream, then (a) writes a full checkpoint (size and
+// barrier time), (b) restores it into a fresh system (decode + state
+// import latency), and (c) is killed at an injected batch-boundary fault
+// and recovered via RecoverShard (ingestion pause, WAL entries replayed,
+// state items and serialized bytes moved to the survivors). The window
+// domain scales the windows the workload generator draws, and with them
+// the live state a checkpoint or recovery must move.
+
+// RecoverRow is one (window domain, shard count) measurement.
+type RecoverRow struct {
+	Workload string
+	Window   int // window-length domain the generator draws from
+	Shards   int
+
+	CkptBytes int     // serialized checkpoint size
+	CkptMS    float64 // checkpoint barrier + encode + write
+	RestoreMS float64 // decode + rebuild + state import
+
+	RecoverPauseMS float64 // RecoverShard barrier to resume
+	Replayed       int     // WAL entries replayed into the dead replica
+	Moved          int     // state items re-imported on survivors
+	MovedBytes     int     // serialized payload bytes transported
+
+	Results int64 // total results (sanity: identical across variants)
+}
+
+// Recover measures checkpoint/restore/recovery across window domains and
+// shard counts.
+func (cfg Config) Recover(shardCounts []int) ([]RecoverRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{2, 4}
+	}
+	var rows []RecoverRow
+	for _, window := range []int{200, 1000, 5000} {
+		for _, n := range shardCounts {
+			if n < 2 {
+				continue
+			}
+			row, err := recoverRun(cfg, window, n)
+			if err != nil {
+				return rows, fmt.Errorf("window=%d shards=%d: %w", window, n, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func buildShardedSystem(p workload.Params, cqs []*core.Query, n int) (*rumor.ShardedSystem, error) {
+	sys := rumor.NewSharded(rumor.ShardConfig{Shards: n, BatchSize: 256})
+	for name, decl := range p.Catalog() {
+		if err := sys.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
+	for _, q := range cqs {
+		if err := sys.AddQuery(q.Name, q.Root); err != nil {
+			sys.Close()
+			return nil, err
+		}
+	}
+	if err := sys.Optimize(rumor.Options{}); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	return sys, nil
+}
+
+func recoverRun(cfg Config, window, n int) (RecoverRow, error) {
+	row := RecoverRow{Workload: "W2 (S;T keyed a0)", Window: window, Shards: n}
+	p := workload.DefaultParams()
+	p.Seed = cfg.Seed
+	p.WindowDomain = window
+	if p.NumQueries > cfg.MaxQueries {
+		p.NumQueries = cfg.MaxQueries
+	}
+	events := p.GenStreams(cfg.Tuples)
+	cqs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		return row, err
+	}
+
+	sys, err := buildShardedSystem(p, cqs, n)
+	if err != nil {
+		return row, err
+	}
+	defer sys.Close()
+	for _, ev := range events {
+		if err := sys.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+			return row, err
+		}
+	}
+	if err := sys.Drain(); err != nil {
+		return row, err
+	}
+
+	// (a) Checkpoint.
+	var buf bytes.Buffer
+	t0 := time.Now()
+	if err := sys.Checkpoint(&buf); err != nil {
+		return row, err
+	}
+	row.CkptMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	row.CkptBytes = buf.Len()
+
+	// (b) Restore.
+	t0 = time.Now()
+	res, err := rumor.RestoreSharded(bytes.NewReader(buf.Bytes()), rumor.ShardConfig{BatchSize: 256})
+	if err != nil {
+		return row, err
+	}
+	row.RestoreMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	res.Close()
+
+	// (c) Kill + RecoverShard on a second half of the stream.
+	defer faultpoint.Reset()
+	faultpoint.Arm("shard.flush.replay", 4)
+	more := p.GenStreams(2 * cfg.Tuples)[cfg.Tuples:]
+	recovered := false
+	for _, ev := range more {
+		for {
+			err := sys.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, rumor.ErrShardDead) {
+				return row, err
+			}
+			st, rerr := sys.RecoverShard()
+			if rerr != nil {
+				return row, rerr
+			}
+			row.RecoverPauseMS = float64(st.PauseNS) / float64(time.Millisecond)
+			row.Replayed = st.Replayed
+			row.Moved = st.Moved
+			row.MovedBytes = st.Bytes
+			recovered = true
+		}
+	}
+	if err := sys.Drain(); err != nil {
+		return row, err
+	}
+	if !recovered {
+		return row, fmt.Errorf("fault never fired (%d hits)", faultpoint.Hits("shard.flush.replay"))
+	}
+	row.Results = sys.TotalResults()
+	return row, nil
+}
+
+// FprintRecover renders recover rows as an aligned table.
+func FprintRecover(w io.Writer, rows []RecoverRow) {
+	fmt.Fprintf(w, "%-18s %7s %7s %10s %8s %10s %9s %9s %8s %10s %10s\n",
+		"workload", "window", "shards", "ckpt B", "ckpt ms", "restore ms",
+		"pause ms", "replayed", "moved", "moved B", "results")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %7d %7d %10d %8.2f %10.2f %9.2f %9d %8d %10d %10d\n",
+			r.Workload, r.Window, r.Shards, r.CkptBytes, r.CkptMS, r.RestoreMS,
+			r.RecoverPauseMS, r.Replayed, r.Moved, r.MovedBytes, r.Results)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 122))
+}

@@ -612,3 +612,21 @@ func (e *Engine) TotalResults() int64 {
 func (e *Engine) ResetCounts() {
 	clear(e.counts)
 }
+
+// SnapshotCounts returns a copy of the per-query result counters, indexed
+// by query ID (checkpoint support).
+func (e *Engine) SnapshotCounts() []int64 {
+	return append([]int64(nil), e.counts...)
+}
+
+// RestoreCounts overwrites the per-query result counters from a snapshot,
+// growing the counter table as needed (restore support).
+func (e *Engine) RestoreCounts(counts []int64) {
+	if len(counts) > len(e.counts) {
+		grown := make([]int64, len(counts))
+		copy(grown, e.counts)
+		e.counts = grown
+	}
+	clear(e.counts)
+	copy(e.counts, counts)
+}

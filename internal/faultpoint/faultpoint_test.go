@@ -1,0 +1,58 @@
+package faultpoint
+
+import "testing"
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Reset()
+	Maybe("x")
+	if err := Error("x"); err != nil {
+		t.Fatalf("disabled Error returned %v", err)
+	}
+	if Hits("x") != 0 {
+		t.Fatalf("hits counted while disabled")
+	}
+}
+
+func TestArmFiresOnNthHitThenDisarms(t *testing.T) {
+	defer Reset()
+	Arm("p", 3)
+	for i := 1; i <= 2; i++ {
+		Maybe("p")
+	}
+	fired := func() (f bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				c, ok := r.(Crash)
+				if !ok || c.Name != "p" {
+					t.Fatalf("unexpected panic payload %v", r)
+				}
+				f = true
+			}
+		}()
+		Maybe("p")
+		return false
+	}()
+	if !fired {
+		t.Fatalf("point did not fire on 3rd hit")
+	}
+	// Disarmed: further hits are no-ops.
+	Maybe("p")
+	if Hits("p") != 4 {
+		t.Fatalf("hits = %d, want 4", Hits("p"))
+	}
+}
+
+func TestErrorStylePoint(t *testing.T) {
+	defer Reset()
+	Arm("e", 1)
+	err := Error("e")
+	if err == nil {
+		t.Fatalf("armed Error returned nil")
+	}
+	if _, ok := err.(ErrInjected); !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if err := Error("e"); err != nil {
+		t.Fatalf("point fired twice: %v", err)
+	}
+}

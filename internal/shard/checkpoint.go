@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/mop"
+)
+
+// WithQuiesced runs fn at a batch-queue barrier: ingestion is blocked,
+// every worker has acknowledged quiescence, and the caller goroutine owns
+// each replica's state registry for the duration. Checkpoint writes and
+// state restores build on this — the registries allow destructive-peek
+// exports (export-all followed by an in-place re-import) and direct
+// imports into freshly built replicas.
+func (e *Engine) WithQuiesced(fn func(regs []*mop.StateRegistry) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("shard: engine closed")
+	}
+	if err := e.quiesceLocked(); err != nil {
+		return err
+	}
+	return fn(e.registriesLocked())
+}
+
+// FrozenCounts returns a copy of the frozen final counts of queries
+// removed by live deltas, keyed by query ID.
+func (e *Engine) FrozenCounts() map[int]int64 {
+	e.statsMu.RLock()
+	defer e.statsMu.RUnlock()
+	out := make(map[int]int64, len(e.frozen))
+	for qid, n := range e.frozen {
+		out[qid] = n
+	}
+	return out
+}
+
+// RestoreCounts seeds the merged-count state of a freshly built engine
+// from a checkpoint: base holds each live query's accumulated count (the
+// replica counters start at zero), frozen the final counts of queries
+// removed before the checkpoint. maxQuery is raised to cover every seeded
+// ID so TotalResults keeps counting frozen queries whose IDs exceed the
+// restored plan's.
+func (e *Engine) RestoreCounts(base, frozen map[int]int64) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	for qid, n := range base {
+		e.base[qid] = n
+		if qid > e.maxQuery {
+			e.maxQuery = qid
+		}
+	}
+	if len(frozen) > 0 && e.frozen == nil {
+		e.frozen = make(map[int]int64, len(frozen))
+	}
+	for qid, n := range frozen {
+		e.frozen[qid] = n
+		if qid > e.maxQuery {
+			e.maxQuery = qid
+		}
+	}
+}

@@ -1,13 +1,21 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultpoint"
 	"repro/internal/mop"
 )
+
+// ErrPartialMigration reports a state migration that failed mid-flight and
+// was rolled back: every touched group side was restored from its
+// pre-migration snapshot, the old routing stays in effect, and the engine
+// remains fully usable. The wrapped cause describes the failed step.
+var ErrPartialMigration = errors.New("shard: partial state migration rolled back")
 
 // This file implements online shard rebalancing: a drain / re-hash /
 // resume protocol over the uniform operator state registry (package mop).
@@ -139,46 +147,130 @@ func sideDistOf(dists map[int][]core.SideDist, opID, side int) core.SideDist {
 	return core.SideDist{Dist: core.DistAny}
 }
 
+// touchedSide is one (group, side) the transition matrix will act on.
+type touchedSide struct {
+	ref    mop.GroupRef
+	side   int
+	od, nd core.SideDist
+}
+
+// transitionTouches reports whether the transition matrix moves or drops
+// anything for an old→new distribution pair (the non-default cases of
+// migrateGroupSide).
+func transitionTouches(od, nd core.SideDist) bool {
+	switch {
+	case nd.Dist == core.DistKeyed:
+		return true
+	case nd.Dist == core.DistReplicated && od.Dist != core.DistReplicated:
+		return true
+	case nd.Dist == core.DistAny && od.Dist == core.DistReplicated:
+		return true
+	}
+	return false
+}
+
 // migrateStateLocked moves stored operator state from its placement under
 // the current routes (whose distributions are oldD) to its placement
 // under newPart. Called at a barrier with mu held; the plan must already
 // reflect any delta applied to the replicas.
 //
-// A mid-migration error leaves state partially relocated with no rollback
-// (like a failed per-replica delta splice, such errors are structurally
-// unreachable for well-formed plans), so the engine is poisoned: further
-// ingestion is rejected rather than silently dropping matches for the
-// moved keys.
+// Before anything moves, every group side the transition matrix will touch
+// is snapshotted with a destructive peek: export-all followed by an
+// immediate in-place re-import leaves the store unchanged (modulo
+// tombstone compaction, which carries no state) while the export payload
+// survives as a restore point referencing the very tuples in the stores. A
+// mid-migration failure then rolls the touched sides back to their
+// snapshots and returns ErrPartialMigration with the engine fully usable;
+// the engine is poisoned only if the rollback itself fails. Payload
+// discards (which release µ pooled state) are deferred until the whole
+// migration has succeeded, because the snapshots alias that state.
 func (e *Engine) migrateStateLocked(regs []*mop.StateRegistry, oldD map[int][]core.SideDist, newPart *core.PartitionPlan) (RebalanceStats, error) {
 	var st RebalanceStats
 	if len(e.workers) == 1 {
 		return st, nil
 	}
 	newD := newPart.OpSideDists(e.plan)
+	var touched []touchedSide
+	snap := make(map[[2]int][]*mop.StatePayload)
 	for _, ref := range regs[0].Groups() {
 		for _, side := range ref.Sides {
 			od := sideDistOf(oldD, ref.OpID, side)
 			nd := sideDistOf(newD, ref.OpID, side)
-			if err := e.migrateGroupSide(regs, ref, side, od, nd, newPart, &st); err != nil {
-				// Shut the workers down like Close (they are quiescent, so
-				// this cannot block on in-flight batches).
-				e.closed = true
-				for _, w := range e.workers {
-					close(w.ch)
-				}
-				for _, w := range e.workers {
-					<-w.done
-				}
-				return st, fmt.Errorf("shard: state migration failed, engine disabled: %w", err)
+			if !transitionTouches(od, nd) {
+				continue
 			}
+			pls := make([]*mop.StatePayload, len(regs))
+			for i, reg := range regs {
+				pl, err := reg.Export(ref.OpID, side, -1, func(int64, int) bool { return true })
+				if err != nil {
+					// Unknown operator: nothing was exported, the engine
+					// is unchanged.
+					return st, err
+				}
+				if pl.Len() > 0 {
+					if err := reg.Import(ref.OpID, pl, false); err != nil {
+						e.poisonLocked()
+						return st, fmt.Errorf("shard: snapshot re-import failed, engine disabled: %w", err)
+					}
+				}
+				pls[i] = pl
+			}
+			snap[[2]int{ref.OpID, side}] = pls
+			touched = append(touched, touchedSide{ref: ref, side: side, od: od, nd: nd})
 		}
+	}
+	var discards []*mop.StatePayload
+	for _, t := range touched {
+		if err := e.migrateGroupSide(regs, t.ref, t.side, t.od, t.nd, newPart, &st, &discards); err != nil {
+			if rbErr := rollbackMigration(regs, touched, snap); rbErr != nil {
+				e.poisonLocked()
+				return st, fmt.Errorf("shard: state migration failed (%v), rollback failed, engine disabled: %w", err, rbErr)
+			}
+			return RebalanceStats{}, fmt.Errorf("%w: %w", ErrPartialMigration, err)
+		}
+	}
+	for _, pl := range discards {
+		pl.Discard()
 	}
 	return st, nil
 }
 
+// rollbackMigration restores every touched group side from its snapshot:
+// whatever the partial migration left on a replica is cleared (exported
+// and dropped — never discarded, since those items alias the snapshot
+// being restored; clones imported by copy are simply released to the
+// garbage collector) and the snapshot payload re-imported in place.
+func rollbackMigration(regs []*mop.StateRegistry, touched []touchedSide, snap map[[2]int][]*mop.StatePayload) error {
+	// Clear every touched side on every replica first (a half-migrated
+	// item may sit on a replica other than its snapshot home), then
+	// restore the snapshots.
+	for _, t := range touched {
+		for _, reg := range regs {
+			if _, err := reg.Export(t.ref.OpID, t.side, -1, func(int64, int) bool { return true }); err != nil {
+				return err
+			}
+		}
+	}
+	for _, t := range touched {
+		pls := snap[[2]int{t.ref.OpID, t.side}]
+		for i, reg := range regs {
+			if pls[i].Len() == 0 {
+				continue
+			}
+			if err := reg.Import(t.ref.OpID, pls[i], false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // migrateGroupSide applies the transition matrix to one (group, side).
+// Payloads whose pooled state must be released are appended to discards
+// instead of being discarded inline: the caller's rollback snapshots alias
+// that state, so releases only happen once the whole migration commits.
 func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, side int,
-	od, nd core.SideDist, newPart *core.PartitionPlan, st *RebalanceStats) error {
+	od, nd core.SideDist, newPart *core.PartitionPlan, st *RebalanceStats, discards *[]*mop.StatePayload) error {
 	n := len(regs)
 	switch {
 	case nd.Dist == core.DistKeyed && od.Dist != core.DistReplicated:
@@ -188,6 +280,9 @@ func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, s
 		// place never leave their replica.
 		payloads := make([]*mop.StatePayload, n)
 		for i, reg := range regs {
+			if err := faultpoint.Error("shard.rebalance.export"); err != nil {
+				return err
+			}
 			pl, err := reg.Export(ref.OpID, side, nd.Attr, func(key int64, _ int) bool {
 				owners := newPart.Owners(key, n)
 				return !(len(owners) == 1 && owners[0] == i)
@@ -212,6 +307,9 @@ func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, s
 			if pl.Len() == 0 {
 				continue
 			}
+			if err := faultpoint.Error("shard.rebalance.import"); err != nil {
+				return err
+			}
 			if err := regs[i].Import(ref.OpID, pl, false); err != nil {
 				return err
 			}
@@ -223,6 +321,9 @@ func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, s
 		// the new placement assigns to it (per-key round-robin over the
 		// store ordinal) and drops the rest — no transfer at all.
 		for i, reg := range regs {
+			if err := faultpoint.Error("shard.rebalance.export"); err != nil {
+				return err
+			}
 			pl, err := reg.Export(ref.OpID, side, nd.Attr, func(key int64, ord int) bool {
 				owners := newPart.Owners(key, n)
 				return owners[ord%len(owners)] != i
@@ -231,7 +332,7 @@ func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, s
 				return err
 			}
 			st.Dropped += pl.Len()
-			pl.Discard()
+			*discards = append(*discards, pl)
 		}
 	case nd.Dist == core.DistReplicated && od.Dist != core.DistReplicated:
 		// Partitioned state becomes replicated: collect everything (key
@@ -239,6 +340,9 @@ func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, s
 		// replica (pool-owned state is cloned).
 		payloads := make([]*mop.StatePayload, n)
 		for i, reg := range regs {
+			if err := faultpoint.Error("shard.rebalance.export"); err != nil {
+				return err
+			}
 			pl, err := reg.Export(ref.OpID, side, -1, func(int64, int) bool { return true })
 			if err != nil {
 				return err
@@ -250,12 +354,15 @@ func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, s
 			return nil
 		}
 		for _, reg := range regs {
+			if err := faultpoint.Error("shard.rebalance.import"); err != nil {
+				return err
+			}
 			if err := reg.Import(ref.OpID, merged, true); err != nil {
 				return err
 			}
 			st.Moved += merged.Len()
 		}
-		merged.Discard()
+		*discards = append(*discards, merged)
 	case nd.Dist == core.DistAny && od.Dist == core.DistReplicated:
 		// Replicated copies must collapse to one: keep shard 0's.
 		for i := 1; i < n; i++ {
@@ -264,7 +371,7 @@ func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, s
 				return err
 			}
 			st.Dropped += pl.Len()
-			pl.Discard()
+			*discards = append(*discards, pl)
 		}
 	default:
 		// keyed→any, any→any, replicated→replicated, multicast sides:

@@ -1,0 +1,286 @@
+package shard
+
+// Shard crash recovery: a worker killed by a panic (injected via
+// faultpoint or a genuine bug) leaves its engine replica intact at the
+// last fully-completed batch — kills land at batch boundaries — plus an
+// unacknowledged suffix of batches in the router-side WAL. RecoverShard
+// absorbs the dead shard into the survivors:
+//
+//  1. quiesce the surviving workers (the barrier every maintenance
+//     operation uses), with the dead shard's pending buffer flushed into
+//     its WAL;
+//  2. catch-up: replay the dead shard's unacknowledged WAL batches into
+//     its engine on the caller goroutine, bringing the corpse to exactly
+//     the state it would have reached unfaulted (broadcast and multicast
+//     copies delivered to survivors are never re-sent — the WAL is
+//     per-shard, post-routing);
+//  3. fold every replica's result counters (including the caught-up
+//     corpse) into the engine's base table;
+//  4. migrate the corpse's operator state to the survivors through the
+//     rebalance transition matrix, with keyed sides fully re-hashed over
+//     the survivor count; every migrated payload travels through the wire
+//     codec (encode → decode), exercising the same serialized transport a
+//     cross-process recovery would use;
+//  5. shrink the runtime to the survivors, drop the key-placement overlay
+//     (its shard indices are meaningless after the shrink), bump the
+//     routing-table version, and resume ingestion.
+//
+// Frozen counts of removed queries are untouched: they were captured at
+// earlier barriers and never re-derived from replica counters.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mop"
+	"repro/internal/wire"
+)
+
+// RecoverStats reports one shard crash recovery.
+type RecoverStats struct {
+	Shard    int           // index of the shard that was recovered away
+	Replayed int           // WAL entries replayed into the dead replica
+	Moved    int           // state items re-imported on survivors
+	Dropped  int           // replicated copies that died with the replica
+	Bytes    int           // serialized payload bytes transported
+	Shards   int           // shard count after recovery
+	Version  int           // routing-table version now in effect
+	Pause    time.Duration // barrier to resume
+}
+
+// RecoverShard detects the dead shard, replays its unacknowledged WAL
+// suffix into its engine, migrates its state to the surviving shards, and
+// resumes ingestion over the shrunken shard set. Exactly one worker must
+// be dead; recover repeatedly for multiple failures. Concurrent
+// Push/PushBatch callers block for the duration; maintenance operations
+// must be serialized by the caller.
+func (e *Engine) RecoverShard() (RecoverStats, error) {
+	start := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var st RecoverStats
+	if e.closed {
+		return st, fmt.Errorf("shard: engine closed")
+	}
+	if err := e.quiesceLiveLocked(); err != nil {
+		return st, err
+	}
+	dead := -1
+	for i, d := range e.dead {
+		if d {
+			if dead >= 0 {
+				return st, fmt.Errorf("%d workers dead; recover one at a time: %w", e.numDead, ErrShardDead)
+			}
+			dead = i
+		}
+	}
+	if dead < 0 {
+		return st, fmt.Errorf("shard: no dead worker to recover")
+	}
+	if len(e.workers) == 1 {
+		return st, fmt.Errorf("shard: cannot recover the only shard; restore from a checkpoint")
+	}
+	st.Shard = dead
+
+	// Catch-up. The dead worker's goroutine has exited (its done channel
+	// closed, observed under mu), so its replay scratch and engine are
+	// safely owned by this goroutine.
+	w := e.workers[dead]
+	errBefore := w.err
+	completed := w.completed.Load()
+	for _, rec := range e.wal[dead] {
+		if rec.seq <= completed {
+			continue
+		}
+		w.replay(e, rec.entries)
+		st.Replayed += len(rec.entries)
+	}
+	if w.err != errBefore {
+		e.poisonLocked()
+		return st, fmt.Errorf("shard: catch-up replay failed, engine disabled: %w", w.err)
+	}
+
+	// Counter fold over all replicas, corpse included, under the outgoing
+	// partition plan (replicated sinks still merge from shard 0, which may
+	// be the caught-up corpse).
+	e.rebaseCountsLocked()
+
+	// State migration to the survivors.
+	newPart := &core.PartitionPlan{
+		Routes:          e.part.Routes,
+		ReplicatedSinks: e.part.ReplicatedSinks,
+		Parallel:        e.part.Parallel,
+		Table:           &core.RoutingTable{Version: e.part.RoutingVersion() + 1},
+	}
+	if err := e.migrateForRecovery(dead, newPart, &st); err != nil {
+		e.poisonLocked()
+		return st, fmt.Errorf("shard: recovery migration failed, engine disabled: %w", err)
+	}
+
+	// Shrink the runtime to the survivors.
+	for _, rec := range e.wal[dead] {
+		clear(rec.entries)
+		b := rec.entries[:0]
+		e.batchPool.Put(&b)
+	}
+	drop := func(i int) {
+		e.workers = append(e.workers[:i], e.workers[i+1:]...)
+		e.pending = append(e.pending[:i], e.pending[i+1:]...)
+		e.wal = append(e.wal[:i], e.wal[i+1:]...)
+		e.walSeq = append(e.walSeq[:i], e.walSeq[i+1:]...)
+		e.dead = append(e.dead[:i], e.dead[i+1:]...)
+		e.busyBase = append(e.busyBase[:i], e.busyBase[i+1:]...)
+	}
+	drop(dead)
+	e.numDead--
+	for i, sw := range e.workers {
+		sw.idx = i
+	}
+	e.cfg.Shards = len(e.workers)
+	e.statsMu.Lock()
+	e.part = newPart
+	e.statsMu.Unlock()
+	e.rebuildSourceRoutes(newPart)
+	// Re-wire result callbacks: the replicated-sink gate is keyed on the
+	// worker index, which just shifted for shards past the dead one.
+	e.wireCallbacks()
+	e.snapshotBusyLocked()
+	st.Shards = len(e.workers)
+	st.Version = newPart.RoutingVersion()
+	st.Pause = time.Since(start)
+	return st, nil
+}
+
+// migrateForRecovery moves the dead replica's state to the survivors and
+// re-hashes keyed sides over the survivor count. Unlike a same-count
+// rebalance there is no rollback: the failure mode it would protect
+// against (a half-moved store) is indistinguishable from the crash being
+// recovered, and the caller falls back to checkpoint restore.
+func (e *Engine) migrateForRecovery(dead int, newPart *core.PartitionPlan, st *RecoverStats) error {
+	n := len(e.workers)
+	n2 := n - 1
+	newIdx := func(i int) int {
+		switch {
+		case i == dead:
+			return -1
+		case i > dead:
+			return i - 1
+		default:
+			return i
+		}
+	}
+	oldIdx := func(ni int) int {
+		if ni >= dead {
+			return ni + 1
+		}
+		return ni
+	}
+	regs := e.registriesLocked()
+	dists := newPart.OpSideDists(e.plan)
+	for _, ref := range regs[0].Groups() {
+		for _, side := range ref.Sides {
+			d := sideDistOf(dists, ref.OpID, side)
+			switch d.Dist {
+			case core.DistKeyed, core.DistMulticast:
+				// Key-placed state: the shard count changed, so every item
+				// re-hashes over n2 — the dead replica exports everything,
+				// survivors export what the new placement moves elsewhere.
+				payloads := make([]*mop.StatePayload, 0, n)
+				for i, reg := range regs {
+					ni := newIdx(i)
+					pl, err := reg.Export(ref.OpID, side, d.Attr, func(key int64, _ int) bool {
+						if ni < 0 {
+							return true
+						}
+						owners := newPart.Owners(key, n2)
+						return !(len(owners) == 1 && owners[0] == ni)
+					})
+					if err != nil {
+						return err
+					}
+					pl2, nbytes, err := reencodePayload(pl)
+					if err != nil {
+						return err
+					}
+					st.Bytes += nbytes
+					payloads = append(payloads, pl2)
+				}
+				merged := mop.MergePayloads(payloads)
+				if merged.Len() == 0 {
+					continue
+				}
+				rr := make(map[int64]int)
+				parts := merged.SplitBy(n2, func(key int64) int {
+					owners := newPart.Owners(key, n2)
+					k := rr[key]
+					rr[key] = k + 1
+					return owners[k%len(owners)]
+				})
+				for ni, pl := range parts {
+					if pl.Len() == 0 {
+						continue
+					}
+					if err := regs[oldIdx(ni)].Import(ref.OpID, pl, false); err != nil {
+						return err
+					}
+					st.Moved += pl.Len()
+				}
+			case core.DistReplicated:
+				// Every survivor already holds a full copy; the dead
+				// replica's copy dies with it.
+				pl, err := regs[dead].Export(ref.OpID, side, -1, func(int64, int) bool { return true })
+				if err != nil {
+					return err
+				}
+				st.Dropped += pl.Len()
+				pl.Discard()
+			default:
+				// Unpartitioned (DistAny) state: the dead replica's items
+				// move, through the wire codec, to the first survivor.
+				pl, err := regs[dead].Export(ref.OpID, side, -1, func(int64, int) bool { return true })
+				if err != nil {
+					return err
+				}
+				if pl.Len() == 0 {
+					continue
+				}
+				pl2, nbytes, err := reencodePayload(pl)
+				if err != nil {
+					return err
+				}
+				st.Bytes += nbytes
+				target := 0
+				if dead == 0 {
+					target = 1
+				}
+				if err := regs[target].Import(ref.OpID, pl2, false); err != nil {
+					return err
+				}
+				st.Moved += pl2.Len()
+			}
+		}
+	}
+	return nil
+}
+
+// reencodePayload ships a payload through the wire codec — encode, then
+// decode into fresh tuples and bitsets — and releases the original's
+// pooled state. This is the serialized state transport: the bytes in the
+// middle are exactly what a cross-process recovery would put on the wire,
+// so every recovery exercises the codec end to end.
+func reencodePayload(pl *mop.StatePayload) (*mop.StatePayload, int, error) {
+	if pl.Len() == 0 {
+		return pl, 0, nil
+	}
+	raw := wire.EncodePayloadBytes(pl)
+	out, err := wire.DecodePayloadBytes(raw)
+	if err != nil {
+		return nil, 0, fmt.Errorf("payload re-encode round trip: %w", err)
+	}
+	if out.Len() != pl.Len() {
+		return nil, 0, fmt.Errorf("payload re-encode round trip: %d items in, %d out", pl.Len(), out.Len())
+	}
+	pl.Discard()
+	return out, len(raw), nil
+}

@@ -18,6 +18,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -26,8 +27,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faultpoint"
 	"repro/internal/stream"
 )
+
+// ErrShardDead reports that a shard's worker goroutine died (a crash caught
+// by the worker's panic guard). The engine rejects ingestion and
+// maintenance until RecoverShard absorbs the dead shard or the system is
+// restored from a checkpoint.
+var ErrShardDead = errors.New("shard: worker dead; RecoverShard or restore from a checkpoint")
 
 // Config sizes the sharded runtime.
 type Config struct {
@@ -64,7 +72,19 @@ type entry struct {
 // msg is one queue element: a batch of entries, or a drain marker.
 type msg struct {
 	entries []entry
+	seq     int64        // WAL sequence number of the batch
 	ack     chan<- error // drain marker when non-nil
+}
+
+// walRec is one batch retained in a shard's write-ahead log: the router
+// keeps every flushed batch until the worker acknowledges it (publishes a
+// completed sequence at or past it), so a crashed worker's unacknowledged
+// suffix can be replayed into its engine during recovery. The log is
+// bounded by the queue depth: acknowledged prefixes are pruned (and their
+// buffers pooled) on the next flush.
+type walRec struct {
+	seq     int64
+	entries []entry
 }
 
 // worker is one shard: an engine replica and the goroutine draining its
@@ -78,10 +98,24 @@ type worker struct {
 	busyNS atomic.Int64 // time spent replaying (written by the worker only)
 	err    error        // first replay error (written by the worker only)
 
+	// completed is the highest WAL sequence fully replayed, published
+	// after each batch. Everything at or below it is prunable; everything
+	// above it is replayed from the WAL if the worker dies.
+	completed atomic.Int64
+	// killed records that the goroutine exited via a recovered panic
+	// (fault injection or a genuine bug) rather than channel close.
+	killed atomic.Bool
+	// closeOnce guards close(ch) so Close, engine poisoning, and recovery
+	// shutdown never double-close the queue.
+	closeOnce sync.Once
+
 	// replay scratch, reused across batches.
 	ts   []int64
 	vals [][]int64
 }
+
+// close shuts the worker's queue exactly once.
+func (w *worker) close() { w.closeOnce.Do(func() { close(w.ch) }) }
 
 // srcRoute is the precomputed routing state of one source stream.
 type srcRoute struct {
@@ -106,10 +140,20 @@ type Engine struct {
 	srcNames []string // source id → name
 	srcs     map[string]srcRoute
 
-	mu      sync.Mutex // guards pending, rr, closed
+	mu      sync.Mutex // guards pending, rr, closed, wal, walSeq, dead
 	pending [][]entry
 	rr      uint64
 	closed  bool
+
+	// wal holds, per shard, the flushed batches not yet acknowledged by
+	// the worker (seq > worker.completed); walSeq is the last assigned
+	// sequence. dead marks shards whose worker was observed dead (its done
+	// channel closed while the router tried to reach it); numDead counts
+	// them.
+	wal     [][]walRec
+	walSeq  []int64
+	dead    []bool
+	numDead int
 
 	batchPool sync.Pool
 
@@ -157,6 +201,9 @@ func New(p *core.Physical, part *core.PartitionPlan, cfg Config) (*Engine, error
 		pending:  make([][]entry, cfg.Shards),
 		base:     make(map[int]int64),
 		busyBase: make([]int64, cfg.Shards),
+		wal:      make([][]walRec, cfg.Shards),
+		walSeq:   make([]int64, cfg.Shards),
+		dead:     make([]bool, cfg.Shards),
 	}
 	e.batchPool.New = func() any { s := make([]entry, 0, cfg.BatchSize); return &s }
 	e.rebuildSourceRoutes(part)
@@ -255,20 +302,37 @@ func (e *Engine) OnResult(fn func(queryID int, t *stream.Tuple)) {
 	e.wireCallbacks()
 }
 
-// run is the worker loop: replay batches, acknowledge drain markers.
+// run is the worker loop: replay batches, acknowledge drain markers. A
+// panic (an injected fault, or a genuine bug) is caught at the top: the
+// engine replica is left intact at the last fully-completed batch — kill
+// fault points fire at batch boundaries, before any entry of the next
+// batch reaches the engine — and the closed done channel is the death
+// signal the router's selects observe. Batches are NOT pooled here: the
+// router's WAL owns them until the published completed sequence passes
+// them (pruneWAL recycles acknowledged prefixes).
 func (w *worker) run(e *Engine) {
 	defer close(w.done)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, injected := r.(faultpoint.Crash); !injected && w.err == nil {
+			w.err = fmt.Errorf("shard %d: worker panic: %v", w.idx, r)
+		}
+		w.killed.Store(true)
+	}()
 	for m := range w.ch {
 		if m.ack != nil {
+			faultpoint.Maybe("shard.drain.ack")
 			m.ack <- w.err
 			continue
 		}
+		faultpoint.Maybe("shard.flush.replay")
 		start := time.Now()
 		w.replay(e, m.entries)
 		w.busyNS.Add(time.Since(start).Nanoseconds())
-		clear(m.entries) // drop value-slice refs before pooling
-		b := m.entries[:0]
-		e.batchPool.Put(&b)
+		w.completed.Store(m.seq)
 	}
 }
 
@@ -361,15 +425,72 @@ func (e *Engine) append(shard int, en entry) {
 	}
 }
 
-// flushShard hands a non-empty pending buffer to the worker. Called with
-// mu held.
+// flushShard hands a non-empty pending buffer to the worker, recording it
+// in the shard's WAL first: the batch stays replayable until the worker
+// acknowledges it. A worker found dead (done closed while the router
+// blocked on its queue) is marked; its batch stays in the WAL for
+// recovery, so a Push that returned nil is never lost to a crash. Called
+// with mu held.
 func (e *Engine) flushShard(shard int) {
 	if len(e.pending[shard]) == 0 {
 		return
 	}
 	b := e.pending[shard]
 	e.pending[shard] = e.takeBatch()
-	e.workers[shard].ch <- msg{entries: b}
+	w := e.workers[shard]
+	e.pruneWAL(shard)
+	e.walSeq[shard]++
+	seq := e.walSeq[shard]
+	e.wal[shard] = append(e.wal[shard], walRec{seq: seq, entries: b})
+	if e.dead[shard] {
+		return // unacknowledged; replayed by RecoverShard
+	}
+	select {
+	case w.ch <- msg{entries: b, seq: seq}:
+	case <-w.done:
+		e.markDeadLocked(shard)
+	}
+}
+
+// pruneWAL recycles the acknowledged prefix of a shard's WAL. The worker
+// publishes completed after its last touch of a batch, so once a record's
+// seq is covered the router owns the buffer again. Called with mu held.
+func (e *Engine) pruneWAL(shard int) {
+	wal := e.wal[shard]
+	if len(wal) == 0 {
+		return
+	}
+	done := e.workers[shard].completed.Load()
+	i := 0
+	for i < len(wal) && wal[i].seq <= done {
+		clear(wal[i].entries) // drop value-slice refs before pooling
+		b := wal[i].entries[:0]
+		e.batchPool.Put(&b)
+		i++
+	}
+	if i > 0 {
+		n := copy(wal, wal[i:])
+		clear(wal[n:])
+		e.wal[shard] = wal[:n]
+	}
+}
+
+// markDeadLocked records a worker observed dead. Called with mu held.
+func (e *Engine) markDeadLocked(shard int) {
+	if !e.dead[shard] {
+		e.dead[shard] = true
+		e.numDead++
+	}
+}
+
+// deadErrLocked builds the typed dead-shard error. Called with mu held.
+func (e *Engine) deadErrLocked() error {
+	for i, d := range e.dead {
+		if d {
+			return fmt.Errorf("%w (shard %d)", ErrShardDead, i)
+		}
+	}
+	return ErrShardDead
 }
 
 // Push injects one tuple into the named source stream. The engine takes
@@ -387,6 +508,9 @@ func (e *Engine) Push(source string, ts int64, vals []int64) error {
 	}
 	if e.closed {
 		return fmt.Errorf("shard: engine closed")
+	}
+	if e.numDead > 0 {
+		return e.deadErrLocked()
 	}
 	e.route(sr, ts, vals)
 	return nil
@@ -437,6 +561,9 @@ func (e *Engine) PushBatch(source string, ts []int64, vals [][]int64) error {
 	if e.closed {
 		return fmt.Errorf("shard: engine closed")
 	}
+	if e.numDead > 0 {
+		return e.deadErrLocked()
+	}
 	for i := range ts {
 		e.route(sr, ts[i], vals[i])
 	}
@@ -444,7 +571,9 @@ func (e *Engine) PushBatch(source string, ts []int64, vals [][]int64) error {
 }
 
 // Drain flushes all pending buffers and blocks until every worker has
-// replayed everything handed to it. It returns the first replay error.
+// replayed everything handed to it. It returns the first replay error. A
+// worker that dies instead of acknowledging is detected (the wait selects
+// on its done channel rather than hanging) and reported as ErrShardDead.
 func (e *Engine) Drain() error {
 	e.mu.Lock()
 	if e.closed {
@@ -454,25 +583,68 @@ func (e *Engine) Drain() error {
 	for i := range e.pending {
 		e.flushShard(i)
 	}
-	acks := make([]chan error, len(e.workers))
-	for i, w := range e.workers {
+	workers := e.workers
+	acks := make([]chan error, len(workers))
+	for i, w := range workers {
+		if e.dead[i] {
+			continue
+		}
 		ack := make(chan error, 1)
-		acks[i] = ack
-		w.ch <- msg{ack: ack}
+		select {
+		case w.ch <- msg{ack: ack}:
+			acks[i] = ack
+		case <-w.done:
+			e.markDeadLocked(i)
+		}
 	}
+	anyDead := e.numDead > 0
 	e.mu.Unlock()
 	var first error
-	for _, ack := range acks {
-		if err := <-ack; err != nil && first == nil {
-			first = err
+	var died []int
+	for i, ack := range acks {
+		if ack == nil {
+			continue
 		}
+		select {
+		case err := <-ack:
+			if err != nil && first == nil {
+				first = err
+			}
+		case <-workers[i].done:
+			// The ack may have raced in just before the death.
+			select {
+			case err := <-ack:
+				if err != nil && first == nil {
+					first = err
+				}
+			default:
+				died = append(died, i)
+			}
+		}
+	}
+	if len(died) > 0 {
+		e.mu.Lock()
+		for _, i := range died {
+			e.markDeadLocked(i)
+		}
+		e.mu.Unlock()
+		anyDead = true
+	}
+	if first == nil && anyDead {
+		e.mu.Lock()
+		first = e.deadErrLocked()
+		e.mu.Unlock()
 	}
 	return first
 }
 
 // Close drains, stops every worker, and rejects further ingestion. It is
-// idempotent. Ingestion is cut off before the final flush (under the same
-// lock), so a Push that returned nil is never silently dropped.
+// idempotent — a second Close, or a Close racing another Close, a
+// Rebalance, an ApplyDelta, or an engine poisoning, returns nil without
+// re-closing queues (per-worker close is sync.Once-guarded). Ingestion is
+// cut off before the final flush (under the same lock), so a Push that
+// returned nil is never silently dropped; a dead worker's queue is closed
+// without waiting on it.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -483,14 +655,15 @@ func (e *Engine) Close() error {
 	for i := range e.pending {
 		e.flushShard(i)
 	}
-	for _, w := range e.workers {
-		close(w.ch) // workers replay everything queued, then exit
+	workers := e.workers
+	for _, w := range workers {
+		w.close() // workers replay everything queued, then exit
 	}
 	e.mu.Unlock()
-	for _, w := range e.workers {
+	for _, w := range workers {
 		<-w.done
 	}
-	for _, w := range e.workers {
+	for _, w := range workers {
 		if w.err != nil {
 			return w.err
 		}
@@ -498,23 +671,76 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// poisonLocked shuts the workers down like Close (they are quiescent when
+// this is called, so it cannot block on in-flight batches) and rejects
+// further use of the engine. Used when replica state may have diverged
+// beyond repair. Called with mu held.
+func (e *Engine) poisonLocked() {
+	e.closed = true
+	for _, w := range e.workers {
+		w.close()
+	}
+	for _, w := range e.workers {
+		<-w.done
+	}
+}
+
 // quiesceLocked hands every pending buffer over and waits for the workers
-// to drain their queues. Called with mu held; the lock stays held so no
-// new tuples interleave with the maintenance operation that follows.
+// to drain their queues, failing with ErrShardDead if any worker is (or
+// turns up) dead. Called with mu held; the lock stays held so no new
+// tuples interleave with the maintenance operation that follows.
 func (e *Engine) quiesceLocked() error {
+	if err := e.quiesceLiveLocked(); err != nil {
+		return err
+	}
+	if e.numDead > 0 {
+		return e.deadErrLocked()
+	}
+	return nil
+}
+
+// quiesceLiveLocked quiesces every live worker, detecting newly dead ones
+// instead of blocking on them (dead shards are not an error here:
+// RecoverShard quiesces the survivors around a corpse). Dead shards'
+// pending buffers still reach the WAL — flushShard appends without
+// sending — where recovery replays them. Returns the first replay error.
+func (e *Engine) quiesceLiveLocked() error {
 	for i := range e.pending {
 		e.flushShard(i)
 	}
 	acks := make([]chan error, len(e.workers))
 	for i, w := range e.workers {
+		if e.dead[i] {
+			continue
+		}
 		ack := make(chan error, 1)
-		acks[i] = ack
-		w.ch <- msg{ack: ack}
+		select {
+		case w.ch <- msg{ack: ack}:
+			acks[i] = ack
+		case <-w.done:
+			e.markDeadLocked(i)
+		}
 	}
 	var first error
-	for _, ack := range acks {
-		if err := <-ack; err != nil && first == nil {
-			first = err
+	for i, ack := range acks {
+		if ack == nil {
+			continue
+		}
+		select {
+		case err := <-ack:
+			if err != nil && first == nil {
+				first = err
+			}
+		case <-e.workers[i].done:
+			// The ack may have raced in just before the death.
+			select {
+			case err := <-ack:
+				if err != nil && first == nil {
+					first = err
+				}
+			default:
+				e.markDeadLocked(i)
+			}
 		}
 	}
 	return first
@@ -555,6 +781,11 @@ func (e *Engine) applyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 	if err := e.quiesceLocked(); err != nil {
 		return err
 	}
+	// Pre-mutation fault point: an error injected here must leave the
+	// engine fully usable (nothing has been spliced or frozen yet).
+	if err := faultpoint.Error("shard.delta.apply"); err != nil {
+		return err
+	}
 	// Quiescent. Freeze the removed queries' merged counts under the
 	// partition plan they were produced with.
 	e.statsMu.Lock()
@@ -565,10 +796,14 @@ func (e *Engine) applyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 		e.frozen[qid] = e.mergedCountLocked(qid)
 	}
 	e.statsMu.Unlock()
-	// Splice the delta into each replica.
+	// Splice the delta into each replica. A per-replica failure here means
+	// the replicas have diverged (some spliced, some not) with no way to
+	// unsplice — such errors are structurally unreachable for well-formed
+	// plans — so the engine is poisoned rather than left inconsistent.
 	for i, w := range e.workers {
 		if err := w.eng.ApplyDelta(d); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+			e.poisonLocked()
+			return fmt.Errorf("shard %d: delta splice failed, engine disabled: %w", i, err)
 		}
 	}
 	if rebalance {

@@ -1,0 +1,96 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mop"
+	"repro/internal/wire"
+)
+
+// Fuzz property: arbitrary bytes must decode-or-error — never panic, never
+// hang. Seeds are valid encodings so mutation explores near-valid inputs
+// (truncated fields, flipped tags, oversized lengths), the region where
+// bounds bugs live.
+
+func payloadSeeds(f *testing.F) {
+	for _, kind := range []uint8{mop.WireKindAgg, mop.WireKindJoin, mop.WireKindSeq, mop.WireKindMu} {
+		pl, err := mop.NewStatePayload(kind, 0, kindItems(kind))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire.EncodePayloadBytes(pl))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+}
+
+func FuzzDecodePayload(f *testing.F) {
+	payloadSeeds(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		pl, err := wire.DecodePayloadBytes(raw)
+		if err != nil {
+			return
+		}
+		// A successful decode must yield a payload whose view is safe to
+		// walk and re-encode.
+		wire.EncodePayloadBytes(pl)
+	})
+}
+
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add(wire.EncodeDeltaBytes(&core.Delta{}))
+	f.Add(wire.EncodeDeltaBytes(&core.Delta{NewQueries: []int{1, 2}, RemovedQueries: []int{3}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d, err := wire.DecodeDeltaBytes(raw)
+		if err != nil {
+			return
+		}
+		wire.EncodeDeltaBytes(d)
+	})
+}
+
+func FuzzReadCheckpoint(f *testing.F) {
+	pl, err := mop.NewStatePayload(mop.WireKindAgg, 0, kindItems(mop.WireKindAgg))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteCheckpoint(&buf, &wire.Checkpoint{
+		Shards:     2,
+		Counts:     []wire.QueryCount{{ID: 1, Count: 5}},
+		Frozen:     []wire.NamedCount{{Name: "x", Count: 1}},
+		FrozenByID: []wire.QueryCount{{ID: 2, Count: 1}},
+		Groups:     []wire.GroupState{{Shard: 1, OpID: 3, Payload: pl}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(wire.Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c, err := wire.ReadCheckpoint(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if _, err := wire.EncodeCheckpointBytes(c); err != nil {
+			t.Fatalf("decoded checkpoint failed to re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzReadChurnLog(f *testing.F) {
+	var buf bytes.Buffer
+	if err := wire.AppendChurnRecord(&buf, &wire.ChurnRecord{
+		Op: wire.ChurnAdd, Name: "q", Root: core.Scan("S"), Delta: &core.Delta{NewQueries: []int{1}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		_, _ = wire.ReadChurnLog(bytes.NewReader(raw))
+	})
+}

@@ -1,0 +1,233 @@
+package wire
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/mop"
+	"repro/internal/stream"
+)
+
+// State payload codec: the serialized form of one (state group, side)
+// export — the unit of state transport between shards and the bulk of a
+// checkpoint. Kind codes are mop's wire-stable constants.
+//
+// payload:  1=kind 2=side 3=item (repeated)
+// item:     1=key 2=ts 3=group 4=val 5=member 6=tuple 7=start 8=state
+// tuple:    1=ts 2=vals(packed) 3=member
+// member:   packed bit indices
+
+func putMember(b *Buffer, field int, m *bitset.Set) {
+	if m == nil {
+		return
+	}
+	b.PutIntsField(field, m.Indices())
+}
+
+func readMember(r *Reader) (*bitset.Set, error) {
+	idx, err := r.Ints()
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range idx {
+		if i < 0 || i > 1<<20 {
+			return nil, corrupt("bit index %d out of range", i)
+		}
+	}
+	return bitset.FromIndices(idx...), nil
+}
+
+func putTuple(b *Buffer, field int, t *stream.Tuple) {
+	if t == nil {
+		return
+	}
+	b.PutMsgField(field, func(sub *Buffer) {
+		sub.PutVarintField(1, t.TS)
+		sub.PutInt64sField(2, t.Vals)
+		putMember(sub, 3, t.Member)
+	})
+}
+
+func readTuple(r *Reader) (*stream.Tuple, error) {
+	sub, err := r.Msg()
+	if err != nil {
+		return nil, err
+	}
+	t := &stream.Tuple{}
+	for !sub.Done() {
+		f, wt, err := sub.Field()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			if t.TS, err = sub.Varint(); err != nil {
+				return nil, err
+			}
+		case 2:
+			if t.Vals, err = sub.Int64s(); err != nil {
+				return nil, err
+			}
+		case 3:
+			if t.Member, err = readMember(sub); err != nil {
+				return nil, err
+			}
+		default:
+			if err := sub.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// EncodePayload appends the payload as a tagged message field. A nil or
+// empty payload encodes as an empty message.
+func EncodePayload(b *Buffer, field int, p *mop.StatePayload) {
+	b.PutMsgField(field, func(sub *Buffer) { encodePayloadInto(sub, p) })
+}
+
+func encodePayloadInto(b *Buffer, p *mop.StatePayload) {
+	if p == nil {
+		return
+	}
+	b.PutVarintField(1, int64(p.Kind()))
+	b.PutVarintField(2, int64(p.Side()))
+	for _, it := range p.Items() {
+		item := it
+		b.PutMsgField(3, func(ib *Buffer) {
+			ib.PutVarintField(1, item.Key)
+			ib.PutVarintField(2, item.TS)
+			if item.Group != "" {
+				ib.PutStringField(3, item.Group)
+			}
+			if item.Val != 0 {
+				ib.PutVarintField(4, item.Val)
+			}
+			putMember(ib, 5, item.Member)
+			putTuple(ib, 6, item.Tuple)
+			putTuple(ib, 7, item.Start)
+			// State aliases Start for seq instances; only µ instances
+			// carry distinct accumulated state.
+			if item.State != nil && item.State != item.Start {
+				putTuple(ib, 8, item.State)
+			}
+		})
+	}
+}
+
+// DecodePayload reads a payload encoded by EncodePayload from a message
+// reader positioned at the field value. Returns nil for an empty message.
+func DecodePayload(r *Reader) (*mop.StatePayload, error) {
+	sub, err := r.Msg()
+	if err != nil {
+		return nil, err
+	}
+	return decodePayloadMsg(sub)
+}
+
+// DecodePayloadBytes decodes a standalone payload message (fuzz entry
+// point).
+func DecodePayloadBytes(p []byte) (*mop.StatePayload, error) {
+	return decodePayloadMsg(NewReader(p))
+}
+
+// EncodePayloadBytes encodes a standalone payload message.
+func EncodePayloadBytes(p *mop.StatePayload) []byte {
+	var b Buffer
+	encodePayloadInto(&b, p)
+	return b.Bytes()
+}
+
+func decodePayloadMsg(sub *Reader) (*mop.StatePayload, error) {
+	if sub.Done() {
+		return nil, nil
+	}
+	var kind, side int64
+	var items []mop.WireItem
+	for !sub.Done() {
+		f, wt, err := sub.Field()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			if kind, err = sub.Varint(); err != nil {
+				return nil, err
+			}
+		case 2:
+			if side, err = sub.Varint(); err != nil {
+				return nil, err
+			}
+		case 3:
+			it, err := decodeItem(sub)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, it)
+		default:
+			if err := sub.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if kind < 0 || kind > 255 || side < 0 || side > 1 {
+		return nil, corrupt("payload kind %d / side %d out of range", kind, side)
+	}
+	pl, err := mop.NewStatePayload(uint8(kind), int(side), items)
+	if err != nil {
+		return nil, corrupt("%v", err)
+	}
+	return pl, nil
+}
+
+func decodeItem(r *Reader) (mop.WireItem, error) {
+	var it mop.WireItem
+	sub, err := r.Msg()
+	if err != nil {
+		return it, err
+	}
+	for !sub.Done() {
+		f, wt, err := sub.Field()
+		if err != nil {
+			return it, err
+		}
+		switch f {
+		case 1:
+			if it.Key, err = sub.Varint(); err != nil {
+				return it, err
+			}
+		case 2:
+			if it.TS, err = sub.Varint(); err != nil {
+				return it, err
+			}
+		case 3:
+			if it.Group, err = sub.String(); err != nil {
+				return it, err
+			}
+		case 4:
+			if it.Val, err = sub.Varint(); err != nil {
+				return it, err
+			}
+		case 5:
+			if it.Member, err = readMember(sub); err != nil {
+				return it, err
+			}
+		case 6:
+			if it.Tuple, err = readTuple(sub); err != nil {
+				return it, err
+			}
+		case 7:
+			if it.Start, err = readTuple(sub); err != nil {
+				return it, err
+			}
+		case 8:
+			if it.State, err = readTuple(sub); err != nil {
+				return it, err
+			}
+		default:
+			if err := sub.Skip(wt); err != nil {
+				return it, err
+			}
+		}
+	}
+	return it, nil
+}

@@ -1,0 +1,261 @@
+// Package wire implements the versioned, self-describing binary codec
+// behind RUMOR's checkpoint/restore and state-transport paths: operator
+// state payloads (mop.StatePayload), plan deltas (core.Delta), plan
+// snapshots, partition plans, and the checkpoint envelope tying them
+// together.
+//
+// The format is protobuf-shaped without the dependency: a message is a
+// sequence of tagged fields, tag = fieldNum<<3 | wiretype, with two wire
+// types — 0 (zigzag varint) and 2 (length-delimited: strings, nested
+// messages, packed integer lists). Decoders skip unknown tags, so fields
+// can be added without breaking old readers (forward compatibility); a
+// leading magic + format version guards against incompatible changes.
+//
+// Decoding never panics on corrupt input: every primitive checks bounds
+// and returns ErrCorrupt, recursive structures carry a depth limit, and
+// repeated fields grow by append (no attacker-controlled preallocation).
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt reports malformed input. All decode errors wrap it.
+var ErrCorrupt = errors.New("wire: corrupt input")
+
+// maxDepth bounds recursion while decoding nested structures (predicate
+// trees, logical query trees) so hostile input cannot overflow the stack.
+const maxDepth = 512
+
+// Wire types.
+const (
+	wtVarint = 0
+	wtBytes  = 2
+)
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// zigzag encoding folds signed ints into unsigned varints.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// ---------------------------------------------------------------------------
+// Buffer: the encoder
+// ---------------------------------------------------------------------------
+
+// Buffer accumulates encoded bytes.
+type Buffer struct {
+	b []byte
+}
+
+// Bytes returns the encoded contents.
+func (b *Buffer) Bytes() []byte { return b.b }
+
+// Len returns the number of encoded bytes.
+func (b *Buffer) Len() int { return len(b.b) }
+
+// PutUvarint appends an unsigned varint.
+func (b *Buffer) PutUvarint(v uint64) {
+	for v >= 0x80 {
+		b.b = append(b.b, byte(v)|0x80)
+		v >>= 7
+	}
+	b.b = append(b.b, byte(v))
+}
+
+// PutVarint appends a zigzag-encoded signed varint.
+func (b *Buffer) PutVarint(v int64) { b.PutUvarint(zigzag(v)) }
+
+func (b *Buffer) putTag(field, wt int) { b.PutUvarint(uint64(field)<<3 | uint64(wt)) }
+
+// PutVarintField appends a tagged signed integer field.
+func (b *Buffer) PutVarintField(field int, v int64) {
+	b.putTag(field, wtVarint)
+	b.PutVarint(v)
+}
+
+// PutBoolField appends a tagged boolean field.
+func (b *Buffer) PutBoolField(field int, v bool) {
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	b.PutVarintField(field, n)
+}
+
+// PutBytesField appends a tagged length-delimited field.
+func (b *Buffer) PutBytesField(field int, p []byte) {
+	b.putTag(field, wtBytes)
+	b.PutUvarint(uint64(len(p)))
+	b.b = append(b.b, p...)
+}
+
+// PutStringField appends a tagged string field.
+func (b *Buffer) PutStringField(field int, s string) {
+	b.putTag(field, wtBytes)
+	b.PutUvarint(uint64(len(s)))
+	b.b = append(b.b, s...)
+}
+
+// PutMsgField appends a tagged nested message encoded by fn.
+func (b *Buffer) PutMsgField(field int, fn func(*Buffer)) {
+	var sub Buffer
+	fn(&sub)
+	b.PutBytesField(field, sub.b)
+}
+
+// PutIntsField appends a tagged packed list of signed integers.
+func (b *Buffer) PutIntsField(field int, vs []int) {
+	b.PutMsgField(field, func(sub *Buffer) {
+		for _, v := range vs {
+			sub.PutVarint(int64(v))
+		}
+	})
+}
+
+// PutInt64sField appends a tagged packed list of int64s.
+func (b *Buffer) PutInt64sField(field int, vs []int64) {
+	b.PutMsgField(field, func(sub *Buffer) {
+		for _, v := range vs {
+			sub.PutVarint(v)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Reader: the decoder
+// ---------------------------------------------------------------------------
+
+// Reader decodes a byte slice in place (sub-messages are views, not
+// copies).
+type Reader struct {
+	b   []byte
+	pos int
+}
+
+// NewReader returns a reader over p.
+func NewReader(p []byte) *Reader { return &Reader{b: p} }
+
+// Done reports whether the reader is exhausted.
+func (r *Reader) Done() bool { return r.pos >= len(r.b) }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if r.pos >= len(r.b) {
+			return 0, corrupt("truncated varint")
+		}
+		c := r.b[r.pos]
+		r.pos++
+		if shift == 63 && c > 1 {
+			return 0, corrupt("varint overflow")
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, corrupt("varint too long")
+		}
+	}
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (r *Reader) Varint() (int64, error) {
+	u, err := r.Uvarint()
+	return unzigzag(u), err
+}
+
+// Bytes reads a length-delimited field as a view into the input.
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		return nil, corrupt("length %d exceeds remaining %d", n, len(r.b)-r.pos)
+	}
+	p := r.b[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return p, nil
+}
+
+// String reads a length-delimited string.
+func (r *Reader) String() (string, error) {
+	p, err := r.Bytes()
+	return string(p), err
+}
+
+// Field reads the next field tag.
+func (r *Reader) Field() (field, wt int, err error) {
+	tag, err := r.Uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if tag>>3 > 1<<31 {
+		return 0, 0, corrupt("field number overflow")
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// Skip consumes the value of an unknown field.
+func (r *Reader) Skip(wt int) error {
+	switch wt {
+	case wtVarint:
+		_, err := r.Uvarint()
+		return err
+	case wtBytes:
+		_, err := r.Bytes()
+		return err
+	}
+	return corrupt("unknown wire type %d", wt)
+}
+
+// Msg reads a length-delimited field as a nested reader.
+func (r *Reader) Msg() (*Reader, error) {
+	p, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{b: p}, nil
+}
+
+// Ints reads a packed list of signed integers.
+func (r *Reader) Ints() ([]int, error) {
+	sub, err := r.Msg()
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for !sub.Done() {
+		v, err := sub.Varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, int(v))
+	}
+	return out, nil
+}
+
+// Int64s reads a packed list of int64s.
+func (r *Reader) Int64s() ([]int64, error) {
+	sub, err := r.Msg()
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for !sub.Done() {
+		v, err := sub.Varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -34,6 +34,7 @@ package rumor
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -119,6 +120,10 @@ type System struct {
 	// removed maps names of live-removed queries to their frozen final
 	// result counts.
 	removed map[string]int64
+
+	// churnLog, when set, receives one wire.ChurnRecord per successful
+	// live maintenance operation (incremental checkpoint mode).
+	churnLog io.Writer
 
 	onResult func(query string, ts int64, vals []int64)
 }
@@ -280,7 +285,7 @@ func (s *System) AddQueryLive(name string, root *Logical) error {
 	s.byName[name] = q
 	delete(s.removed, name)
 	s.wireCallback()
-	return nil
+	return s.logChurnAdd(name, root, d)
 }
 
 // RemoveQuery unsubscribes a continuous query. On a running system the
@@ -320,7 +325,7 @@ func (s *System) RemoveQuery(name string) error {
 	}
 	s.removed[name] = final
 	s.wireCallback()
-	return nil
+	return s.logChurnRemove(name, d)
 }
 
 func removeQueryFrom(qs []*core.Query, q *core.Query) []*core.Query {

@@ -1,0 +1,452 @@
+package rumor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faultpoint"
+	"repro/internal/mop"
+	"repro/internal/rules"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// Checkpoint / restore: a full snapshot of a running system — the live
+// physical plan (serialized structurally, not re-derived: the rule engine
+// is free to make different tie-breaking choices on a re-optimization, and
+// restore must reproduce operator and stream identity exactly), the
+// partition plan with its routing-table version, every query's result
+// counters, the frozen counts of removed queries, and every stateful
+// operator group's stored window/instances as wire-encoded payloads.
+//
+// State is captured with a destructive peek: the uniform registry's export
+// removes items, so each group side is exported in full and immediately
+// re-imported in place — a merge into the emptied store that preserves
+// order exactly — while the payload survives to be encoded. The system
+// must be quiescent: System.Checkpoint relies on the caller not pushing
+// concurrently (System is not thread-safe); ShardedSystem.Checkpoint takes
+// the same batch-queue barrier as live deltas, so concurrent pushers just
+// block for the duration.
+//
+// A sharded checkpoint records payloads per replica and restores only into
+// the same shard count (keyed placement, the routing overlay, and
+// replicated copies are positional). Restoring into a different width is a
+// restore followed by live rebalancing, not a decode-time remapping.
+
+// ErrShardDead reports that a shard worker died; recover with
+// (*ShardedSystem).RecoverShard or restore from a checkpoint.
+var ErrShardDead = shard.ErrShardDead
+
+// ErrPartialMigration reports a mid-flight state-migration failure that
+// was rolled back, leaving the engine usable under its old routing.
+var ErrPartialMigration = shard.ErrPartialMigration
+
+// exportGroups destructively peeks every stored group side of one replica
+// registry: export-all, re-import in place, and append the surviving
+// payload (tagged with the replica index) to groups.
+func exportGroups(reg *mop.StateRegistry, shardIdx int, groups *[]wire.GroupState) error {
+	for _, ref := range reg.Groups() {
+		for _, side := range ref.Sides {
+			pl, err := reg.Export(ref.OpID, side, -1, func(int64, int) bool { return true })
+			if err != nil {
+				return err
+			}
+			if pl.Len() == 0 {
+				continue
+			}
+			if err := reg.Import(ref.OpID, pl, false); err != nil {
+				return err
+			}
+			*groups = append(*groups, wire.GroupState{Shard: shardIdx, OpID: ref.OpID, Payload: pl})
+		}
+	}
+	return nil
+}
+
+func frozenNames(removed map[string]int64) []wire.NamedCount {
+	names := make([]string, 0, len(removed))
+	for name := range removed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]wire.NamedCount, len(names))
+	for i, name := range names {
+		out[i] = wire.NamedCount{Name: name, Count: removed[name]}
+	}
+	return out
+}
+
+// Checkpoint writes a full snapshot of the optimized system to w. The
+// caller must not Push concurrently. The snapshot is self-contained:
+// Restore rebuilds an equivalent system with identical plan shape, query
+// IDs, result counts, and operator state.
+func (s *System) Checkpoint(w io.Writer) error {
+	if s.eng == nil {
+		return fmt.Errorf("rumor: call Optimize before Checkpoint")
+	}
+	if err := faultpoint.Error("checkpoint.write"); err != nil {
+		return err
+	}
+	c := &wire.Checkpoint{
+		Shards:            1,
+		Channels:          s.ropts.Channels,
+		ChannelMinStreams: s.ropts.ChannelMinStreams,
+		Plan:              s.plan.Snapshot(),
+		Frozen:            frozenNames(s.removed),
+	}
+	for qid, n := range s.eng.SnapshotCounts() {
+		if n != 0 {
+			c.Counts = append(c.Counts, wire.QueryCount{ID: qid, Count: n})
+		}
+	}
+	if err := exportGroups(s.eng.StateRegistry(), 0, &c.Groups); err != nil {
+		return err
+	}
+	return wire.WriteCheckpoint(w, c)
+}
+
+// restoreSystem rebuilds the unsharded core of a checkpoint: catalog,
+// plan, query bookkeeping, and optimizer options.
+func restoreSystem(c *wire.Checkpoint) (*System, *core.Physical, error) {
+	if c.Plan == nil {
+		return nil, nil, fmt.Errorf("rumor: checkpoint has no plan")
+	}
+	catalog, err := c.Plan.CatalogDecls()
+	if err != nil {
+		return nil, nil, fmt.Errorf("rumor: %w", err)
+	}
+	plan, err := core.RebuildPhysical(catalog, c.Plan)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rumor: rebuilding plan: %w", err)
+	}
+	s := New()
+	s.catalog = catalog
+	s.ropts = rules.Options{Channels: c.Channels, ChannelMinStreams: c.ChannelMinStreams}
+	for _, q := range plan.Queries {
+		s.queries = append(s.queries, q)
+		s.byName[q.Name] = q
+	}
+	for _, fc := range c.Frozen {
+		if s.removed == nil {
+			s.removed = make(map[string]int64)
+		}
+		s.removed[fc.Name] = fc.Count
+	}
+	s.plan = plan
+	return s, plan, nil
+}
+
+// Restore reads a checkpoint written by (*System).Checkpoint and rebuilds
+// the running system: same plan shape and IDs, same result counts, same
+// operator state. Sharded checkpoints must go through RestoreSharded.
+func Restore(r io.Reader) (*System, error) {
+	c, err := wire.ReadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	if c.Partition != nil || c.Shards > 1 {
+		return nil, fmt.Errorf("rumor: sharded checkpoint (%d shards); use RestoreSharded", c.Shards)
+	}
+	s, plan, err := restoreSystem(c)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(plan)
+	if err != nil {
+		return nil, err
+	}
+	reg := eng.StateRegistry()
+	for _, g := range c.Groups {
+		if g.Shard != 0 {
+			return nil, fmt.Errorf("rumor: unsharded checkpoint carries state for shard %d", g.Shard)
+		}
+		if g.Payload.Len() == 0 {
+			continue
+		}
+		if err := reg.Import(g.OpID, g.Payload, false); err != nil {
+			return nil, fmt.Errorf("rumor: restoring operator %d state: %w", g.OpID, err)
+		}
+	}
+	maxID := 0
+	for _, qc := range c.Counts {
+		if qc.ID > maxID {
+			maxID = qc.ID
+		}
+	}
+	counts := make([]int64, maxID+1)
+	for _, qc := range c.Counts {
+		if qc.ID < 0 {
+			return nil, fmt.Errorf("rumor: negative query ID %d in checkpoint", qc.ID)
+		}
+		counts[qc.ID] = qc.Count
+	}
+	eng.RestoreCounts(counts)
+	s.eng = eng
+	s.wireCallback()
+	return s, nil
+}
+
+// Checkpoint writes a full snapshot of the running sharded system to w:
+// the shared plan, the partition plan (routing-table version and
+// key-placement overlay included), per-replica operator state, and the
+// merged counters. It runs at the same batch-queue barrier as a live
+// delta — concurrent pushers block for the duration — and is serialized
+// against other maintenance operations.
+func (s *ShardedSystem) Checkpoint(w io.Writer) error {
+	if s.sh == nil {
+		return fmt.Errorf("rumor: call Optimize before Checkpoint")
+	}
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	if err := faultpoint.Error("checkpoint.write"); err != nil {
+		return err
+	}
+	c := &wire.Checkpoint{
+		Shards:            s.sh.NumShards(),
+		Channels:          s.sys.ropts.Channels,
+		ChannelMinStreams: s.sys.ropts.ChannelMinStreams,
+		Plan:              s.sys.plan.Snapshot(),
+		Partition:         s.sh.PartitionPlan(),
+	}
+	s.nameMu.RLock()
+	c.Frozen = frozenNames(s.removed)
+	queries := append([]*core.Query(nil), s.sys.queries...)
+	s.nameMu.RUnlock()
+	err := s.sh.WithQuiesced(func(regs []*mop.StateRegistry) error {
+		sort.Slice(queries, func(i, j int) bool { return queries[i].ID < queries[j].ID })
+		for _, q := range queries {
+			if n := s.sh.ResultCount(q.ID); n != 0 {
+				c.Counts = append(c.Counts, wire.QueryCount{ID: q.ID, Count: n})
+			}
+		}
+		frozen := s.sh.FrozenCounts()
+		ids := make([]int, 0, len(frozen))
+		for qid := range frozen {
+			ids = append(ids, qid)
+		}
+		sort.Ints(ids)
+		for _, qid := range ids {
+			c.FrozenByID = append(c.FrozenByID, wire.QueryCount{ID: qid, Count: frozen[qid]})
+		}
+		for i, reg := range regs {
+			if err := exportGroups(reg, i, &c.Groups); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return wire.WriteCheckpoint(w, c)
+}
+
+// RestoreSharded reads a checkpoint written by (*ShardedSystem).Checkpoint
+// and rebuilds the running sharded system. The shard count is fixed by the
+// checkpoint (per-replica payloads are positional); cfg contributes only
+// BatchSize and QueueDepth. Unsharded checkpoints restore too, as a
+// 1-shard system.
+func RestoreSharded(r io.Reader, cfg ShardConfig) (*ShardedSystem, error) {
+	c, err := wire.ReadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	if c.Shards < 1 {
+		return nil, fmt.Errorf("rumor: checkpoint shard count %d", c.Shards)
+	}
+	sys, plan, err := restoreSystem(c)
+	if err != nil {
+		return nil, err
+	}
+	part := c.Partition
+	if part == nil {
+		if c.Shards > 1 {
+			return nil, fmt.Errorf("rumor: %d-shard checkpoint has no partition plan", c.Shards)
+		}
+		part = core.AnalyzePartition(plan)
+	}
+	sh, err := shard.New(plan, part, shard.Config{
+		Shards:     c.Shards,
+		BatchSize:  cfg.BatchSize,
+		QueueDepth: cfg.QueueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = sh.WithQuiesced(func(regs []*mop.StateRegistry) error {
+		for _, g := range c.Groups {
+			if g.Shard < 0 || g.Shard >= len(regs) {
+				return fmt.Errorf("rumor: checkpoint state for shard %d of %d", g.Shard, len(regs))
+			}
+			if g.Payload.Len() == 0 {
+				continue
+			}
+			if err := regs[g.Shard].Import(g.OpID, g.Payload, false); err != nil {
+				return fmt.Errorf("rumor: restoring operator %d state on shard %d: %w", g.OpID, g.Shard, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		sh.Close()
+		return nil, err
+	}
+	base := make(map[int]int64, len(c.Counts))
+	for _, qc := range c.Counts {
+		base[qc.ID] = qc.Count
+	}
+	frozen := make(map[int]int64, len(c.FrozenByID))
+	for _, qc := range c.FrozenByID {
+		frozen[qc.ID] = qc.Count
+	}
+	sh.RestoreCounts(base, frozen)
+	ss := &ShardedSystem{
+		sys:  sys,
+		cfg:  ShardConfig{Shards: c.Shards, BatchSize: cfg.BatchSize, QueueDepth: cfg.QueueDepth},
+		sh:   sh,
+		part: part,
+	}
+	for _, fc := range c.Frozen {
+		if ss.removed == nil {
+			ss.removed = make(map[string]int64)
+		}
+		ss.removed[fc.Name] = fc.Count
+	}
+	return ss, nil
+}
+
+// RoutingVersion returns the routing-table version currently in effect
+// (bumped by rebalances, recoveries, and re-partitioning live churn).
+func (s *ShardedSystem) RoutingVersion() int {
+	if s.part == nil {
+		return 0
+	}
+	return s.part.RoutingVersion()
+}
+
+// RecoverStats reports one shard crash recovery.
+type RecoverStats struct {
+	Shard    int   // index of the shard that was recovered away
+	Replayed int   // logged entries replayed into the dead replica
+	Moved    int   // state items re-imported on survivors
+	Dropped  int   // replicated copies that died with the replica
+	Bytes    int   // serialized payload bytes transported
+	Shards   int   // shard count after recovery
+	Version  int   // routing-table version now in effect
+	PauseNS  int64 // barrier to resume
+}
+
+// RecoverShard absorbs a crashed shard into the survivors: the dead
+// worker's unacknowledged batches are replayed into its intact engine
+// replica, its operator state is serialized and re-imported on the
+// surviving shards (keyed state fully re-hashed over the shrunken count),
+// and ingestion resumes over N-1 shards under a bumped routing-table
+// version. Call it after an operation fails with ErrShardDead. Safe to
+// call while other goroutines Push.
+func (s *ShardedSystem) RecoverShard() (RecoverStats, error) {
+	if s.sh == nil {
+		return RecoverStats{}, fmt.Errorf("rumor: call Optimize before RecoverShard")
+	}
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	st, err := s.sh.RecoverShard()
+	if err == nil {
+		s.part = s.sh.PartitionPlan()
+	}
+	return RecoverStats{
+		Shard: st.Shard, Replayed: st.Replayed, Moved: st.Moved,
+		Dropped: st.Dropped, Bytes: st.Bytes, Shards: st.Shards,
+		Version: st.Version, PauseNS: st.Pause.Nanoseconds(),
+	}, err
+}
+
+// ---------------------------------------------------------------------------
+// Incremental mode: the churn-op log
+// ---------------------------------------------------------------------------
+
+// SetChurnLog attaches an incremental checkpoint log: every subsequent
+// live maintenance operation (AddQueryLive, RemoveQuery) appends one
+// record — the operation, the query name, its logical tree, and the plan
+// delta it produced — to w. Between full snapshots, a restorer replays the
+// log onto the last snapshot with ReplayChurnLog and then re-pushes the
+// events that followed the snapshot; the logged deltas serve as an
+// integrity check that the replayed maintenance reproduced the recorded
+// query set. Pass nil to detach.
+func (s *System) SetChurnLog(w io.Writer) { s.churnLog = w }
+
+func (s *System) logChurn(op wire.ChurnOp, name string, root *Logical, d *core.Delta) error {
+	if s.churnLog == nil {
+		return nil
+	}
+	if err := wire.AppendChurnRecord(s.churnLog, &wire.ChurnRecord{Op: op, Name: name, Root: root, Delta: d}); err != nil {
+		return fmt.Errorf("rumor: churn log (operation applied, log incomplete): %w", err)
+	}
+	return nil
+}
+
+func (s *System) logChurnAdd(name string, root *Logical, d *core.Delta) error {
+	return s.logChurn(wire.ChurnAdd, name, root, d)
+}
+
+func (s *System) logChurnRemove(name string, d *core.Delta) error {
+	return s.logChurn(wire.ChurnRemove, name, nil, d)
+}
+
+// SetChurnLog attaches an incremental checkpoint log (see
+// (*System).SetChurnLog). Serialized against maintenance operations.
+func (s *ShardedSystem) SetChurnLog(w io.Writer) {
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	s.sys.churnLog = w
+}
+
+// ChurnReplayer applies churn-log records; both System and ShardedSystem
+// satisfy it.
+type ChurnReplayer interface {
+	AddQueryLive(name string, root *Logical) error
+	RemoveQuery(name string) error
+}
+
+// ReplayChurnLog replays an incremental churn log (written via
+// SetChurnLog) onto a system restored from the preceding full snapshot.
+// Each add re-runs live plan maintenance — the rule engine re-derives the
+// merge, and the logged delta's query membership is checked against the
+// replayed one — and each remove unsubscribes again. Event tuples pushed
+// after the snapshot are not in the log; re-push them after replay to
+// reach the pre-crash state.
+func ReplayChurnLog(sys ChurnReplayer, r io.Reader) error {
+	recs, err := wire.ReadChurnLog(r)
+	if err != nil {
+		return err
+	}
+	for i, rec := range recs {
+		switch rec.Op {
+		case wire.ChurnAdd:
+			if rec.Root == nil {
+				return fmt.Errorf("rumor: churn record %d: add of %q has no plan", i, rec.Name)
+			}
+			if err := sys.AddQueryLive(rec.Name, rec.Root); err != nil {
+				return fmt.Errorf("rumor: churn record %d: %w", i, err)
+			}
+			if rec.Delta != nil && len(rec.Delta.NewQueries) != 1 {
+				return fmt.Errorf("rumor: churn record %d: add of %q recorded %d new queries", i, rec.Name, len(rec.Delta.NewQueries))
+			}
+		case wire.ChurnRemove:
+			if err := sys.RemoveQuery(rec.Name); err != nil {
+				return fmt.Errorf("rumor: churn record %d: %w", i, err)
+			}
+			if rec.Delta != nil && len(rec.Delta.RemovedQueries) != 1 {
+				return fmt.Errorf("rumor: churn record %d: remove of %q recorded %d removed queries", i, rec.Name, len(rec.Delta.RemovedQueries))
+			}
+		default:
+			return fmt.Errorf("rumor: churn record %d: unknown op %d", i, rec.Op)
+		}
+	}
+	return nil
+}
+
+var _ ChurnReplayer = (*System)(nil)
+var _ ChurnReplayer = (*ShardedSystem)(nil)

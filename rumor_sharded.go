@@ -195,10 +195,16 @@ func (s *ShardedSystem) AddQueryLive(name string, root *Logical) error {
 		apply = s.sh.ApplyDeltaRebalance
 	}
 	if err := apply(d, part, nil, func() { s.wireCallback() }); err != nil {
+		// The engine rejected (or rolled back) the delta; undo the name
+		// bookkeeping so the registered set matches what the engine serves.
+		s.nameMu.Lock()
+		s.sys.queries = removeQueryFrom(s.sys.queries, q)
+		delete(s.sys.byName, name)
+		s.nameMu.Unlock()
 		return fmt.Errorf("rumor: %w", err)
 	}
 	s.part = part
-	return nil
+	return s.sys.logChurnAdd(name, root, d)
 }
 
 // Rebalance drains the shards, migrates stored operator state onto a
@@ -288,6 +294,10 @@ func (s *ShardedSystem) RemoveQuery(name string) error {
 	delete(s.sys.byName, name)
 	s.nameMu.Unlock()
 	if err := s.sh.ApplyDelta(d, part, []int{q.ID}, func() { s.wireCallback() }); err != nil {
+		s.nameMu.Lock()
+		s.sys.queries = append(s.sys.queries, q)
+		s.sys.byName[name] = q
+		s.nameMu.Unlock()
 		return fmt.Errorf("rumor: %w", err)
 	}
 	s.part = part
@@ -297,7 +307,7 @@ func (s *ShardedSystem) RemoveQuery(name string) error {
 	}
 	s.removed[name] = s.sh.ResultCount(q.ID)
 	s.nameMu.Unlock()
-	return nil
+	return s.sys.logChurnRemove(name, d)
 }
 
 // Push injects one tuple into a source stream; it is routed to the owning
