@@ -14,6 +14,8 @@
 //	rumorbench -fig rebalance -shards 4 # online rebalancing on skewed W1
 //	rumorbench -fig recover -shards 4   # checkpoint size, restore latency,
 //	                                    # recovery pause vs window size
+//	rumorbench -fig cluster -shards 4   # local vs networked (pipe) shard
+//	                                    # deployment: wire-protocol overhead
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, rebalance, recover, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, rebalance, recover, cluster, or all")
 	tuples := flag.Int("tuples", 20000, "input events per S/T measurement")
 	rounds := flag.Int("rounds", 2000, "workload-3 rounds per measurement")
 	trace := flag.Int("trace", 240, "perfmon trace length in seconds (figure 11)")
@@ -71,6 +73,19 @@ func main() {
 		}
 		rows, err := cfg.Recover(counts)
 		bench.FprintRecover(os.Stdout, rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumorbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "cluster" {
+		var counts []int
+		for n := 2; n <= *shards; n *= 2 {
+			counts = append(counts, n)
+		}
+		rows, err := cfg.Cluster(counts)
+		bench.FprintCluster(os.Stdout, rows)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rumorbench:", err)
 			os.Exit(1)

@@ -1,0 +1,44 @@
+// Command rumornode hosts one RUMOR shard worker.
+//
+// The worker is passive: it listens for the coordinator, receives the
+// optimized plan in the handshake, and executes the shard the coordinator
+// assigns it. Run one rumornode per shard and point the coordinator's
+// DialCluster at the addresses:
+//
+//	rumornode -listen :7071 &
+//	rumornode -listen :7072 &
+//
+// The process exits 0 when the coordinator shuts the cluster down
+// (ShardedSystem.Close), and keeps its replica across coordinator
+// reconnects — a dropped connection alone loses nothing. Restarting
+// rumornode does lose the replica; the coordinator detects that by the
+// boot-ID change and declares the shard lost (recover with RecoverShard).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	rumor "repro"
+)
+
+func main() {
+	listen := flag.String("listen", ":7071", "TCP address to accept the coordinator on")
+	quiet := flag.Bool("q", false, "suppress startup log line")
+	flag.Parse()
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rumornode: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "rumornode: serving one shard on %s\n", lis.Addr())
+	}
+	if err := rumor.ServeShard(lis); err != nil {
+		fmt.Fprintf(os.Stderr, "rumornode: %v\n", err)
+		os.Exit(1)
+	}
+}

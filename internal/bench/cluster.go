@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	rumor "repro"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// The cluster figure prices the network: the same sharded Workload-2
+// system (seq state keyed on a0) is deployed twice per shard count, once
+// on in-process goroutine replicas (Optimize) and once on networked shard
+// workers reached over in-process pipes (DialCluster + ServeShard). The
+// pipe transport runs the full wire protocol — framing, CRC, handshake,
+// batch acks — without kernel sockets, so the delta between the two rows
+// is the protocol + serialization overhead a real deployment pays on top
+// of loopback latency. Both deployments must produce identical result
+// counts; the run fails otherwise.
+
+// ClusterRow is one (deployment, shard count) measurement.
+type ClusterRow struct {
+	Deploy string // "local" or "cluster (pipe)"
+	Shards int
+
+	EventsPerSec float64 // ingest throughput, drain barrier included
+	DrainMS      float64 // final drain barrier alone
+	RebalanceMS  float64 // rebalance ingestion pause (state over the wire)
+	CkptMS       float64 // checkpoint barrier + remote state export
+	CkptBytes    int     // serialized checkpoint size
+
+	Results int64 // total results (sanity: identical across deployments)
+}
+
+// Cluster measures local vs networked deployments across shard counts.
+func (cfg Config) Cluster(shardCounts []int) ([]ClusterRow, error) {
+	var rows []ClusterRow
+	for _, n := range shardCounts {
+		local, err := clusterRun(cfg, n, false)
+		if err != nil {
+			return rows, err
+		}
+		remote, err := clusterRun(cfg, n, true)
+		if err != nil {
+			return rows, err
+		}
+		if local.Results != remote.Results {
+			return rows, fmt.Errorf("cluster bench: result mismatch at %d shards: local %d, cluster %d",
+				n, local.Results, remote.Results)
+		}
+		rows = append(rows, local, remote)
+	}
+	return rows, nil
+}
+
+func clusterRun(cfg Config, n int, networked bool) (ClusterRow, error) {
+	row := ClusterRow{Deploy: "local", Shards: n}
+	p := workload.DefaultParams()
+	p.Seed = cfg.Seed
+	if p.NumQueries > cfg.MaxQueries {
+		p.NumQueries = cfg.MaxQueries
+	}
+	events := p.GenStreams(cfg.Tuples)
+	cqs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		return row, err
+	}
+
+	var sys *rumor.ShardedSystem
+	if networked {
+		row.Deploy = "cluster (pipe)"
+		sys = rumor.NewSharded(rumor.ShardConfig{Shards: n, BatchSize: 256})
+		for name, decl := range p.Catalog() {
+			if err := sys.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
+				sys.Close()
+				return row, err
+			}
+		}
+		for _, q := range cqs {
+			if err := sys.AddQuery(q.Name, q.Root); err != nil {
+				sys.Close()
+				return row, err
+			}
+		}
+		nodes := make([]rumor.ClusterNode, n)
+		listeners := make([]*transport.PipeListener, n)
+		for i := range nodes {
+			lis := transport.NewPipeListener()
+			listeners[i] = lis
+			go rumor.ServeShard(lis)
+			nodes[i] = rumor.ClusterNode{Dial: lis.Dial}
+		}
+		defer func() {
+			for _, lis := range listeners {
+				lis.Close()
+			}
+		}()
+		err = sys.DialCluster(rumor.Options{}, rumor.ClusterConfig{
+			Nodes:             nodes,
+			BatchSize:         256,
+			HeartbeatInterval: -1, // no idle probes: the bench link never idles
+			Seed:              cfg.Seed,
+		})
+		if err != nil {
+			sys.Close()
+			return row, err
+		}
+	} else {
+		sys, err = buildShardedSystem(p, cqs, n)
+		if err != nil {
+			return row, err
+		}
+	}
+	defer sys.Close()
+
+	t0 := time.Now()
+	for _, ev := range events {
+		if err := sys.Push(ev.Source, ev.Tuple.TS, ev.Tuple.Vals...); err != nil {
+			return row, err
+		}
+	}
+	pushDur := time.Since(t0)
+	t0 = time.Now()
+	if err := sys.Drain(); err != nil {
+		return row, err
+	}
+	drainDur := time.Since(t0)
+	row.DrainMS = float64(drainDur) / float64(time.Millisecond)
+	row.EventsPerSec = float64(len(events)) / (pushDur + drainDur).Seconds()
+
+	st, err := sys.Rebalance()
+	if err != nil {
+		return row, err
+	}
+	row.RebalanceMS = float64(st.PauseNS) / float64(time.Millisecond)
+
+	var buf bytes.Buffer
+	t0 = time.Now()
+	if err := sys.Checkpoint(&buf); err != nil {
+		return row, err
+	}
+	row.CkptMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	row.CkptBytes = buf.Len()
+
+	row.Results = sys.TotalResults()
+	return row, nil
+}
+
+// FprintCluster renders cluster rows as an aligned table.
+func FprintCluster(w io.Writer, rows []ClusterRow) {
+	fmt.Fprintf(w, "%-15s %7s %12s %9s %9s %9s %10s %10s\n",
+		"deploy", "shards", "events/s", "drain ms", "rebal ms", "ckpt ms", "ckpt B", "results")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %7d %12.0f %9.2f %9.2f %9.2f %10d %10d\n",
+			r.Deploy, r.Shards, r.EventsPerSec, r.DrainMS, r.RebalanceMS,
+			r.CkptMS, r.CkptBytes, r.Results)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 88))
+}

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterSmoke runs the local-vs-networked measurement end to end at
+// a tiny scale: both deployments must finish and agree on result counts
+// (Cluster enforces the equality itself).
+func TestClusterSmoke(t *testing.T) {
+	cfg := Config{Tuples: 2000, Rounds: 60, MaxQueries: 100, Seed: 1}
+	rows, err := cfg.Cluster([]int{2})
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows (local + cluster), got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.EventsPerSec <= 0 {
+			t.Errorf("%s/%d: non-positive throughput %f", r.Deploy, r.Shards, r.EventsPerSec)
+		}
+		if r.CkptBytes <= 0 {
+			t.Errorf("%s/%d: empty checkpoint", r.Deploy, r.Shards)
+		}
+		if r.Results <= 0 {
+			t.Errorf("%s/%d: no results", r.Deploy, r.Shards)
+		}
+	}
+	var sb strings.Builder
+	FprintCluster(&sb, rows)
+	if !strings.Contains(sb.String(), "cluster (pipe)") {
+		t.Errorf("table missing cluster row:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,648 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mop"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Typed failure sentinels. Callers distinguish a transient outage (the
+// client keeps redialling; Push should fail fast but the shard is not
+// dead) from a lost worker (terminal: the shard layer's dead-shard
+// machinery takes over).
+var (
+	// ErrUnreachable: the worker cannot currently be reached; the client
+	// is retrying with backoff.
+	ErrUnreachable = errors.New("cluster: worker unreachable")
+	// ErrWorkerLost: the worker is gone for good — the outage outlasted
+	// FailTimeout, or the process restarted (boot ID changed) and its
+	// replica state is lost.
+	ErrWorkerLost = errors.New("cluster: worker lost")
+	// ErrBadHandshake: the worker rejected the handshake (protocol or
+	// shard-layout mismatch). Terminal.
+	ErrBadHandshake = errors.New("cluster: handshake rejected")
+	// ErrClosed: the client was closed.
+	ErrClosed = errors.New("cluster: client closed")
+)
+
+// Config describes one coordinator→worker link.
+type Config struct {
+	// Dial opens a fresh connection to the worker. Called for the initial
+	// connect and every reconnect.
+	Dial func() (net.Conn, error)
+
+	ShardIdx   int
+	ShardCount int
+	// Epoch identifies this cluster instantiation; a worker resuming a
+	// different epoch is rebuilt from scratch.
+	Epoch int64
+	// PlanBytes is the wire snapshot of the physical plan the worker
+	// lowers its replica from. ApplyDelta keeps it current.
+	PlanBytes []byte
+
+	// CallTimeout bounds one RPC attempt (write + reply) and the
+	// handshake. 0 means 5s.
+	CallTimeout time.Duration
+	// RetryMin/RetryMax bound the exponential reconnect backoff.
+	// 0 means 50ms / 2s.
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// FailTimeout is how long an outage may last before the worker is
+	// declared lost. 0 means 15s.
+	FailTimeout time.Duration
+	// HeartbeatInterval paces idle-link liveness probes. 0 means 1s;
+	// negative disables the heartbeat loop (in-flight calls still detect
+	// failures).
+	HeartbeatInterval time.Duration
+	// MaxFrame bounds protocol frames; 0 means transport.DefaultMaxFrame.
+	MaxFrame int
+	// Seed makes the backoff jitter deterministic. 0 means 1.
+	Seed int64
+	// OnDown, when set, observes reachability transitions: OnDown(true)
+	// when the link goes down, OnDown(false) when it comes back up or the
+	// worker is declared lost (at which point the dead-shard machinery,
+	// not the unreachable fast-path, owns the failure). Called without
+	// client locks held.
+	OnDown func(down bool)
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	if cfg.RetryMin == 0 {
+		cfg.RetryMin = 50 * time.Millisecond
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	if cfg.FailTimeout == 0 {
+		cfg.FailTimeout = 15 * time.Second
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+}
+
+// Client is the coordinator's handle on one remote shard worker: it owns
+// the connection, redials with bounded exponential backoff plus jitter,
+// retries calls at-least-once (the worker dedups), and declares the
+// worker lost when an outage outlasts FailTimeout or the worker restarts.
+//
+// All RPC methods are safe for concurrent use; calls are serialized.
+type Client struct {
+	cfg      Config
+	srcNames []string
+
+	// callMu serializes RPCs and owns all reads from the connection; the
+	// heartbeat loop acquires it with TryLock so in-flight calls double as
+	// liveness probes.
+	callMu sync.Mutex
+	// rng drives backoff jitter; guarded by callMu.
+	rng        *rand.Rand
+	nextCallID int64
+
+	// mu guards the connection and reachability state.
+	mu        sync.Mutex
+	conn      *transport.Conn
+	bootID    int64 // 0 = never connected / fresh build wanted
+	groups    []mop.GroupRef
+	down      bool
+	downSince time.Time
+	deadErr   error
+	closed    bool
+
+	stopHB chan struct{}
+	hbDone chan struct{}
+}
+
+// Dial connects to a worker and performs the initial handshake, building
+// the worker's engine replica from cfg.PlanBytes. srcNames is the
+// coordinator's source-ID table (Entry.Src indexes into it).
+func Dial(cfg Config, srcNames []string) (*Client, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("cluster: Config.Dial is required")
+	}
+	cfg.fillDefaults()
+	c := &Client{
+		cfg:      cfg,
+		srcNames: srcNames,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stopHB:   make(chan struct{}),
+		hbDone:   make(chan struct{}),
+	}
+	c.callMu.Lock()
+	_, err := c.ensureConn()
+	c.callMu.Unlock()
+	if err != nil {
+		close(c.stopHB)
+		close(c.hbDone)
+		return nil, err
+	}
+	if cfg.HeartbeatInterval > 0 {
+		go c.heartbeatLoop()
+	} else {
+		close(c.hbDone)
+	}
+	return c, nil
+}
+
+// Down reports whether the worker is currently unreachable (the client is
+// still retrying). A lost worker is NOT down: DeadErr owns that state.
+func (c *Client) Down() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down && c.deadErr == nil
+}
+
+// DeadErr returns the terminal error once the worker has been declared
+// lost, nil while it is healthy or merely unreachable.
+func (c *Client) DeadErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deadErr
+}
+
+// Groups returns the worker's state-group table as of the last handshake
+// or ApplyDelta.
+func (c *Client) Groups() []mop.GroupRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.groups
+}
+
+// Close drops the connection and stops the heartbeat loop. The worker
+// keeps running (use Shutdown to stop it).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	close(c.stopHB)
+	<-c.hbDone
+	if conn != nil {
+		conn.Close()
+	}
+	return nil
+}
+
+// Shutdown asks the worker process to exit (best effort — a worker that
+// is unreachable is simply left behind), then closes the client.
+func (c *Client) Shutdown() error {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+		conn.WriteFrame(frameShutdown, nil)
+	}
+	return c.Close()
+}
+
+// Revive clears the lost-worker state and connects again. With fresh
+// true the handshake is forced non-resume: the worker (old or
+// replacement) rebuilds an empty replica from the current plan, ready
+// for RecoverShard to migrate state into. With fresh false the client
+// keeps the old boot ID and attempts a resume — the right move after a
+// healed partition, where the surviving process still holds the intact
+// replica (a restarted process then fails the boot-ID check and the
+// worker is declared lost again). Returns an error when no worker
+// answers within FailTimeout.
+func (c *Client) Revive(fresh bool) error {
+	c.callMu.Lock()
+	defer c.callMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.deadErr = nil
+	if fresh {
+		c.bootID = 0 // force a fresh (non-resume) handshake
+	}
+	wasDown := c.down
+	c.down = false
+	c.downSince = time.Time{}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	// Report the up-transition before reconnecting: a revive entered
+	// while the link was still flapping must not leave a stale down
+	// report (the shard layer counts them).
+	if wasDown && c.cfg.OnDown != nil {
+		c.cfg.OnDown(false)
+	}
+	_, err := c.ensureConn()
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Call machinery.
+
+// ensureConn returns a live connection, dialling with backoff until
+// FailTimeout expires (→ the worker is declared lost). Must be called
+// with callMu held and mu NOT held.
+func (c *Client) ensureConn() (*transport.Conn, error) {
+	for {
+		c.mu.Lock()
+		switch {
+		case c.closed:
+			c.mu.Unlock()
+			return nil, ErrClosed
+		case c.deadErr != nil:
+			err := c.deadErr
+			c.mu.Unlock()
+			return nil, err
+		case c.conn != nil:
+			conn := c.conn
+			c.mu.Unlock()
+			return conn, nil
+		}
+		resume := c.bootID != 0
+		prevBoot := c.bootID
+		attemptStart := c.downSince
+		c.mu.Unlock()
+
+		conn, ack, err := c.dialOnce(resume)
+		if err == nil && resume && ack.BootID != prevBoot {
+			// The process behind the address restarted: its replica state
+			// is gone, so resuming is impossible. Terminal.
+			conn.Close()
+			err = fmt.Errorf("%w: worker restarted (boot %d -> %d), replica state lost",
+				ErrWorkerLost, prevBoot, ack.BootID)
+		}
+		if err == nil {
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				conn.Close()
+				return nil, ErrClosed
+			}
+			c.conn = conn
+			c.bootID = ack.BootID
+			c.groups = ack.Groups
+			wasDown := c.down
+			c.down = false
+			c.downSince = time.Time{}
+			c.mu.Unlock()
+			if wasDown && c.cfg.OnDown != nil {
+				c.cfg.OnDown(false)
+			}
+			return conn, nil
+		}
+		if errors.Is(err, ErrBadHandshake) || errors.Is(err, ErrWorkerLost) {
+			c.declareDead(err)
+			return nil, err
+		}
+		c.noteFailure(err)
+		if attemptStart.IsZero() {
+			attemptStart = time.Now()
+		}
+		if time.Since(attemptStart) >= c.cfg.FailTimeout {
+			err = fmt.Errorf("%w: unreachable for %v: %v", ErrWorkerLost, c.cfg.FailTimeout, err)
+			c.declareDead(err)
+			return nil, err
+		}
+		c.sleepBackoff(attemptStart)
+	}
+}
+
+// dialOnce opens one connection and runs the handshake, deadline-bound.
+func (c *Client) dialOnce(resume bool) (*transport.Conn, *helloAck, error) {
+	nc, err := c.cfg.Dial()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: dial: %v", ErrUnreachable, err)
+	}
+	conn := transport.NewConn(nc, c.cfg.MaxFrame)
+	conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+	h := &hello{
+		Proto:      ProtoVersion,
+		ShardIdx:   c.cfg.ShardIdx,
+		ShardCount: c.cfg.ShardCount,
+		Epoch:      c.cfg.Epoch,
+		Resume:     resume,
+		SrcNames:   c.srcNames,
+		PlanBytes:  c.cfg.PlanBytes,
+	}
+	if err := conn.WriteFrame(frameHello, encodeHello(h)); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("%w: sending hello: %v", ErrUnreachable, err)
+	}
+	for {
+		typ, payload, err := conn.ReadFrame()
+		if err != nil {
+			conn.Close()
+			return nil, nil, fmt.Errorf("%w: awaiting hello ack: %v", ErrUnreachable, err)
+		}
+		if typ != frameHelloAck {
+			continue // skip unknown frame types
+		}
+		ack, err := decodeHelloAck(payload)
+		if err != nil {
+			conn.Close()
+			return nil, nil, fmt.Errorf("%w: decoding hello ack: %v", ErrUnreachable, err)
+		}
+		if ack.Err != "" {
+			conn.Close()
+			return nil, nil, fmt.Errorf("%w: %s", ErrBadHandshake, ack.Err)
+		}
+		if ack.Proto != ProtoVersion {
+			conn.Close()
+			return nil, nil, fmt.Errorf("%w: worker protocol %d, client speaks %d",
+				ErrBadHandshake, ack.Proto, ProtoVersion)
+		}
+		conn.SetDeadline(time.Time{})
+		return conn, ack, nil
+	}
+}
+
+// noteFailure records a connection failure: drops the conn and marks the
+// link down (reporting the transition).
+func (c *Client) noteFailure(err error) {
+	c.mu.Lock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	wasDown := c.down
+	c.down = true
+	if c.downSince.IsZero() {
+		c.downSince = time.Now()
+	}
+	c.mu.Unlock()
+	if !wasDown && c.cfg.OnDown != nil {
+		c.cfg.OnDown(true)
+	}
+}
+
+// declareDead marks the worker terminally lost. The unreachable state is
+// cleared (reporting up via OnDown) so the shard layer's dead-shard
+// machinery — not the unreachable fast-path — owns the failure from here.
+func (c *Client) declareDead(err error) {
+	c.mu.Lock()
+	if c.deadErr == nil {
+		c.deadErr = err
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	wasDown := c.down
+	c.down = false
+	c.downSince = time.Time{}
+	c.mu.Unlock()
+	if wasDown && c.cfg.OnDown != nil {
+		c.cfg.OnDown(false)
+	}
+}
+
+// sleepBackoff sleeps the next exponential-backoff interval (with jitter
+// in [½,1]×), never past the FailTimeout horizon.
+func (c *Client) sleepBackoff(outageStart time.Time) {
+	elapsed := time.Since(outageStart)
+	// Derive the step from how long the outage has lasted (rather than an
+	// attempt counter): retries double from RetryMin up to RetryMax.
+	d := c.cfg.RetryMin
+	for d <= elapsed && d < c.cfg.RetryMax {
+		d *= 2
+	}
+	if d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	if rem := c.cfg.FailTimeout - elapsed; d > rem {
+		d = rem
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// call performs one RPC, retrying across reconnects until it succeeds or
+// the worker is declared lost. The worker's reply cache plus the batch
+// seq dedup make retried calls execute at most once.
+func (c *Client) call(op byte, body []byte) ([]byte, error) {
+	c.callMu.Lock()
+	defer c.callMu.Unlock()
+	c.nextCallID++
+	callID := c.nextCallID
+	frame := encodeCall(callID, op, body)
+	for {
+		conn, err := c.ensureConn()
+		if err != nil {
+			return nil, err
+		}
+		conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+		if err := conn.WriteFrame(frameCall, frame); err != nil {
+			c.noteFailure(err)
+			continue
+		}
+		errStr, reply, err := c.awaitReply(conn, callID)
+		if err != nil {
+			c.noteFailure(err)
+			continue
+		}
+		conn.SetDeadline(time.Time{})
+		if errStr != "" {
+			// An application-level error from the worker: the call executed
+			// and failed deterministically; retrying would not help.
+			return nil, fmt.Errorf("cluster: worker shard %d: %s", c.cfg.ShardIdx, errStr)
+		}
+		return reply, nil
+	}
+}
+
+// awaitReply reads frames until the reply matching callID arrives,
+// skipping heartbeat acks, stale replies, and unknown frame types.
+func (c *Client) awaitReply(conn *transport.Conn, callID int64) (string, []byte, error) {
+	for {
+		typ, payload, err := conn.ReadFrame()
+		if err != nil {
+			return "", nil, err
+		}
+		switch typ {
+		case frameReply:
+			id, errStr, body, err := decodeReply(payload)
+			if err != nil {
+				return "", nil, err
+			}
+			if id < callID {
+				continue // stale reply from an abandoned attempt
+			}
+			if id != callID {
+				return "", nil, fmt.Errorf("reply for call %d, want %d", id, callID)
+			}
+			return errStr, body, nil
+		case frameHeartbeatAck:
+			continue
+		default:
+			continue // skip unknown frame types
+		}
+	}
+}
+
+// heartbeatLoop probes the link while it is idle. TryLock keeps it off
+// the connection whenever a call is in flight (the call itself is the
+// liveness signal then); during an idle outage the probe's ensureConn
+// drives reconnection and the FailTimeout clock.
+func (c *Client) heartbeatLoop() {
+	defer close(c.hbDone)
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopHB:
+			return
+		case <-t.C:
+		}
+		if c.DeadErr() != nil {
+			continue // idle until a Revive clears the loss
+		}
+		if !c.callMu.TryLock() {
+			continue // a call is in flight; it doubles as the probe
+		}
+		c.probe()
+		c.callMu.Unlock()
+	}
+}
+
+func (c *Client) probe() {
+	conn, err := c.ensureConn()
+	if err != nil {
+		return
+	}
+	conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+	if err := conn.WriteFrame(frameHeartbeat, nil); err != nil {
+		c.noteFailure(err)
+		return
+	}
+	for {
+		typ, _, err := conn.ReadFrame()
+		if err != nil {
+			c.noteFailure(err)
+			return
+		}
+		if typ == frameHeartbeatAck {
+			conn.SetDeadline(time.Time{})
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// RPCs.
+
+// Replay delivers one WAL batch. Delivery is at-least-once; the worker
+// dedups by seq, so duplicated or re-sent batches replay exactly once.
+func (c *Client) Replay(seq int64, entries []Entry) error {
+	_, err := c.call(opBatch, encodeBatch(seq, entries))
+	return err
+}
+
+// Drain returns the worker's per-query result counts, total, and sticky
+// first replay error (empty when none) — the remote form of the local
+// worker's quiesce snapshot.
+func (c *Client) Drain() (counts []int64, total int64, firstErr string, err error) {
+	reply, err := c.call(opDrain, nil)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	return decodeDrainReply(reply)
+}
+
+// ApplyDelta ships the post-mutation plan snapshot, the delta, and the
+// post-delta source-name table; the worker adopts the plan and splices
+// the delta into its replica. The returned group table replaces the
+// cached one, and planBytes/srcNames become what future fresh handshakes
+// rebuild from.
+func (c *Client) ApplyDelta(planBytes, deltaBytes []byte, srcNames []string) ([]mop.GroupRef, error) {
+	reply, err := c.call(opApplyDelta, encodeDeltaCall(planBytes, deltaBytes, srcNames))
+	if err != nil {
+		return nil, err
+	}
+	groups, err := decodeGroupsReply(reply)
+	if err != nil {
+		return nil, err
+	}
+	c.callMu.Lock()
+	if srcNames != nil {
+		c.srcNames = srcNames
+	}
+	c.callMu.Unlock()
+	c.mu.Lock()
+	c.cfg.PlanBytes = planBytes
+	c.groups = groups
+	c.mu.Unlock()
+	return groups, nil
+}
+
+// Export destructively exports everything one group side stores on the
+// worker (nil when it stores nothing). Safe to retry: the worker's reply
+// cache re-sends the exported payload instead of re-exporting.
+func (c *Client) Export(opID, side, keyAttr int) (*mop.StatePayload, error) {
+	reply, err := c.call(opExport, encodeSideCall(opID, side, keyAttr))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := decodeBytesField1(reply)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	return wire.DecodePayloadBytes(raw)
+}
+
+// Import ships a state payload into the worker's replica. The payload
+// itself is NOT consumed on the coordinator side — the worker imports its
+// own decoded copy — so the caller keeps ownership (and any rollback
+// snapshots aliasing it stay valid).
+func (c *Client) Import(opID int, pl *mop.StatePayload) error {
+	var raw []byte
+	if pl != nil && pl.Len() > 0 {
+		raw = wire.EncodePayloadBytes(pl)
+	}
+	_, err := c.call(opImport, encodeImportCall(opID, raw))
+	return err
+}
+
+// Histogram merges the worker's keyed-state histogram of one group side
+// into h.
+func (c *Client) Histogram(opID, side, keyAttr int, h map[int64]int64) error {
+	reply, err := c.call(opHistogram, encodeSideCall(opID, side, keyAttr))
+	if err != nil {
+		return err
+	}
+	remote, err := decodeHistReply(reply)
+	if err != nil {
+		return err
+	}
+	for k, v := range remote {
+		h[k] += v
+	}
+	return nil
+}
+
+// ResetCounts zeroes the worker's per-query result counters.
+func (c *Client) ResetCounts() error {
+	_, err := c.call(opResetCounts, nil)
+	return err
+}

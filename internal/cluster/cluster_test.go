@@ -1,0 +1,582 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rules"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// testWorkload builds a small multi-query workload: the encoded plan
+// snapshot a worker lowers from, the source-name table, the event stream
+// as WAL batches, and the reference result counts from a local engine fed
+// the same events exactly once.
+type testWorkload struct {
+	planBytes []byte
+	srcNames  []string
+	batches   [][]Entry // batch i carries seq i+1
+	refCounts []int64
+	refTotal  int64
+}
+
+func buildWorkload(t *testing.T) *testWorkload {
+	t.Helper()
+	p := workload.DefaultParams()
+	p.NumQueries = 60
+	p.Seed = 7
+	qs, err := workload.ToRUMOR(p.Workload2Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := p.Catalog()
+	build := func() *core.Physical {
+		plan := core.NewPhysical(catalog)
+		for _, q := range qs {
+			if err := plan.AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rules.Optimize(plan, rules.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	planBytes, err := wire.EncodePlanBytes(build().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcNames := make([]string, 0, len(catalog))
+	for name := range catalog {
+		srcNames = append(srcNames, name)
+	}
+	sort.Strings(srcNames)
+	srcID := make(map[string]int32, len(srcNames))
+	for i, name := range srcNames {
+		srcID[name] = int32(i)
+	}
+
+	events := p.GenStreams(2000)
+	ref, err := engine.New(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]Entry
+	var cur []Entry
+	for _, ev := range events {
+		tu := ev.Tuple
+		if err := ref.Push(ev.Source, tu); err != nil {
+			t.Fatal(err)
+		}
+		cur = append(cur, Entry{Src: srcID[ev.Source], TS: int64(tu.TS), Vals: tu.Vals})
+		if len(cur) == 100 {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	if ref.TotalResults() == 0 {
+		t.Fatal("workload produced no results; equivalence checks are vacuous")
+	}
+	return &testWorkload{
+		planBytes: planBytes,
+		srcNames:  srcNames,
+		batches:   batches,
+		refCounts: ref.SnapshotCounts(),
+		refTotal:  ref.TotalResults(),
+	}
+}
+
+func startWorker(t *testing.T) *transport.PipeListener {
+	t.Helper()
+	lis := transport.NewPipeListener()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Serve(lis, WorkerConfig{})
+	}()
+	t.Cleanup(func() {
+		lis.Close()
+		<-done
+	})
+	return lis
+}
+
+// rawConn speaks the protocol by hand, for tests that need to misbehave
+// (duplicate seqs, replayed call IDs) below the Client's abstraction.
+type rawConn struct {
+	t      *testing.T
+	fc     *transport.Conn
+	callID int64
+}
+
+func dialRaw(t *testing.T, lis *transport.PipeListener, h *hello) (*rawConn, *helloAck) {
+	t.Helper()
+	nc, err := lis.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := transport.NewConn(nc, 0)
+	t.Cleanup(func() { fc.Close() })
+	if err := fc.WriteFrame(frameHello, encodeHello(h)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := fc.ReadFrame()
+	if err != nil || typ != frameHelloAck {
+		t.Fatalf("handshake: typ=%d err=%v", typ, err)
+	}
+	ack, err := decodeHelloAck(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rawConn{t: t, fc: fc}, ack
+}
+
+// callRaw sends a call with an explicit ID and returns the raw reply
+// payload (for byte-level reply-cache checks).
+func (rc *rawConn) callRaw(callID int64, op byte, body []byte) []byte {
+	rc.t.Helper()
+	if err := rc.fc.WriteFrame(frameCall, encodeCall(callID, op, body)); err != nil {
+		rc.t.Fatal(err)
+	}
+	typ, payload, err := rc.fc.ReadFrame()
+	if err != nil || typ != frameReply {
+		rc.t.Fatalf("reply: typ=%d err=%v", typ, err)
+	}
+	return append([]byte(nil), payload...)
+}
+
+// call sends a call with the next fresh ID and decodes the reply.
+func (rc *rawConn) call(op byte, body []byte) (string, []byte) {
+	rc.t.Helper()
+	rc.callID++
+	raw := rc.callRaw(rc.callID, op, body)
+	id, errStr, reply, err := decodeReply(raw)
+	if err != nil || id != rc.callID {
+		rc.t.Fatalf("decoding reply: id=%d want %d err=%v", id, rc.callID, err)
+	}
+	return errStr, reply
+}
+
+func (rc *rawConn) drainEquals(w *testWorkload) error {
+	errStr, reply := rc.call(opDrain, nil)
+	if errStr != "" {
+		return fmt.Errorf("drain: %s", errStr)
+	}
+	counts, total, firstErr, err := decodeDrainReply(reply)
+	if err != nil {
+		return err
+	}
+	if firstErr != "" {
+		return fmt.Errorf("sticky replay error: %s", firstErr)
+	}
+	if total != w.refTotal {
+		return fmt.Errorf("total %d, want %d", total, w.refTotal)
+	}
+	if len(counts) != len(w.refCounts) {
+		return fmt.Errorf("%d counts, want %d", len(counts), len(w.refCounts))
+	}
+	for i, c := range counts {
+		if c != w.refCounts[i] {
+			return fmt.Errorf("query %d: %d results, want %d", i, c, w.refCounts[i])
+		}
+	}
+	return nil
+}
+
+func freshHello(w *testWorkload) *hello {
+	return &hello{
+		Proto:      ProtoVersion,
+		ShardIdx:   0,
+		ShardCount: 1,
+		Epoch:      1,
+		SrcNames:   w.srcNames,
+		PlanBytes:  w.planBytes,
+	}
+}
+
+// TestWorkerSeqDedup feeds every WAL batch once in order — plus a
+// duplicate of each batch and a re-send of its predecessor (reordered
+// stale delivery), all under fresh call IDs so the seq dedup (not the
+// reply cache) must absorb them. Results must match a reference engine
+// that saw each event exactly once.
+func TestWorkerSeqDedup(t *testing.T) {
+	w := buildWorkload(t)
+	lis := startWorker(t)
+	rc, ack := dialRaw(t, lis, freshHello(w))
+	if ack.Err != "" {
+		t.Fatal(ack.Err)
+	}
+	for i, batch := range w.batches {
+		seq := int64(i + 1)
+		if errStr, _ := rc.call(opBatch, encodeBatch(seq, batch)); errStr != "" {
+			t.Fatalf("batch %d: %s", seq, errStr)
+		}
+		// Duplicate delivery of the same seq.
+		if errStr, _ := rc.call(opBatch, encodeBatch(seq, batch)); errStr != "" {
+			t.Fatalf("dup batch %d: %s", seq, errStr)
+		}
+		// Reordered stale delivery of the previous seq.
+		if i > 0 {
+			if errStr, _ := rc.call(opBatch, encodeBatch(seq-1, w.batches[i-1])); errStr != "" {
+				t.Fatalf("stale batch %d: %s", seq-1, errStr)
+			}
+		}
+	}
+	// A gap must be rejected, not silently applied.
+	gapSeq := int64(len(w.batches) + 5)
+	if errStr, _ := rc.call(opBatch, encodeBatch(gapSeq, w.batches[0])); !strings.Contains(errStr, "gap") {
+		t.Fatalf("gap seq accepted (err %q)", errStr)
+	}
+	if err := rc.drainEquals(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerReplyCache retries destructive export calls under their
+// original call IDs: the worker must re-send the cached reply
+// byte-identically instead of re-executing (a re-executed export would
+// come back empty and the state would be lost).
+func TestWorkerReplyCache(t *testing.T) {
+	w := buildWorkload(t)
+	lis := startWorker(t)
+	rc, ack := dialRaw(t, lis, freshHello(w))
+	if ack.Err != "" {
+		t.Fatal(ack.Err)
+	}
+	for i, batch := range w.batches {
+		if errStr, _ := rc.call(opBatch, encodeBatch(int64(i+1), batch)); errStr != "" {
+			t.Fatalf("batch %d: %s", i+1, errStr)
+		}
+	}
+	if len(ack.Groups) == 0 {
+		t.Fatal("no state groups; reply-cache check is vacuous")
+	}
+	nonEmpty := 0
+	for _, g := range ack.Groups {
+		for _, side := range g.Sides {
+			body := encodeSideCall(g.OpID, side, -1)
+			rc.callID++
+			first := rc.callRaw(rc.callID, opExport, body)
+			retry := rc.callRaw(rc.callID, opExport, body)
+			if !bytes.Equal(first, retry) {
+				t.Fatalf("group %d side %d: retried export reply differs (%d vs %d bytes)",
+					g.OpID, side, len(first), len(retry))
+			}
+			_, errStr, reply, err := decodeReply(first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errStr != "" {
+				t.Fatalf("export group %d side %d: %s", g.OpID, side, errStr)
+			}
+			raw, err := decodeBytesField1(reply)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(raw) > 0 {
+				nonEmpty++
+			}
+			// Put the state back so the final drain proves nothing was
+			// double-exported or lost.
+			if errStr, _ := rc.call(opImport, encodeImportCall(g.OpID, raw)); errStr != "" {
+				t.Fatalf("import group %d: %s", g.OpID, errStr)
+			}
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every export was empty; reply-cache check is vacuous")
+	}
+	if err := rc.drainEquals(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientRetryAcrossSevers cuts the connection at several points
+// mid-stream; the Client must redial, resume, and retry without ever
+// double-applying a batch.
+func TestClientRetryAcrossSevers(t *testing.T) {
+	w := buildWorkload(t)
+	lis := startWorker(t)
+	fs := transport.NewFaultSet()
+	// Write 0 is the hello; each batch is one write (plus one extra hello
+	// per reconnect). Sever a prefix batch, one mid-stream, and one near
+	// the end.
+	for _, wr := range []int{3, 9, 15} {
+		fs.Add(transport.FaultRule{Link: "c0", Write: wr, Action: transport.FaultSever})
+	}
+	c, err := Dial(Config{
+		Dial: func() (net.Conn, error) {
+			nc, err := lis.Dial()
+			if err != nil {
+				return nil, err
+			}
+			return fs.Wrap("c0", nc), nil
+		},
+		ShardIdx: 0, ShardCount: 1, Epoch: 1, PlanBytes: w.planBytes,
+		CallTimeout: 2 * time.Second, RetryMin: time.Millisecond, RetryMax: 5 * time.Millisecond,
+		FailTimeout: 10 * time.Second, HeartbeatInterval: -1, Seed: 42,
+	}, w.srcNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i, batch := range w.batches {
+		if err := c.Replay(int64(i+1), batch); err != nil {
+			t.Fatalf("batch %d: %v", i+1, err)
+		}
+	}
+	if fs.Hits("c0") != 3 {
+		t.Fatalf("%d faults fired, want 3", fs.Hits("c0"))
+	}
+	counts, total, firstErr, err := c.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstErr != "" {
+		t.Fatalf("sticky replay error: %s", firstErr)
+	}
+	if total != w.refTotal {
+		t.Fatalf("total %d, want %d", total, w.refTotal)
+	}
+	for i, got := range counts {
+		if got != w.refCounts[i] {
+			t.Fatalf("query %d: %d results, want %d", i, got, w.refCounts[i])
+		}
+	}
+}
+
+// TestHandshakeRejected: a shard-layout mismatch is a typed terminal
+// error, and the worker survives to accept a correct client afterwards.
+func TestHandshakeRejected(t *testing.T) {
+	w := buildWorkload(t)
+	lis := startWorker(t)
+	dial := func() (net.Conn, error) { return lis.Dial() }
+	_, err := Dial(Config{
+		Dial: dial, ShardIdx: 2, ShardCount: 2, Epoch: 1, PlanBytes: w.planBytes,
+		HeartbeatInterval: -1,
+	}, w.srcNames)
+	if !errors.Is(err, ErrBadHandshake) {
+		t.Fatalf("out-of-range shard: got %v, want ErrBadHandshake", err)
+	}
+	c, err := Dial(Config{
+		Dial: dial, ShardIdx: 0, ShardCount: 1, Epoch: 1, PlanBytes: w.planBytes,
+		HeartbeatInterval: -1,
+	}, w.srcNames)
+	if err != nil {
+		t.Fatalf("good handshake after rejected one: %v", err)
+	}
+	c.Close()
+}
+
+// TestWorkerRestartDeclaredLost: when the process behind the link is
+// replaced (new boot ID), resuming is impossible — the client must
+// declare the worker lost rather than silently continue against an empty
+// replica.
+func TestWorkerRestartDeclaredLost(t *testing.T) {
+	w := buildWorkload(t)
+	lis1 := startWorker(t)
+	lis2 := startWorker(t) // the "restarted" process: fresh state, fresh boot ID
+	var target atomic.Pointer[transport.PipeListener]
+	target.Store(lis1)
+	fs := transport.NewFaultSet()
+	c, err := Dial(Config{
+		Dial: func() (net.Conn, error) {
+			nc, err := target.Load().Dial()
+			if err != nil {
+				return nil, err
+			}
+			return fs.Wrap("c0", nc), nil
+		},
+		ShardIdx: 0, ShardCount: 1, Epoch: 1, PlanBytes: w.planBytes,
+		CallTimeout: 2 * time.Second, RetryMin: time.Millisecond, RetryMax: 5 * time.Millisecond,
+		FailTimeout: 10 * time.Second, HeartbeatInterval: -1,
+	}, w.srcNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Replay(1, w.batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash" worker 1 (sever the live link) and point the address at the
+	// replacement process.
+	fs.Add(transport.FaultRule{Link: "c0", Write: fs.Writes("c0"), Action: transport.FaultSever})
+	target.Store(lis2)
+	err = c.Replay(2, w.batches[1])
+	if !errors.Is(err, ErrWorkerLost) {
+		t.Fatalf("replay against restarted worker: got %v, want ErrWorkerLost", err)
+	}
+	if c.DeadErr() == nil {
+		t.Fatal("DeadErr is nil after worker loss")
+	}
+	if c.Down() {
+		t.Fatal("lost worker still reported as (transiently) down")
+	}
+}
+
+// TestFailTimeoutDeclaresLost: an outage that outlasts FailTimeout turns
+// into a terminal loss, with OnDown observing the down transition first.
+func TestFailTimeoutDeclaresLost(t *testing.T) {
+	w := buildWorkload(t)
+	lis := startWorker(t)
+	var gate atomic.Bool // false = dialling allowed
+	fs := transport.NewFaultSet()
+	var mu sync.Mutex
+	var transitions []bool
+	c, err := Dial(Config{
+		Dial: func() (net.Conn, error) {
+			if gate.Load() {
+				return nil, errors.New("network partitioned")
+			}
+			nc, err := lis.Dial()
+			if err != nil {
+				return nil, err
+			}
+			return fs.Wrap("c0", nc), nil
+		},
+		ShardIdx: 0, ShardCount: 1, Epoch: 1, PlanBytes: w.planBytes,
+		CallTimeout: 2 * time.Second, RetryMin: time.Millisecond, RetryMax: 10 * time.Millisecond,
+		FailTimeout: 150 * time.Millisecond, HeartbeatInterval: -1,
+		OnDown: func(down bool) {
+			mu.Lock()
+			transitions = append(transitions, down)
+			mu.Unlock()
+		},
+	}, w.srcNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Replay(1, w.batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	gate.Store(true)
+	fs.Add(transport.FaultRule{Link: "c0", Write: fs.Writes("c0"), Action: transport.FaultSever})
+	start := time.Now()
+	err = c.Replay(2, w.batches[1])
+	if !errors.Is(err, ErrWorkerLost) {
+		t.Fatalf("got %v, want ErrWorkerLost", err)
+	}
+	if since := time.Since(start); since < 100*time.Millisecond {
+		t.Fatalf("declared lost after %v, before FailTimeout could expire", since)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transitions) < 2 || transitions[0] != true || transitions[len(transitions)-1] != false {
+		t.Fatalf("OnDown transitions %v, want down then up-on-loss", transitions)
+	}
+}
+
+// TestHeartbeatDetectsIdleOutage: with no calls in flight, the heartbeat
+// loop alone must notice a partition and (past FailTimeout) declare the
+// worker lost.
+func TestHeartbeatDetectsIdleOutage(t *testing.T) {
+	w := buildWorkload(t)
+	lis := startWorker(t)
+	var gate atomic.Bool
+	fs := transport.NewFaultSet()
+	c, err := Dial(Config{
+		Dial: func() (net.Conn, error) {
+			if gate.Load() {
+				return nil, errors.New("network partitioned")
+			}
+			nc, err := lis.Dial()
+			if err != nil {
+				return nil, err
+			}
+			return fs.Wrap("c0", nc), nil
+		},
+		ShardIdx: 0, ShardCount: 1, Epoch: 1, PlanBytes: w.planBytes,
+		CallTimeout: time.Second, RetryMin: time.Millisecond, RetryMax: 10 * time.Millisecond,
+		FailTimeout: 100 * time.Millisecond, HeartbeatInterval: 10 * time.Millisecond,
+	}, w.srcNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	gate.Store(true)
+	fs.Add(transport.FaultRule{Link: "c0", Write: fs.Writes("c0"), Action: transport.FaultSever})
+	deadline := time.Now().Add(5 * time.Second)
+	for c.DeadErr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat loop never declared the idle partitioned worker lost")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !errors.Is(c.DeadErr(), ErrWorkerLost) {
+		t.Fatalf("DeadErr = %v, want ErrWorkerLost", c.DeadErr())
+	}
+}
+
+// TestReviveRebuildsFresh: after a loss, Revive hands back a freshly
+// built replica (fresh handshake) ready for state migration; replayed
+// catch-up batches baseline at their first seq.
+func TestReviveRebuildsFresh(t *testing.T) {
+	w := buildWorkload(t)
+	lis := startWorker(t)
+	var gate atomic.Bool
+	fs := transport.NewFaultSet()
+	c, err := Dial(Config{
+		Dial: func() (net.Conn, error) {
+			if gate.Load() {
+				return nil, errors.New("network partitioned")
+			}
+			nc, err := lis.Dial()
+			if err != nil {
+				return nil, err
+			}
+			return fs.Wrap("c0", nc), nil
+		},
+		ShardIdx: 0, ShardCount: 1, Epoch: 1, PlanBytes: w.planBytes,
+		CallTimeout: time.Second, RetryMin: time.Millisecond, RetryMax: 10 * time.Millisecond,
+		FailTimeout: 100 * time.Millisecond, HeartbeatInterval: -1,
+	}, w.srcNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Replay(1, w.batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	gate.Store(true)
+	fs.Add(transport.FaultRule{Link: "c0", Write: fs.Writes("c0"), Action: transport.FaultSever})
+	if err := c.Replay(2, w.batches[1]); !errors.Is(err, ErrWorkerLost) {
+		t.Fatalf("got %v, want ErrWorkerLost", err)
+	}
+	gate.Store(false)
+	if err := c.Revive(true); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	// The revived replica is empty: replay the FULL history, starting
+	// mid-WAL-style at seq 1..n again (fresh baseline).
+	for i, batch := range w.batches {
+		if err := c.Replay(int64(i+1), batch); err != nil {
+			t.Fatalf("catch-up batch %d: %v", i+1, err)
+		}
+	}
+	_, total, firstErr, err := c.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstErr != "" {
+		t.Fatalf("sticky replay error: %s", firstErr)
+	}
+	if total != w.refTotal {
+		t.Fatalf("total after revive %d, want %d", total, w.refTotal)
+	}
+}

@@ -1,0 +1,664 @@
+// Package cluster puts the sharded runtime on the network: a coordinator
+// process routes tuples exactly as before, but a shard's engine replica
+// can live in another process (a worker, see Serve) reached over the
+// framed transport (internal/transport) carrying internal/wire payloads.
+//
+// Protocol shape:
+//
+//   - A connection starts with a handshake: the coordinator sends Hello
+//     (protocol version, shard index/count, cluster epoch, source-name
+//     table, plan snapshot); the worker validates it, builds or keeps its
+//     engine, and answers HelloAck (its boot ID, last applied WAL seq, and
+//     state-group table). A version or shard-count mismatch is rejected in
+//     the ack and is terminal for the client.
+//
+//   - All RPCs are Call/Reply frames with a client-chosen monotonically
+//     increasing call ID and exactly one call outstanding per connection.
+//     Delivery is at-least-once: a client that loses a connection (or
+//     times out) redials and retries the same call ID. The worker caches
+//     its last reply and re-sends it when a retried ID matches, so
+//     destructive calls (state exports, WAL batches) execute at most once;
+//     WAL batches are additionally deduplicated by sequence number against
+//     the worker-published completed seq.
+//
+//   - Heartbeat/HeartbeatAck frames probe liveness when the link is
+//     otherwise idle; in-flight calls double as liveness signals.
+//     Unknown frame types are skipped by both sides.
+//
+// Failure semantics: a client that cannot reach its worker enters an
+// unreachable state (reported via OnDown; the shard layer fails Push fast
+// with a typed error) and redials with bounded exponential backoff plus
+// jitter. If the outage outlasts FailTimeout, or the worker comes back
+// with a different boot ID (a restarted process, i.e. replica state lost),
+// the client declares the worker lost — terminal — and the shard layer's
+// dead-shard machinery (RecoverShard, checkpoint restore) takes over.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mop"
+	"repro/internal/wire"
+)
+
+// ProtoVersion is checked in the handshake; mismatched peers refuse to
+// talk (the codec's unknown-field skip covers additive evolution inside a
+// version).
+const ProtoVersion = 1
+
+// Frame types.
+const (
+	frameHello        byte = 1
+	frameHelloAck     byte = 2
+	frameCall         byte = 3
+	frameReply        byte = 4
+	frameHeartbeat    byte = 5
+	frameHeartbeatAck byte = 6
+	frameShutdown     byte = 7
+)
+
+// Call opcodes.
+const (
+	opBatch       byte = 1 // replay one WAL batch (dedup by seq)
+	opDrain       byte = 2 // quiesce: counts snapshot + sticky replay error
+	opApplyDelta  byte = 3 // adopt plan snapshot + splice delta
+	opExport      byte = 4 // destructive state export of one group side
+	opImport      byte = 5 // state import into one group
+	opHistogram   byte = 6 // keyed-state histogram of one group side
+	opResetCounts byte = 7 // zero the per-query result counters
+)
+
+// Entry is one routed tuple of a WAL batch: the coordinator-assigned
+// source ID (resolved through the handshake's source-name table), the
+// timestamp, and the values.
+type Entry struct {
+	Src  int32
+	TS   int64
+	Vals []int64
+}
+
+// hello is the coordinator's handshake.
+type hello struct {
+	Proto      int
+	ShardIdx   int
+	ShardCount int
+	Epoch      int64
+	Resume     bool
+	SrcNames   []string
+	PlanBytes  []byte
+}
+
+func encodeHello(h *hello) []byte {
+	var b wire.Buffer
+	b.PutVarintField(1, int64(h.Proto))
+	b.PutVarintField(2, int64(h.ShardIdx))
+	b.PutVarintField(3, int64(h.ShardCount))
+	b.PutVarintField(4, h.Epoch)
+	b.PutBoolField(5, h.Resume)
+	for _, name := range h.SrcNames {
+		b.PutStringField(6, name)
+	}
+	b.PutBytesField(7, h.PlanBytes)
+	return b.Bytes()
+}
+
+func decodeHello(p []byte) (*hello, error) {
+	h := &hello{}
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, err := r.Field()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1, 2, 3, 4, 5:
+			v, err := r.Varint()
+			if err != nil {
+				return nil, err
+			}
+			switch field {
+			case 1:
+				h.Proto = int(v)
+			case 2:
+				h.ShardIdx = int(v)
+			case 3:
+				h.ShardCount = int(v)
+			case 4:
+				h.Epoch = v
+			case 5:
+				h.Resume = v != 0
+			}
+		case 6:
+			s, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			h.SrcNames = append(h.SrcNames, s)
+		case 7:
+			raw, err := r.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			h.PlanBytes = append([]byte(nil), raw...)
+		default:
+			if err := r.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// helloAck is the worker's handshake answer.
+type helloAck struct {
+	Proto       int
+	BootID      int64
+	LastApplied int64
+	Err         string
+	Groups      []mop.GroupRef
+}
+
+func encodeHelloAck(a *helloAck) []byte {
+	var b wire.Buffer
+	b.PutVarintField(1, int64(a.Proto))
+	b.PutVarintField(2, a.BootID)
+	b.PutVarintField(3, a.LastApplied)
+	if a.Err != "" {
+		b.PutStringField(4, a.Err)
+	}
+	putGroups(&b, 5, a.Groups)
+	return b.Bytes()
+}
+
+func decodeHelloAck(p []byte) (*helloAck, error) {
+	a := &helloAck{}
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, err := r.Field()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1, 2, 3:
+			v, err := r.Varint()
+			if err != nil {
+				return nil, err
+			}
+			switch field {
+			case 1:
+				a.Proto = int(v)
+			case 2:
+				a.BootID = v
+			case 3:
+				a.LastApplied = v
+			}
+		case 4:
+			s, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			a.Err = s
+		case 5:
+			g, err := readGroup(r)
+			if err != nil {
+				return nil, err
+			}
+			a.Groups = append(a.Groups, g)
+		default:
+			if err := r.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+func putGroups(b *wire.Buffer, field int, groups []mop.GroupRef) {
+	for _, g := range groups {
+		g := g
+		b.PutMsgField(field, func(sub *wire.Buffer) {
+			sub.PutVarintField(1, int64(g.OpID))
+			sub.PutIntsField(2, g.OpIDs)
+			sub.PutIntsField(3, g.Sides)
+		})
+	}
+}
+
+func readGroup(r *wire.Reader) (mop.GroupRef, error) {
+	var g mop.GroupRef
+	sub, err := r.Msg()
+	if err != nil {
+		return g, err
+	}
+	for !sub.Done() {
+		field, wt, err := sub.Field()
+		if err != nil {
+			return g, err
+		}
+		switch field {
+		case 1:
+			v, err := sub.Varint()
+			if err != nil {
+				return g, err
+			}
+			g.OpID = int(v)
+		case 2:
+			g.OpIDs, err = sub.Ints()
+			if err != nil {
+				return g, err
+			}
+		case 3:
+			g.Sides, err = sub.Ints()
+			if err != nil {
+				return g, err
+			}
+		default:
+			if err := sub.Skip(wt); err != nil {
+				return g, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// call frame: {1: callID, 2: op, 3: body}.
+func encodeCall(callID int64, op byte, body []byte) []byte {
+	var b wire.Buffer
+	b.PutVarintField(1, callID)
+	b.PutVarintField(2, int64(op))
+	b.PutBytesField(3, body)
+	return b.Bytes()
+}
+
+func decodeCall(p []byte) (callID int64, op byte, body []byte, err error) {
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return 0, 0, nil, ferr
+		}
+		switch field {
+		case 1:
+			callID, err = r.Varint()
+		case 2:
+			var v int64
+			v, err = r.Varint()
+			op = byte(v)
+		case 3:
+			body, err = r.Bytes()
+		default:
+			err = r.Skip(wt)
+		}
+		if err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return callID, op, body, nil
+}
+
+// reply frame: {1: callID, 2: errStr, 3: body}.
+func encodeReply(callID int64, errStr string, body []byte) []byte {
+	var b wire.Buffer
+	b.PutVarintField(1, callID)
+	if errStr != "" {
+		b.PutStringField(2, errStr)
+	}
+	b.PutBytesField(3, body)
+	return b.Bytes()
+}
+
+func decodeReply(p []byte) (callID int64, errStr string, body []byte, err error) {
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return 0, "", nil, ferr
+		}
+		switch field {
+		case 1:
+			callID, err = r.Varint()
+		case 2:
+			errStr, err = r.String()
+		case 3:
+			body, err = r.Bytes()
+		default:
+			err = r.Skip(wt)
+		}
+		if err != nil {
+			return 0, "", nil, err
+		}
+	}
+	return callID, errStr, body, nil
+}
+
+// batch body: {1: seq, 2*: entry{1: src, 2: ts, 3: vals}}; reply {1:
+// completed}.
+func encodeBatch(seq int64, entries []Entry) []byte {
+	var b wire.Buffer
+	b.PutVarintField(1, seq)
+	for i := range entries {
+		en := &entries[i]
+		b.PutMsgField(2, func(sub *wire.Buffer) {
+			sub.PutVarintField(1, int64(en.Src))
+			sub.PutVarintField(2, en.TS)
+			sub.PutInt64sField(3, en.Vals)
+		})
+	}
+	return b.Bytes()
+}
+
+func decodeBatch(p []byte) (seq int64, entries []Entry, err error) {
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return 0, nil, ferr
+		}
+		switch field {
+		case 1:
+			seq, err = r.Varint()
+			if err != nil {
+				return 0, nil, err
+			}
+		case 2:
+			sub, merr := r.Msg()
+			if merr != nil {
+				return 0, nil, merr
+			}
+			var en Entry
+			for !sub.Done() {
+				f2, wt2, err2 := sub.Field()
+				if err2 != nil {
+					return 0, nil, err2
+				}
+				switch f2 {
+				case 1:
+					v, err2 := sub.Varint()
+					if err2 != nil {
+						return 0, nil, err2
+					}
+					en.Src = int32(v)
+				case 2:
+					en.TS, err2 = sub.Varint()
+					if err2 != nil {
+						return 0, nil, err2
+					}
+				case 3:
+					en.Vals, err2 = sub.Int64s()
+					if err2 != nil {
+						return 0, nil, err2
+					}
+				default:
+					if err2 := sub.Skip(wt2); err2 != nil {
+						return 0, nil, err2
+					}
+				}
+			}
+			entries = append(entries, en)
+		default:
+			if err := r.Skip(wt); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	return seq, entries, nil
+}
+
+// drain reply body: {1: counts, 2: total, 3: firstErr}.
+func encodeDrainReply(counts []int64, total int64, firstErr string) []byte {
+	var b wire.Buffer
+	b.PutInt64sField(1, counts)
+	b.PutVarintField(2, total)
+	if firstErr != "" {
+		b.PutStringField(3, firstErr)
+	}
+	return b.Bytes()
+}
+
+func decodeDrainReply(p []byte) (counts []int64, total int64, firstErr string, err error) {
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return nil, 0, "", ferr
+		}
+		switch field {
+		case 1:
+			counts, err = r.Int64s()
+		case 2:
+			total, err = r.Varint()
+		case 3:
+			firstErr, err = r.String()
+		default:
+			err = r.Skip(wt)
+		}
+		if err != nil {
+			return nil, 0, "", err
+		}
+	}
+	return counts, total, firstErr, nil
+}
+
+// delta body: {1: planBytes, 2: deltaBytes, 3*: srcNames}; reply: groups
+// at field 1. srcNames is the full post-delta source table (a delta can
+// add sources; the worker's handshake table must follow).
+func encodeDeltaCall(planBytes, deltaBytes []byte, srcNames []string) []byte {
+	var b wire.Buffer
+	b.PutBytesField(1, planBytes)
+	b.PutBytesField(2, deltaBytes)
+	for _, name := range srcNames {
+		b.PutStringField(3, name)
+	}
+	return b.Bytes()
+}
+
+func decodeDeltaCall(p []byte) (planBytes, deltaBytes []byte, srcNames []string, err error) {
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return nil, nil, nil, ferr
+		}
+		switch field {
+		case 1:
+			planBytes, err = r.Bytes()
+		case 2:
+			deltaBytes, err = r.Bytes()
+		case 3:
+			var s string
+			s, err = r.String()
+			srcNames = append(srcNames, s)
+		default:
+			err = r.Skip(wt)
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return planBytes, deltaBytes, srcNames, nil
+}
+
+func encodeGroupsReply(groups []mop.GroupRef) []byte {
+	var b wire.Buffer
+	putGroups(&b, 1, groups)
+	return b.Bytes()
+}
+
+func decodeGroupsReply(p []byte) ([]mop.GroupRef, error) {
+	r := wire.NewReader(p)
+	var groups []mop.GroupRef
+	for !r.Done() {
+		field, wt, err := r.Field()
+		if err != nil {
+			return nil, err
+		}
+		if field == 1 {
+			g, err := readGroup(r)
+			if err != nil {
+				return nil, err
+			}
+			groups = append(groups, g)
+			continue
+		}
+		if err := r.Skip(wt); err != nil {
+			return nil, err
+		}
+	}
+	return groups, nil
+}
+
+// export body: {1: opID, 2: side, 3: keyAttr}; reply {1: payloadBytes}
+// (absent/empty payload = the side stored nothing).
+// import body: {1: opID, 2: payloadBytes}; reply empty.
+// histogram body: {1: opID, 2: side, 3: keyAttr}; reply {1: keys, 2:
+// counts}.
+func encodeSideCall(opID, side, keyAttr int) []byte {
+	var b wire.Buffer
+	b.PutVarintField(1, int64(opID))
+	b.PutVarintField(2, int64(side))
+	b.PutVarintField(3, int64(keyAttr))
+	return b.Bytes()
+}
+
+func decodeSideCall(p []byte) (opID, side, keyAttr int, err error) {
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return 0, 0, 0, ferr
+		}
+		var v int64
+		switch field {
+		case 1, 2, 3:
+			v, err = r.Varint()
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			switch field {
+			case 1:
+				opID = int(v)
+			case 2:
+				side = int(v)
+			case 3:
+				keyAttr = int(v)
+			}
+		default:
+			if err := r.Skip(wt); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	}
+	return opID, side, keyAttr, nil
+}
+
+func encodeBytesField1(p []byte) []byte {
+	var b wire.Buffer
+	b.PutBytesField(1, p)
+	return b.Bytes()
+}
+
+func decodeBytesField1(p []byte) ([]byte, error) {
+	r := wire.NewReader(p)
+	var out []byte
+	for !r.Done() {
+		field, wt, err := r.Field()
+		if err != nil {
+			return nil, err
+		}
+		if field == 1 {
+			out, err = r.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := r.Skip(wt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func encodeImportCall(opID int, payloadBytes []byte) []byte {
+	var b wire.Buffer
+	b.PutVarintField(1, int64(opID))
+	b.PutBytesField(2, payloadBytes)
+	return b.Bytes()
+}
+
+func decodeImportCall(p []byte) (opID int, payloadBytes []byte, err error) {
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return 0, nil, ferr
+		}
+		switch field {
+		case 1:
+			var v int64
+			v, err = r.Varint()
+			opID = int(v)
+		case 2:
+			payloadBytes, err = r.Bytes()
+		default:
+			err = r.Skip(wt)
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	return opID, payloadBytes, nil
+}
+
+func encodeHistReply(h map[int64]int64) []byte {
+	keys := make([]int64, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	// Deterministic order keeps retried replies byte-identical.
+	sortInt64s(keys)
+	counts := make([]int64, len(keys))
+	for i, k := range keys {
+		counts[i] = h[k]
+	}
+	var b wire.Buffer
+	b.PutInt64sField(1, keys)
+	b.PutInt64sField(2, counts)
+	return b.Bytes()
+}
+
+func decodeHistReply(p []byte) (map[int64]int64, error) {
+	r := wire.NewReader(p)
+	var keys, counts []int64
+	var err error
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return nil, ferr
+		}
+		switch field {
+		case 1:
+			keys, err = r.Int64s()
+		case 2:
+			counts, err = r.Int64s()
+		default:
+			err = r.Skip(wt)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(keys) != len(counts) {
+		return nil, fmt.Errorf("cluster: histogram reply: %d keys, %d counts", len(keys), len(counts))
+	}
+	out := make(map[int64]int64, len(keys))
+	for i, k := range keys {
+		out[k] = counts[i]
+	}
+	return out, nil
+}
+
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,369 @@
+package cluster
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// WorkerConfig tunes a shard worker process.
+type WorkerConfig struct {
+	// MaxFrame bounds a protocol frame; 0 means transport.DefaultMaxFrame.
+	MaxFrame int
+	// Logf, when set, receives connection lifecycle notes.
+	Logf func(format string, args ...any)
+}
+
+// Serve runs one shard worker on the listener: it accepts the
+// coordinator's connection, performs the handshake (building an engine
+// replica from the shipped plan snapshot, or resuming the existing one
+// when the coordinator redials after a network fault), and executes RPCs
+// until a Shutdown frame arrives. A broken connection sends it back to
+// Accept with all state retained — the at-least-once call layer makes the
+// redial seamless. Serve returns nil after Shutdown, or the listener's
+// Accept error (i.e. when the listener is closed from outside).
+//
+// One Serve instance hosts exactly one shard replica; run one per process
+// (cmd/rumornode) or several on distinct listeners for in-process tests.
+func Serve(lis net.Listener, cfg WorkerConfig) error {
+	st := &workerState{cfg: cfg, bootID: randomID()}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		stop := st.serveConn(conn, cfg)
+		conn.Close()
+		if stop {
+			return nil
+		}
+	}
+}
+
+func randomID() int64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("cluster: reading random boot ID: %v", err))
+	}
+	// Clear the sign bit; 0 is reserved for "never connected".
+	id := int64(binary.LittleEndian.Uint64(b[:]) &^ (1 << 63))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// workerState is the replica state that survives reconnects: the engine,
+// the plan it runs, the dedup cursor, and the last-reply cache.
+type workerState struct {
+	cfg    WorkerConfig
+	bootID int64
+
+	epoch      int64
+	shardIdx   int
+	shardCount int
+	eng        *engine.Engine
+	srcNames   []string
+
+	// lastApplied is the highest WAL batch seq replayed into the engine;
+	// batches at or below it are acknowledged without re-execution
+	// (at-least-once delivery dedup).
+	lastApplied int64
+	// firstErr is the sticky first replay error, surfaced in Drain replies
+	// (mirroring the local worker's w.err).
+	firstErr error
+
+	// Reply cache: a retried call (same ID) gets the cached reply instead
+	// of re-executing — required for destructive calls like state exports.
+	lastCallID int64
+	lastReply  []byte
+
+	// replay scratch
+	ts   []int64
+	vals [][]int64
+}
+
+func (st *workerState) logf(format string, args ...any) {
+	if st.cfg.Logf != nil {
+		st.cfg.Logf(format, args...)
+	}
+}
+
+// serveConn handshakes and serves one connection. Returns true when a
+// Shutdown frame asks the worker to exit.
+func (st *workerState) serveConn(conn net.Conn, cfg WorkerConfig) bool {
+	fc := transport.NewConn(conn, cfg.MaxFrame)
+	typ, payload, err := fc.ReadFrame()
+	if err != nil {
+		st.logf("cluster: handshake read: %v", err)
+		return false
+	}
+	if typ == frameShutdown {
+		return true
+	}
+	if typ != frameHello {
+		st.logf("cluster: first frame type %d, want Hello", typ)
+		return false
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		st.logf("cluster: decoding Hello: %v", err)
+		return false
+	}
+	ack := st.handshake(h)
+	if err := fc.WriteFrame(frameHelloAck, encodeHelloAck(ack)); err != nil {
+		st.logf("cluster: writing HelloAck: %v", err)
+		return false
+	}
+	if ack.Err != "" {
+		st.logf("cluster: rejected handshake: %s", ack.Err)
+		return false
+	}
+	for {
+		typ, payload, err := fc.ReadFrame()
+		if err != nil {
+			st.logf("cluster: connection lost: %v", err)
+			return false
+		}
+		switch typ {
+		case frameHeartbeat:
+			if err := fc.WriteFrame(frameHeartbeatAck, nil); err != nil {
+				return false
+			}
+		case frameShutdown:
+			return true
+		case frameCall:
+			callID, op, body, err := decodeCall(payload)
+			if err != nil {
+				st.logf("cluster: decoding call: %v", err)
+				return false
+			}
+			if callID == st.lastCallID && st.lastReply != nil {
+				// Retried call: the previous execution's reply was lost in
+				// flight; re-send it without re-executing.
+				if err := fc.WriteFrame(frameReply, st.lastReply); err != nil {
+					return false
+				}
+				continue
+			}
+			if callID < st.lastCallID {
+				continue // stale duplicate of an already-superseded call
+			}
+			respBody, callErr := st.handle(op, body)
+			errStr := ""
+			if callErr != nil {
+				errStr = callErr.Error()
+			}
+			st.lastCallID = callID
+			st.lastReply = encodeReply(callID, errStr, respBody)
+			if err := fc.WriteFrame(frameReply, st.lastReply); err != nil {
+				return false
+			}
+		default:
+			// Unknown frame type: skip (forward compatibility).
+		}
+	}
+}
+
+// handshake validates a Hello and prepares the replica, returning the ack.
+func (st *workerState) handshake(h *hello) *helloAck {
+	ack := &helloAck{Proto: ProtoVersion, BootID: st.bootID}
+	switch {
+	case h.Proto != ProtoVersion:
+		ack.Err = fmt.Sprintf("protocol version %d, worker speaks %d", h.Proto, ProtoVersion)
+		return ack
+	case h.ShardCount < 1 || h.ShardIdx < 0 || h.ShardIdx >= h.ShardCount:
+		ack.Err = fmt.Sprintf("shard %d of %d out of range", h.ShardIdx, h.ShardCount)
+		return ack
+	}
+	if h.Resume && st.eng != nil && h.Epoch == st.epoch && h.ShardIdx == st.shardIdx && h.ShardCount == st.shardCount {
+		// Redial after a fault: keep the replica, report how far it got.
+		ack.LastApplied = st.lastApplied
+		ack.Groups = st.eng.StateRegistry().Groups()
+		return ack
+	}
+	// Fresh cluster (or a fresh process being offered a resume it cannot
+	// honour — the coordinator detects that by the boot ID change).
+	eng, err := buildEngine(h.PlanBytes)
+	if err != nil {
+		ack.Err = err.Error()
+		return ack
+	}
+	st.epoch = h.Epoch
+	st.shardIdx = h.ShardIdx
+	st.shardCount = h.ShardCount
+	st.eng = eng
+	st.srcNames = h.SrcNames
+	st.lastApplied = 0
+	st.firstErr = nil
+	st.lastCallID = 0
+	st.lastReply = nil
+	ack.LastApplied = 0
+	ack.Groups = eng.StateRegistry().Groups()
+	return ack
+}
+
+// buildEngine rebuilds a physical plan from a wire snapshot and lowers an
+// engine over it.
+func buildEngine(planBytes []byte) (*engine.Engine, error) {
+	snap, err := wire.DecodePlanBytes(planBytes)
+	if err != nil {
+		return nil, fmt.Errorf("decoding plan snapshot: %w", err)
+	}
+	catalog, err := snap.CatalogDecls()
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding catalog: %w", err)
+	}
+	plan, err := core.RebuildPhysical(catalog, snap)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding plan: %w", err)
+	}
+	return engine.New(plan)
+}
+
+// handle executes one RPC. An error return travels back as the reply's
+// errStr; replay errors inside a batch are sticky instead (surfaced by
+// Drain), matching the local worker's error contract.
+func (st *workerState) handle(op byte, body []byte) ([]byte, error) {
+	if st.eng == nil {
+		return nil, fmt.Errorf("no engine (handshake incomplete)")
+	}
+	switch op {
+	case opBatch:
+		seq, entries, err := decodeBatch(body)
+		if err != nil {
+			return nil, err
+		}
+		if seq > st.lastApplied {
+			// A fresh replica (lastApplied 0) baselines at whatever seq the
+			// coordinator replays first — recovery catch-up starts mid-WAL.
+			if st.lastApplied != 0 && seq != st.lastApplied+1 {
+				return nil, fmt.Errorf("batch seq %d after %d: gap in WAL delivery", seq, st.lastApplied)
+			}
+			st.replay(entries)
+			st.lastApplied = seq
+		}
+		var b wire.Buffer
+		b.PutVarintField(1, st.lastApplied)
+		return b.Bytes(), nil
+	case opDrain:
+		firstErr := ""
+		if st.firstErr != nil {
+			firstErr = st.firstErr.Error()
+		}
+		return encodeDrainReply(st.eng.SnapshotCounts(), st.eng.TotalResults(), firstErr), nil
+	case opApplyDelta:
+		planBytes, deltaBytes, srcNames, err := decodeDeltaCall(body)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := wire.DecodePlanBytes(planBytes)
+		if err != nil {
+			return nil, fmt.Errorf("decoding plan snapshot: %w", err)
+		}
+		catalog, err := snap.CatalogDecls()
+		if err != nil {
+			return nil, err
+		}
+		plan, err := core.RebuildPhysical(catalog, snap)
+		if err != nil {
+			return nil, fmt.Errorf("rebuilding plan: %w", err)
+		}
+		d, err := wire.DecodeDeltaBytes(deltaBytes)
+		if err != nil {
+			return nil, fmt.Errorf("decoding delta: %w", err)
+		}
+		st.eng.AdoptPlan(plan)
+		if err := st.eng.ApplyDelta(d); err != nil {
+			return nil, fmt.Errorf("applying delta: %w", err)
+		}
+		if len(srcNames) > 0 {
+			st.srcNames = srcNames
+		}
+		return encodeGroupsReply(st.eng.StateRegistry().Groups()), nil
+	case opExport:
+		opID, side, keyAttr, err := decodeSideCall(body)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := st.eng.StateRegistry().Export(opID, side, keyAttr, func(int64, int) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		if pl == nil || pl.Len() == 0 {
+			return nil, nil
+		}
+		raw := wire.EncodePayloadBytes(pl)
+		pl.Discard()
+		return encodeBytesField1(raw), nil
+	case opImport:
+		opID, payloadBytes, err := decodeImportCall(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(payloadBytes) == 0 {
+			return nil, nil
+		}
+		pl, err := wire.DecodePayloadBytes(payloadBytes)
+		if err != nil {
+			return nil, fmt.Errorf("decoding payload: %w", err)
+		}
+		if pl == nil || pl.Len() == 0 {
+			return nil, nil
+		}
+		// The decoded payload is this worker's own fresh copy; the store
+		// takes full ownership.
+		if err := st.eng.StateRegistry().Import(opID, pl, false); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case opHistogram:
+		opID, side, keyAttr, err := decodeSideCall(body)
+		if err != nil {
+			return nil, err
+		}
+		h := make(map[int64]int64)
+		st.eng.StateRegistry().Histogram(opID, side, keyAttr, h)
+		return encodeHistReply(h), nil
+	case opResetCounts:
+		st.eng.ResetCounts()
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown opcode %d", op)
+}
+
+// replay pushes one batch through the replica, grouping maximal
+// same-source runs into PushBatch calls — the same replay the local shard
+// worker performs.
+func (st *workerState) replay(entries []Entry) {
+	i := 0
+	for i < len(entries) {
+		src := entries[i].Src
+		j := i + 1
+		for j < len(entries) && entries[j].Src == src {
+			j++
+		}
+		st.ts = st.ts[:0]
+		st.vals = st.vals[:0]
+		for k := i; k < j; k++ {
+			st.ts = append(st.ts, entries[k].TS)
+			st.vals = append(st.vals, entries[k].Vals)
+		}
+		if int(src) >= len(st.srcNames) {
+			if st.firstErr == nil {
+				st.firstErr = fmt.Errorf("source id %d outside handshake table (%d names)", src, len(st.srcNames))
+			}
+		} else if err := st.eng.PushBatch(st.srcNames[src], st.ts, st.vals); err != nil && st.firstErr == nil {
+			st.firstErr = err
+		}
+		i = j
+	}
+	clear(st.vals)
+	st.vals = st.vals[:0]
+}

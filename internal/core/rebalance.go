@@ -124,6 +124,16 @@ type SideDist struct {
 	Attr int
 }
 
+// SideDistAt looks up one op side's distribution in an OpSideDists result,
+// defaulting to DistAny (state left in place) for operators the analysis
+// does not cover.
+func SideDistAt(dists map[int][]SideDist, opID, side int) SideDist {
+	if sides, ok := dists[opID]; ok && side < len(sides) {
+		return sides[side]
+	}
+	return SideDist{Dist: DistAny}
+}
+
 // OpSideDists computes, for every stateful operator of the plan, the
 // distribution of each of its inputs under this partition plan. The
 // rebalancer compares the result for the old and new plans to decide which

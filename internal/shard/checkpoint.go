@@ -2,8 +2,6 @@ package shard
 
 import (
 	"fmt"
-
-	"repro/internal/mop"
 )
 
 // WithQuiesced runs fn at a batch-queue barrier: ingestion is blocked,
@@ -11,8 +9,10 @@ import (
 // each replica's state registry for the duration. Checkpoint writes and
 // state restores build on this — the registries allow destructive-peek
 // exports (export-all followed by an in-place re-import) and direct
-// imports into freshly built replicas.
-func (e *Engine) WithQuiesced(fn func(regs []*mop.StateRegistry) error) error {
+// imports into freshly built replicas. With remote replicas (NewCluster)
+// the registries are RPC adapters, so checkpoints and restores work over
+// the wire unchanged.
+func (e *Engine) WithQuiesced(fn func(regs []Registry) error) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {

@@ -77,7 +77,10 @@ func (e *Engine) Rebalance(part *core.PartitionPlan) (RebalanceStats, error) {
 	if err != nil {
 		return st, err
 	}
-	e.rebaseCountsLocked()
+	if err := e.rebaseCountsLocked(); err != nil {
+		e.poisonLocked()
+		return st, fmt.Errorf("shard: counter rebase failed, engine disabled: %w", err)
+	}
 	e.statsMu.Lock()
 	e.part = part
 	e.statsMu.Unlock()
@@ -91,12 +94,13 @@ func (e *Engine) Rebalance(part *core.PartitionPlan) (RebalanceStats, error) {
 	return st, nil
 }
 
-// registriesLocked harvests each replica's state registry. Called at a
-// barrier with mu held.
-func (e *Engine) registriesLocked() []*mop.StateRegistry {
-	regs := make([]*mop.StateRegistry, len(e.workers))
+// registriesLocked harvests each replica's state registry — direct for
+// local replicas, the RPC adapter for remote ones. Called at a barrier
+// with mu held.
+func (e *Engine) registriesLocked() []Registry {
+	regs := make([]Registry, len(e.workers))
 	for i, w := range e.workers {
-		regs[i] = w.eng.StateRegistry()
+		regs[i] = w.rep.registry()
 	}
 	return regs
 }
@@ -141,10 +145,7 @@ func (e *Engine) MaybeRebalance(maxImbalance float64) (bool, RebalanceStats, err
 // sideDistOf looks up one op side's distribution, defaulting to DistAny
 // (state left in place) for operators the analysis does not cover.
 func sideDistOf(dists map[int][]core.SideDist, opID, side int) core.SideDist {
-	if sides, ok := dists[opID]; ok && side < len(sides) {
-		return sides[side]
-	}
-	return core.SideDist{Dist: core.DistAny}
+	return core.SideDistAt(dists, opID, side)
 }
 
 // touchedSide is one (group, side) the transition matrix will act on.
@@ -184,7 +185,7 @@ func transitionTouches(od, nd core.SideDist) bool {
 // the engine is poisoned only if the rollback itself fails. Payload
 // discards (which release µ pooled state) are deferred until the whole
 // migration has succeeded, because the snapshots alias that state.
-func (e *Engine) migrateStateLocked(regs []*mop.StateRegistry, oldD map[int][]core.SideDist, newPart *core.PartitionPlan) (RebalanceStats, error) {
+func (e *Engine) migrateStateLocked(regs []Registry, oldD map[int][]core.SideDist, newPart *core.PartitionPlan) (RebalanceStats, error) {
 	var st RebalanceStats
 	if len(e.workers) == 1 {
 		return st, nil
@@ -240,7 +241,7 @@ func (e *Engine) migrateStateLocked(regs []*mop.StateRegistry, oldD map[int][]co
 // and dropped — never discarded, since those items alias the snapshot
 // being restored; clones imported by copy are simply released to the
 // garbage collector) and the snapshot payload re-imported in place.
-func rollbackMigration(regs []*mop.StateRegistry, touched []touchedSide, snap map[[2]int][]*mop.StatePayload) error {
+func rollbackMigration(regs []Registry, touched []touchedSide, snap map[[2]int][]*mop.StatePayload) error {
 	// Clear every touched side on every replica first (a half-migrated
 	// item may sit on a replica other than its snapshot home), then
 	// restore the snapshots.
@@ -269,7 +270,7 @@ func rollbackMigration(regs []*mop.StateRegistry, touched []touchedSide, snap ma
 // Payloads whose pooled state must be released are appended to discards
 // instead of being discarded inline: the caller's rollback snapshots alias
 // that state, so releases only happen once the whole migration commits.
-func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, side int,
+func (e *Engine) migrateGroupSide(regs []Registry, ref mop.GroupRef, side int,
 	od, nd core.SideDist, newPart *core.PartitionPlan, st *RebalanceStats, discards *[]*mop.StatePayload) error {
 	n := len(regs)
 	switch {
@@ -385,7 +386,7 @@ func (e *Engine) migrateGroupSide(regs []*mop.StateRegistry, ref mop.GroupRef, s
 // proxy (they are what busy time scales with on the stateful path). Called
 // at a barrier with mu held, over the registries and distributions the
 // migration will reuse.
-func (e *Engine) planMovesLocked(regs []*mop.StateRegistry, dists map[int][]core.SideDist) *core.PartitionPlan {
+func (e *Engine) planMovesLocked(regs []Registry, dists map[int][]core.SideDist) *core.PartitionPlan {
 	n := len(e.workers)
 	hist := make(map[int64]int64)
 	for _, reg := range regs {

@@ -29,6 +29,7 @@ package shard
 // earlier barriers and never re-derived from replica counters.
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -84,27 +85,57 @@ func (e *Engine) RecoverShard() (RecoverStats, error) {
 	st.Shard = dead
 
 	// Catch-up. The dead worker's goroutine has exited (its done channel
-	// closed, observed under mu), so its replay scratch and engine are
-	// safely owned by this goroutine.
+	// closed, observed under mu), so its replica is safely owned by this
+	// goroutine. A remote replica is first revived: for a shard declared
+	// dead by a network partition the same worker process — state intact —
+	// answers the redial and the catch-up replay is deduplicated by its
+	// batch-seq cursor; a restarted process presents a new boot ID, stays
+	// lost, and the revive fails. Revive and transport failures during
+	// catch-up return ErrShardUnreachable without poisoning the engine:
+	// nothing has been mutated that a retried RecoverShard would not redo.
 	w := e.workers[dead]
+	if err := w.rep.revive(); err != nil {
+		if errors.Is(err, ErrShardDead) {
+			// Terminal: the worker is gone with its replica state (restarted
+			// process, or an outage that outlasted FailTimeout again). Retry
+			// once the worker returns, or restore from a checkpoint.
+			return st, fmt.Errorf("shard %d replica state unavailable (%v); retry when the worker returns, or restore from a checkpoint: %w", dead, err, ErrShardDead)
+		}
+		return st, fmt.Errorf("shard %d worker cannot be revived (%v): %w", dead, err, ErrShardUnreachable)
+	}
 	errBefore := w.err
 	completed := w.completed.Load()
 	for _, rec := range e.wal[dead] {
 		if rec.seq <= completed {
 			continue
 		}
-		w.replay(e, rec.entries)
+		if err := w.rep.replayBatch(rec.seq, rec.entries); err != nil {
+			if errors.Is(err, ErrShardDead) {
+				return st, fmt.Errorf("shard %d catch-up interrupted (%v): %w", dead, err, ErrShardUnreachable)
+			}
+			if w.err == nil {
+				w.err = err
+			}
+		}
 		st.Replayed += len(rec.entries)
 	}
 	if w.err != errBefore {
 		e.poisonLocked()
 		return st, fmt.Errorf("shard: catch-up replay failed, engine disabled: %w", w.err)
 	}
+	// The corpse skipped the quiesce barrier's counter refresh (it was
+	// dead); fetch its counters now that it is caught up.
+	if err := w.rep.refresh(); err != nil {
+		return st, fmt.Errorf("shard %d counters unavailable (%v): %w", dead, err, ErrShardUnreachable)
+	}
 
 	// Counter fold over all replicas, corpse included, under the outgoing
 	// partition plan (replicated sinks still merge from shard 0, which may
 	// be the caught-up corpse).
-	e.rebaseCountsLocked()
+	if err := e.rebaseCountsLocked(); err != nil {
+		e.poisonLocked()
+		return st, fmt.Errorf("shard: counter rebase failed, engine disabled: %w", err)
+	}
 
 	// State migration to the survivors.
 	newPart := &core.PartitionPlan{
@@ -129,13 +160,16 @@ func (e *Engine) RecoverShard() (RecoverStats, error) {
 		e.pending = append(e.pending[:i], e.pending[i+1:]...)
 		e.wal = append(e.wal[:i], e.wal[i+1:]...)
 		e.walSeq = append(e.walSeq[:i], e.walSeq[i+1:]...)
+		e.sent = append(e.sent[:i], e.sent[i+1:]...)
 		e.dead = append(e.dead[:i], e.dead[i+1:]...)
 		e.busyBase = append(e.busyBase[:i], e.busyBase[i+1:]...)
 	}
 	drop(dead)
 	e.numDead--
+	w.rep.close(true)
 	for i, sw := range e.workers {
 		sw.idx = i
+		sw.rep.setIdx(i)
 	}
 	e.cfg.Shards = len(e.workers)
 	e.statsMu.Lock()

@@ -147,9 +147,9 @@ func TestRecoverTorture(t *testing.T) {
 				fp  string
 				hit int
 			}{
-				{"shard.flush.replay", 3},  // early kill: most of the run happens post-recovery
-				{"shard.flush.replay", 25}, // late kill: recovery migrates a full window
-				{"shard.drain.ack", 1},     // kill on the drain path, first worker
+				{"shard.flush.replay", 3},   // early kill: most of the run happens post-recovery
+				{"shard.flush.replay", 25},  // late kill: recovery migrates a full window
+				{"shard.drain.ack", 1},      // kill on the drain path, first worker
 				{"shard.drain.ack", shards}, // kill on the drain path, last worker
 			}
 			for _, c := range cases {

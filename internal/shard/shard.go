@@ -21,14 +21,17 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faultpoint"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // ErrShardDead reports that a shard's worker goroutine died (a crash caught
@@ -87,11 +90,11 @@ type walRec struct {
 	entries []entry
 }
 
-// worker is one shard: an engine replica and the goroutine draining its
-// queue.
+// worker is one shard: an engine replica (in-process or a remote worker
+// process behind a cluster client) and the goroutine draining its queue.
 type worker struct {
 	idx    int
-	eng    *engine.Engine
+	rep    replica
 	ch     chan msg
 	done   chan struct{}
 	tuples atomic.Int64 // entries replayed (written by the worker only)
@@ -103,15 +106,12 @@ type worker struct {
 	// above it is replayed from the WAL if the worker dies.
 	completed atomic.Int64
 	// killed records that the goroutine exited via a recovered panic
-	// (fault injection or a genuine bug) rather than channel close.
+	// (fault injection or a genuine bug) or a fatal replica error (a lost
+	// remote worker) rather than channel close.
 	killed atomic.Bool
 	// closeOnce guards close(ch) so Close, engine poisoning, and recovery
 	// shutdown never double-close the queue.
 	closeOnce sync.Once
-
-	// replay scratch, reused across batches.
-	ts   []int64
-	vals [][]int64
 }
 
 // close shuts the worker's queue exactly once.
@@ -147,13 +147,23 @@ type Engine struct {
 
 	// wal holds, per shard, the flushed batches not yet acknowledged by
 	// the worker (seq > worker.completed); walSeq is the last assigned
-	// sequence. dead marks shards whose worker was observed dead (its done
-	// channel closed while the router tried to reach it); numDead counts
-	// them.
+	// sequence; sent is the highest sequence handed to the worker's queue
+	// (sent < walSeq when ingest-path delivery aborted on an unreachable
+	// replica — the staged records are redelivered by the next flush).
+	// dead marks shards whose worker was observed dead (its done channel
+	// closed while the router tried to reach it); numDead counts them.
 	wal     [][]walRec
 	walSeq  []int64
+	sent    []int64
 	dead    []bool
 	numDead int
+
+	// numUnreach counts remote replicas currently unreachable (transient
+	// outages). It is an atomic, not mu-guarded state: the OnDown callback
+	// that maintains it can fire from a worker goroutine's replayBatch
+	// retry while the router holds mu blocked on that worker's full queue
+	// — taking mu there would deadlock.
+	numUnreach atomic.Int64
 
 	batchPool sync.Pool
 
@@ -189,6 +199,13 @@ type Engine struct {
 // from core.AnalyzePartition on the same (already optimized) plan; pass
 // nil to run the analysis here. The plan must not be mutated afterwards.
 func New(p *core.Physical, part *core.PartitionPlan, cfg Config) (*Engine, error) {
+	return build(p, part, cfg, nil)
+}
+
+// build assembles the runtime; with nodes nil every replica is an
+// in-process engine, otherwise replica i is the remote worker behind
+// nodes[i] (see NewCluster).
+func build(p *core.Physical, part *core.PartitionPlan, cfg Config, nodes []cluster.Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if part == nil {
 		part = core.AnalyzePartition(p)
@@ -203,46 +220,103 @@ func New(p *core.Physical, part *core.PartitionPlan, cfg Config) (*Engine, error
 		busyBase: make([]int64, cfg.Shards),
 		wal:      make([][]walRec, cfg.Shards),
 		walSeq:   make([]int64, cfg.Shards),
+		sent:     make([]int64, cfg.Shards),
 		dead:     make([]bool, cfg.Shards),
 	}
 	e.batchPool.New = func() any { s := make([]entry, 0, cfg.BatchSize); return &s }
+	// Source routes (and the source-name table the handshake ships) must
+	// exist before any replica is built or dialled.
 	e.rebuildSourceRoutes(part)
 	for _, q := range p.Queries {
 		if q.ID > e.maxQuery {
 			e.maxQuery = q.ID
 		}
 	}
-	for i := 0; i < cfg.Shards; i++ {
-		eng, err := engine.New(p)
+	var planBytes []byte
+	if nodes != nil {
+		pb, err := wire.EncodePlanBytes(p.Snapshot())
 		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+			return nil, fmt.Errorf("shard: encoding plan snapshot: %w", err)
+		}
+		planBytes = pb
+	}
+	fail := func(err error) (*Engine, error) {
+		for _, w := range e.workers {
+			w.rep.close(false)
+		}
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		var rep replica
+		if nodes == nil {
+			eng, err := engine.New(p)
+			if err != nil {
+				return fail(fmt.Errorf("shard %d: %w", i, err))
+			}
+			rep = &localReplica{
+				e:    e,
+				idx:  i,
+				eng:  eng,
+				ts:   make([]int64, 0, cfg.BatchSize),
+				vals: make([][]int64, 0, cfg.BatchSize),
+			}
+		} else {
+			nc := nodes[i]
+			nc.ShardIdx = i
+			nc.ShardCount = cfg.Shards
+			nc.PlanBytes = planBytes
+			rr := &remoteReplica{idx: i}
+			rr.down.Store(make(chan struct{}))
+			user := nc.OnDown
+			nc.OnDown = func(down bool) {
+				// Order keeps "counter > 0 ⇒ some flag set" (modulo benign
+				// transition races): flag before increment, decrement
+				// before clear. The client reports strict down/up
+				// alternation, so the close below never double-closes.
+				if down {
+					rr.unreach.Store(true)
+					close(rr.down.Load().(chan struct{}))
+					e.numUnreach.Add(1)
+				} else {
+					e.numUnreach.Add(-1)
+					rr.down.Store(make(chan struct{}))
+					rr.unreach.Store(false)
+				}
+				if user != nil {
+					user(down)
+				}
+			}
+			cli, err := cluster.Dial(nc, e.srcNames)
+			if err != nil {
+				return fail(fmt.Errorf("shard %d: %w", i, err))
+			}
+			rr.cli = cli
+			rep = rr
 		}
 		w := &worker{
 			idx:  i,
-			eng:  eng,
+			rep:  rep,
 			ch:   make(chan msg, cfg.QueueDepth),
 			done: make(chan struct{}),
-			ts:   make([]int64, 0, cfg.BatchSize),
-			vals: make([][]int64, 0, cfg.BatchSize),
 		}
 		e.workers = append(e.workers, w)
 		e.pending[i] = e.takeBatch()
 	}
 	e.wireCallbacks()
 	for _, w := range e.workers {
-		go w.run(e)
+		go w.run()
 	}
 	return e, nil
 }
 
 // rebuildSourceRoutes (re)derives the per-source routing state from a
 // partition plan. Existing sources keep their dense source IDs (pending
-// entries reference them); sources new to the plan are appended.
+// entries reference them); sources new to the plan are appended in
+// sorted-name order — deterministic so a source table projected ahead of
+// the rebuild (projectedSrcNamesLocked, shipped to remote workers inside
+// the delta RPC) assigns the same IDs.
 func (e *Engine) rebuildSourceRoutes(part *core.PartitionPlan) {
-	for name := range e.plan.Catalog {
-		if e.plan.SourceStream(name) == nil {
-			continue
-		}
+	for _, name := range e.catalogSourceNames() {
 		route, ok := part.Routes[name]
 		if !ok {
 			route = core.SourceRoute{Mode: core.PartitionBroadcast}
@@ -271,6 +345,33 @@ func (e *Engine) rebuildSourceRoutes(part *core.PartitionPlan) {
 	}
 }
 
+// catalogSourceNames lists the plan's source streams in sorted order.
+func (e *Engine) catalogSourceNames() []string {
+	names := make([]string, 0, len(e.plan.Catalog))
+	for name := range e.plan.Catalog {
+		if e.plan.SourceStream(name) == nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// projectedSrcNamesLocked computes the source-name table as it will stand
+// after the next rebuildSourceRoutes against the current (already
+// mutated) plan: the existing table plus any new sources, appended in the
+// same sorted order the rebuild uses. Called with mu held.
+func (e *Engine) projectedSrcNamesLocked() []string {
+	names := append([]string(nil), e.srcNames...)
+	for _, name := range e.catalogSourceNames() {
+		if _, ok := e.srcs[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
 // wireCallbacks installs per-engine result hooks when a user callback is
 // registered. Without one, the engines count results internally (their
 // counters are read only after Drain establishes quiescence) and keep
@@ -278,13 +379,19 @@ func (e *Engine) rebuildSourceRoutes(part *core.PartitionPlan) {
 func (e *Engine) wireCallbacks() {
 	if e.onResult == nil {
 		for _, w := range e.workers {
-			w.eng.OnResult = nil
+			if eng := w.rep.localEngine(); eng != nil {
+				eng.OnResult = nil
+			}
 		}
 		return
 	}
 	for _, w := range e.workers {
+		eng := w.rep.localEngine()
+		if eng == nil {
+			continue // remote replica: results are counted worker-side
+		}
 		idx := w.idx
-		w.eng.OnResult = func(qid int, t *stream.Tuple) {
+		eng.OnResult = func(qid int, t *stream.Tuple) {
 			if idx != 0 && e.part.ReplicatedSinks[qid] {
 				return // replicated sink: attributed on shard 0 only
 			}
@@ -296,7 +403,9 @@ func (e *Engine) wireCallbacks() {
 }
 
 // OnResult registers a result callback, sequenced across shards. It must
-// be called before the first Push.
+// be called before the first Push. Remote replicas (NewCluster) do not
+// deliver callbacks — their results are counted worker-side and merged
+// into ResultCount/TotalResults at drain barriers.
 func (e *Engine) OnResult(fn func(queryID int, t *stream.Tuple)) {
 	e.onResult = fn
 	e.wireCallbacks()
@@ -310,7 +419,7 @@ func (e *Engine) OnResult(fn func(queryID int, t *stream.Tuple)) {
 // signal the router's selects observe. Batches are NOT pooled here: the
 // router's WAL owns them until the published completed sequence passes
 // them (pruneWAL recycles acknowledged prefixes).
-func (w *worker) run(e *Engine) {
+func (w *worker) run() {
 	defer close(w.done)
 	defer func() {
 		r := recover()
@@ -330,37 +439,25 @@ func (w *worker) run(e *Engine) {
 		}
 		faultpoint.Maybe("shard.flush.replay")
 		start := time.Now()
-		w.replay(e, m.entries)
+		err := w.rep.replayBatch(m.seq, m.entries)
 		w.busyNS.Add(time.Since(start).Nanoseconds())
+		if err != nil && errors.Is(err, ErrShardDead) {
+			// Fatal replica loss (a remote worker declared lost): exit
+			// without completing the batch — it stays in the WAL, and the
+			// closed done channel hands the shard to the dead-shard
+			// machinery, exactly like a local crash.
+			if w.err == nil {
+				w.err = err
+			}
+			w.killed.Store(true)
+			return
+		}
+		if err != nil && w.err == nil {
+			w.err = err // sticky application replay error
+		}
+		w.tuples.Add(int64(len(m.entries)))
 		w.completed.Store(m.seq)
 	}
-}
-
-// replay pushes a batch through the shard's engine, grouping maximal
-// same-source runs into single PushBatch calls (cross-source arrival order
-// is preserved).
-func (w *worker) replay(e *Engine, entries []entry) {
-	i := 0
-	for i < len(entries) {
-		src := entries[i].src
-		j := i + 1
-		for j < len(entries) && entries[j].src == src {
-			j++
-		}
-		w.ts = w.ts[:0]
-		w.vals = w.vals[:0]
-		for k := i; k < j; k++ {
-			w.ts = append(w.ts, entries[k].ts)
-			w.vals = append(w.vals, entries[k].vals)
-		}
-		if err := w.eng.PushBatch(e.srcNames[src], w.ts, w.vals); err != nil && w.err == nil {
-			w.err = fmt.Errorf("shard %d: %w", w.idx, err)
-		}
-		w.tuples.Add(int64(j - i))
-		i = j
-	}
-	clear(w.vals)
-	w.vals = w.vals[:0]
 }
 
 func (e *Engine) takeBatch() []entry {
@@ -421,34 +518,66 @@ func (e *Engine) shardOf(sr srcRoute, vals []int64) int {
 func (e *Engine) append(shard int, en entry) {
 	e.pending[shard] = append(e.pending[shard], en)
 	if len(e.pending[shard]) >= e.cfg.BatchSize {
-		e.flushShard(shard)
+		e.stageShard(shard)
+		e.deliverWAL(shard, true)
 	}
 }
 
-// flushShard hands a non-empty pending buffer to the worker, recording it
-// in the shard's WAL first: the batch stays replayable until the worker
-// acknowledges it. A worker found dead (done closed while the router
-// blocked on its queue) is marked; its batch stays in the WAL for
-// recovery, so a Push that returned nil is never lost to a crash. Called
-// with mu held.
+// flushShard stages a shard's pending buffer and delivers every staged
+// record, blocking through backpressure and outages alike (barrier
+// semantics — Drain, quiesce, Close). Called with mu held.
 func (e *Engine) flushShard(shard int) {
+	e.stageShard(shard)
+	e.deliverWAL(shard, false)
+}
+
+// stageShard moves a non-empty pending buffer into the shard's WAL: the
+// batch stays replayable until the worker acknowledges it, so a Push
+// that returned nil is never lost to a crash. Called with mu held.
+func (e *Engine) stageShard(shard int) {
 	if len(e.pending[shard]) == 0 {
 		return
 	}
 	b := e.pending[shard]
 	e.pending[shard] = e.takeBatch()
-	w := e.workers[shard]
 	e.pruneWAL(shard)
 	e.walSeq[shard]++
-	seq := e.walSeq[shard]
-	e.wal[shard] = append(e.wal[shard], walRec{seq: seq, entries: b})
+	e.wal[shard] = append(e.wal[shard], walRec{seq: e.walSeq[shard], entries: b})
+}
+
+// deliverWAL hands the shard's staged-but-unsent WAL records to the
+// worker in sequence order. On the ingest path (Push, ingest true) a
+// replica that reports unreachable aborts delivery — the records stay
+// staged behind the sent cursor for the next flush to redeliver, and the
+// caller's Push returns promptly instead of blocking up to FailTimeout
+// behind the worker's retry loop (the next Push fails fast at the
+// numUnreach check). Barriers (ingest false) deliver unconditionally,
+// blocking through an outage exactly as they block behind a slow replay.
+// A worker found dead (done closed while the router blocked on its
+// queue) is marked; its records stay in the WAL for recovery. Called
+// with mu held.
+func (e *Engine) deliverWAL(shard int, ingest bool) {
 	if e.dead[shard] {
 		return // unacknowledged; replayed by RecoverShard
 	}
-	select {
-	case w.ch <- msg{entries: b, seq: seq}:
-	case <-w.done:
-		e.markDeadLocked(shard)
+	w := e.workers[shard]
+	var downCh <-chan struct{}
+	if ingest {
+		downCh = w.rep.downChan() // nil for local replicas: never fires
+	}
+	for _, rec := range e.wal[shard] {
+		if rec.seq <= e.sent[shard] {
+			continue
+		}
+		select {
+		case w.ch <- msg{entries: rec.entries, seq: rec.seq}:
+		case <-w.done:
+			e.markDeadLocked(shard)
+			return
+		case <-downCh:
+			return // unreachable: leave staged, fail fast upstream
+		}
+		e.sent[shard] = rec.seq
 	}
 }
 
@@ -493,10 +622,29 @@ func (e *Engine) deadErrLocked() error {
 	return ErrShardDead
 }
 
+// unreachableErr returns the typed fail-fast error when a remote replica
+// is in a transient outage, nil when every replica is reachable (the
+// unreach flags may clear between the counter read and this scan — then
+// ingestion simply proceeds).
+func (e *Engine) unreachableErr() error {
+	for i, w := range e.workers {
+		if w.rep.unreachable() {
+			return fmt.Errorf("%w (shard %d)", ErrShardUnreachable, i)
+		}
+	}
+	return nil
+}
+
 // Push injects one tuple into the named source stream. The engine takes
 // ownership of vals. Tuples must be pushed in non-decreasing timestamp
 // order for windowed operators to expire correctly; concurrent pushers
 // are safe but interleave at the routing step.
+//
+// Failure contract: ErrShardDead (errors.Is) once any shard's replica is
+// lost, ErrShardUnreachable while a remote replica is in a transient
+// outage (fail fast instead of blocking behind the outage's backoff);
+// nothing accepted before either error is lost — it is retained in the
+// per-shard WAL.
 func (e *Engine) Push(source string, ts int64, vals []int64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -511,6 +659,11 @@ func (e *Engine) Push(source string, ts int64, vals []int64) error {
 	}
 	if e.numDead > 0 {
 		return e.deadErrLocked()
+	}
+	if e.numUnreach.Load() > 0 {
+		if err := e.unreachableErr(); err != nil {
+			return err
+		}
 	}
 	e.route(sr, ts, vals)
 	return nil
@@ -563,6 +716,11 @@ func (e *Engine) PushBatch(source string, ts []int64, vals [][]int64) error {
 	}
 	if e.numDead > 0 {
 		return e.deadErrLocked()
+	}
+	if e.numUnreach.Load() > 0 {
+		if err := e.unreachableErr(); err != nil {
+			return err
+		}
 	}
 	for i := range ts {
 		e.route(sr, ts[i], vals[i])
@@ -622,19 +780,36 @@ func (e *Engine) Drain() error {
 			}
 		}
 	}
-	if len(died) > 0 {
-		e.mu.Lock()
-		for _, i := range died {
-			e.markDeadLocked(i)
+	e.mu.Lock()
+	for _, i := range died {
+		e.markDeadLocked(i)
+	}
+	// Barrier refresh: pull each remote replica's counter snapshot and
+	// sticky replay error (no-ops for local replicas). A refresh that
+	// finds the worker lost marks the shard dead — this is how an outage
+	// that began while the link was idle surfaces.
+	for i, w := range workers {
+		if i >= len(e.dead) || e.dead[i] {
+			continue
 		}
-		e.mu.Unlock()
-		anyDead = true
+		if err := w.rep.refresh(); err != nil {
+			if errors.Is(err, ErrShardDead) {
+				e.markDeadLocked(i)
+				continue
+			}
+			if first == nil {
+				first = err
+			}
+		}
+		if serr := w.rep.stickyErr(); serr != nil && first == nil {
+			first = serr
+		}
 	}
+	anyDead = e.numDead > 0
 	if first == nil && anyDead {
-		e.mu.Lock()
 		first = e.deadErrLocked()
-		e.mu.Unlock()
 	}
+	e.mu.Unlock()
 	return first
 }
 
@@ -664,6 +839,11 @@ func (e *Engine) Close() error {
 		<-w.done
 	}
 	for _, w := range workers {
+		// Release replica resources; remote workers are asked to exit
+		// (best effort — an unreachable worker is left behind).
+		w.rep.close(true)
+	}
+	for _, w := range workers {
 		if w.err != nil {
 			return w.err
 		}
@@ -682,6 +862,11 @@ func (e *Engine) poisonLocked() {
 	}
 	for _, w := range e.workers {
 		<-w.done
+	}
+	for _, w := range e.workers {
+		// Drop connections but leave remote worker processes running:
+		// their replica state may still be inspectable after a poisoning.
+		w.rep.close(false)
 	}
 }
 
@@ -743,6 +928,26 @@ func (e *Engine) quiesceLiveLocked() error {
 			}
 		}
 	}
+	// Barrier refresh of remote counter snapshots and sticky errors (see
+	// Drain); the maintenance operation this barrier precedes may read or
+	// rebase the counters.
+	for i, w := range e.workers {
+		if e.dead[i] {
+			continue
+		}
+		if err := w.rep.refresh(); err != nil {
+			if errors.Is(err, ErrShardDead) {
+				e.markDeadLocked(i)
+				continue
+			}
+			if first == nil {
+				first = err
+			}
+		}
+		if serr := w.rep.stickyErr(); serr != nil && first == nil {
+			first = serr
+		}
+	}
 	return first
 }
 
@@ -798,10 +1003,13 @@ func (e *Engine) applyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 	e.statsMu.Unlock()
 	// Splice the delta into each replica. A per-replica failure here means
 	// the replicas have diverged (some spliced, some not) with no way to
-	// unsplice — such errors are structurally unreachable for well-formed
-	// plans — so the engine is poisoned rather than left inconsistent.
+	// unsplice — for local replicas such errors are structurally
+	// unreachable for well-formed plans; for remote replicas a lost worker
+	// mid-splice lands here too — so the engine is poisoned rather than
+	// left inconsistent.
+	sh := &deltaShipment{d: d, names: e.projectedSrcNamesLocked()}
 	for i, w := range e.workers {
-		if err := w.eng.ApplyDelta(d); err != nil {
+		if err := w.rep.applyDelta(e.plan, sh); err != nil {
 			e.poisonLocked()
 			return fmt.Errorf("shard %d: delta splice failed, engine disabled: %w", i, err)
 		}
@@ -810,7 +1018,10 @@ func (e *Engine) applyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 		if _, err := e.migrateStateLocked(e.registriesLocked(), e.part.OpSideDists(e.plan), part); err != nil {
 			return err
 		}
-		e.rebaseCountsLocked()
+		if err := e.rebaseCountsLocked(); err != nil {
+			e.poisonLocked()
+			return fmt.Errorf("shard: counter rebase failed, engine disabled: %w", err)
+		}
 		e.snapshotBusyLocked()
 	}
 	// Swap routing state.
@@ -837,7 +1048,7 @@ func (e *Engine) applyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 // slot — can fold replica counters into it again (the frozen map is the
 // single source of truth from the moment of removal). Called at a barrier
 // with mu held.
-func (e *Engine) rebaseCountsLocked() {
+func (e *Engine) rebaseCountsLocked() error {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	for qid := 0; qid <= e.maxQuery; qid++ {
@@ -848,8 +1059,14 @@ func (e *Engine) rebaseCountsLocked() {
 		e.base[qid] = e.mergedCountLocked(qid)
 	}
 	for _, w := range e.workers {
-		w.eng.ResetCounts()
+		if err := w.rep.resetCounts(); err != nil {
+			// The fold into base already happened for every query but some
+			// replicas still carry unreset counters: the split brain is not
+			// repairable here — the caller poisons the engine.
+			return fmt.Errorf("shard %d: resetting counters: %w", w.idx, err)
+		}
 	}
+	return nil
 }
 
 // ResultCount returns the merged result count for a query. Counts are
@@ -871,10 +1088,10 @@ func (e *Engine) ResultCount(queryID int) int64 {
 func (e *Engine) mergedCountLocked(queryID int) int64 {
 	n := e.base[queryID]
 	if e.part.ReplicatedSinks[queryID] {
-		return n + e.workers[0].eng.ResultCount(queryID)
+		return n + e.workers[0].rep.resultCount(queryID)
 	}
 	for _, w := range e.workers {
-		n += w.eng.ResultCount(queryID)
+		n += w.rep.resultCount(queryID)
 	}
 	return n
 }
@@ -909,7 +1126,7 @@ type ShardStat struct {
 func (e *Engine) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(e.workers))
 	for i, w := range e.workers {
-		out[i] = ShardStat{Shard: i, Tuples: w.tuples.Load(), BusyNS: w.busyNS.Load(), Results: w.eng.TotalResults()}
+		out[i] = ShardStat{Shard: i, Tuples: w.tuples.Load(), BusyNS: w.busyNS.Load(), Results: w.rep.totalResults()}
 	}
 	return out
 }

@@ -1,0 +1,36 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame is the transport-layer sibling of the internal/wire fuzz
+// targets: arbitrary bytes either decode into a frame that re-encodes to
+// the same prefix, or error — never panic, never allocate proportionally
+// to an unverified declared length.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 5, 1, 0, 0, 0, 0})
+	f.Add(AppendFrame(nil, 1, nil))
+	f.Add(AppendFrame(nil, 3, []byte("payload")))
+	f.Add(AppendFrame(AppendFrame(nil, 1, []byte("a")), 2, []byte("bb")))
+	big := AppendFrame(nil, 9, bytes.Repeat([]byte{7}, 4096))
+	f.Add(big)
+	f.Add(big[:len(big)-3])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const bound = 1 << 20
+		typ, payload, rest, err := DecodeFrame(data, bound)
+		if err != nil {
+			return
+		}
+		if len(payload) > bound {
+			t.Fatalf("payload %d bytes exceeds bound", len(payload))
+		}
+		re := AppendFrame(nil, typ, payload)
+		if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:len(data)-len(rest)])
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// PipeListener is an in-memory net.Listener over net.Pipe: Dial hands the
+// acceptor one end of a fresh synchronous pipe. It gives cluster tests a
+// real listener/dialer shape — including reconnection after a severed
+// conn — with no sockets, no ports, and deterministic delivery.
+type PipeListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+// NewPipeListener returns a listener ready to accept.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Dial creates a pipe, passes the server end to a pending Accept, and
+// returns the client end. It blocks until the listener accepts or closes.
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("transport: pipe listener closed")
+	}
+}
+
+// Accept waits for the next Dial.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("transport: pipe listener closed")
+	}
+}
+
+// Close unblocks Accept and fails future Dials. Idempotent.
+func (l *PipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr returns a synthetic address.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }

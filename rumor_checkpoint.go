@@ -31,10 +31,16 @@ import (
 // the same batch-queue barrier as live deltas, so concurrent pushers just
 // block for the duration.
 //
-// A sharded checkpoint records payloads per replica and restores only into
-// the same shard count (keyed placement, the routing overlay, and
-// replicated copies are positional). Restoring into a different width is a
-// restore followed by live rebalancing, not a decode-time remapping.
+// A sharded checkpoint records payloads per replica. Restoring into the
+// same shard count is positional (keyed placement, the routing overlay,
+// and replicated copies land exactly where they were); restoring into a
+// different count redistributes at import time — keyed and multicast
+// state re-hashes over the new width, replicated state is copied onto
+// every replica, unpartitioned state folds by shard index — under a fresh
+// routing table (the overlay's shard indices are meaningless at the new
+// width). Checkpoints also capture and restore remote replicas: the
+// registry handles a cluster deployment (NewCluster) ship state over the
+// same RPCs the rebalancer uses.
 
 // ErrShardDead reports that a shard worker died; recover with
 // (*ShardedSystem).RecoverShard or restore from a checkpoint.
@@ -46,11 +52,18 @@ var ErrPartialMigration = shard.ErrPartialMigration
 
 // exportGroups destructively peeks every stored group side of one replica
 // registry: export-all, re-import in place, and append the surviving
-// payload (tagged with the replica index) to groups.
-func exportGroups(reg *mop.StateRegistry, shardIdx int, groups *[]wire.GroupState) error {
+// payload (tagged with the replica index) to groups. Keyed and multicast
+// sides export under their real key attribute so the payload items carry
+// partition keys — a restore into a different shard count re-hashes on
+// them.
+func exportGroups(reg shard.Registry, shardIdx int, dists map[int][]core.SideDist, groups *[]wire.GroupState) error {
 	for _, ref := range reg.Groups() {
 		for _, side := range ref.Sides {
-			pl, err := reg.Export(ref.OpID, side, -1, func(int64, int) bool { return true })
+			keyAttr := -1
+			if d := core.SideDistAt(dists, ref.OpID, side); d.Dist == core.DistKeyed || d.Dist == core.DistMulticast {
+				keyAttr = d.Attr
+			}
+			pl, err := reg.Export(ref.OpID, side, keyAttr, func(int64, int) bool { return true })
 			if err != nil {
 				return err
 			}
@@ -102,7 +115,8 @@ func (s *System) Checkpoint(w io.Writer) error {
 			c.Counts = append(c.Counts, wire.QueryCount{ID: qid, Count: n})
 		}
 	}
-	if err := exportGroups(s.eng.StateRegistry(), 0, &c.Groups); err != nil {
+	dists := core.AnalyzePartition(s.plan).OpSideDists(s.plan)
+	if err := exportGroups(s.eng.StateRegistry(), 0, dists, &c.Groups); err != nil {
 		return err
 	}
 	return wire.WriteCheckpoint(w, c)
@@ -215,7 +229,8 @@ func (s *ShardedSystem) Checkpoint(w io.Writer) error {
 	c.Frozen = frozenNames(s.removed)
 	queries := append([]*core.Query(nil), s.sys.queries...)
 	s.nameMu.RUnlock()
-	err := s.sh.WithQuiesced(func(regs []*mop.StateRegistry) error {
+	dists := c.Partition.OpSideDists(s.sys.plan)
+	err := s.sh.WithQuiesced(func(regs []shard.Registry) error {
 		sort.Slice(queries, func(i, j int) bool { return queries[i].ID < queries[j].ID })
 		for _, q := range queries {
 			if n := s.sh.ResultCount(q.ID); n != 0 {
@@ -232,7 +247,7 @@ func (s *ShardedSystem) Checkpoint(w io.Writer) error {
 			c.FrozenByID = append(c.FrozenByID, wire.QueryCount{ID: qid, Count: frozen[qid]})
 		}
 		for i, reg := range regs {
-			if err := exportGroups(reg, i, &c.Groups); err != nil {
+			if err := exportGroups(reg, i, dists, &c.Groups); err != nil {
 				return err
 			}
 		}
@@ -245,10 +260,17 @@ func (s *ShardedSystem) Checkpoint(w io.Writer) error {
 }
 
 // RestoreSharded reads a checkpoint written by (*ShardedSystem).Checkpoint
-// and rebuilds the running sharded system. The shard count is fixed by the
-// checkpoint (per-replica payloads are positional); cfg contributes only
-// BatchSize and QueueDepth. Unsharded checkpoints restore too, as a
-// 1-shard system.
+// and rebuilds the running sharded system. With cfg.Shards zero (or equal
+// to the checkpoint's count) the restore is positional: per-replica
+// payloads land on the shard that wrote them, the key-placement overlay
+// included. A different cfg.Shards redistributes at import time: keyed and
+// multicast state re-hashes over the new width (the checkpoint payloads
+// carry partition keys), replicated state is copied onto every replica,
+// and unpartitioned state folds by old shard index — under a fresh routing
+// table with a bumped version, since the overlay's shard indices do not
+// survive a width change. Counters are width-independent (replica counters
+// restore as merged bases). Unsharded checkpoints restore too, as a
+// 1-shard system or redistributed across cfg.Shards.
 func RestoreSharded(r io.Reader, cfg ShardConfig) (*ShardedSystem, error) {
 	c, err := wire.ReadCheckpoint(r)
 	if err != nil {
@@ -268,27 +290,44 @@ func RestoreSharded(r io.Reader, cfg ShardConfig) (*ShardedSystem, error) {
 		}
 		part = core.AnalyzePartition(plan)
 	}
+	shards := c.Shards
+	if cfg.Shards > 0 {
+		shards = cfg.Shards
+	}
+	if shards != c.Shards {
+		// The overlay's explicit key moves name shards of the old width;
+		// start the new width from pure hash placement, one version later.
+		part = &core.PartitionPlan{
+			Routes:          part.Routes,
+			ReplicatedSinks: part.ReplicatedSinks,
+			Parallel:        part.Parallel,
+			Table:           &core.RoutingTable{Version: part.RoutingVersion() + 1},
+		}
+	}
 	sh, err := shard.New(plan, part, shard.Config{
-		Shards:     c.Shards,
+		Shards:     shards,
 		BatchSize:  cfg.BatchSize,
 		QueueDepth: cfg.QueueDepth,
 	})
 	if err != nil {
 		return nil, err
 	}
-	err = sh.WithQuiesced(func(regs []*mop.StateRegistry) error {
-		for _, g := range c.Groups {
-			if g.Shard < 0 || g.Shard >= len(regs) {
-				return fmt.Errorf("rumor: checkpoint state for shard %d of %d", g.Shard, len(regs))
+	err = sh.WithQuiesced(func(regs []shard.Registry) error {
+		if shards == c.Shards {
+			for _, g := range c.Groups {
+				if g.Shard < 0 || g.Shard >= len(regs) {
+					return fmt.Errorf("rumor: checkpoint state for shard %d of %d", g.Shard, len(regs))
+				}
+				if g.Payload.Len() == 0 {
+					continue
+				}
+				if err := regs[g.Shard].Import(g.OpID, g.Payload, false); err != nil {
+					return fmt.Errorf("rumor: restoring operator %d state on shard %d: %w", g.OpID, g.Shard, err)
+				}
 			}
-			if g.Payload.Len() == 0 {
-				continue
-			}
-			if err := regs[g.Shard].Import(g.OpID, g.Payload, false); err != nil {
-				return fmt.Errorf("rumor: restoring operator %d state on shard %d: %w", g.OpID, g.Shard, err)
-			}
+			return nil
 		}
-		return nil
+		return redistributeGroups(c, plan, part, regs)
 	})
 	if err != nil {
 		sh.Close()
@@ -305,7 +344,7 @@ func RestoreSharded(r io.Reader, cfg ShardConfig) (*ShardedSystem, error) {
 	sh.RestoreCounts(base, frozen)
 	ss := &ShardedSystem{
 		sys:  sys,
-		cfg:  ShardConfig{Shards: c.Shards, BatchSize: cfg.BatchSize, QueueDepth: cfg.QueueDepth},
+		cfg:  ShardConfig{Shards: shards, BatchSize: cfg.BatchSize, QueueDepth: cfg.QueueDepth},
 		sh:   sh,
 		part: part,
 	}
@@ -316,6 +355,83 @@ func RestoreSharded(r io.Reader, cfg ShardConfig) (*ShardedSystem, error) {
 		ss.removed[fc.Name] = fc.Count
 	}
 	return ss, nil
+}
+
+// redistributeGroups imports a checkpoint's operator state into a system
+// of a different shard count, applying the same placement rules the
+// recovery migration uses: keyed and multicast sides merge across the old
+// replicas and re-split by key ownership at the new width (duplicate
+// copies of a key round-robin across its owner set), replicated sides
+// place one full copy on every replica, and unpartitioned sides fold by
+// old shard index.
+func redistributeGroups(c *wire.Checkpoint, plan *core.Physical, part *core.PartitionPlan, regs []shard.Registry) error {
+	n := len(regs)
+	dists := part.OpSideDists(plan)
+	type groupSide struct{ op, side int }
+	var order []groupSide
+	buckets := make(map[groupSide][]wire.GroupState)
+	for _, g := range c.Groups {
+		if g.Shard < 0 || g.Shard >= c.Shards {
+			return fmt.Errorf("rumor: checkpoint state for shard %d of %d", g.Shard, c.Shards)
+		}
+		if g.Payload.Len() == 0 {
+			continue
+		}
+		k := groupSide{g.OpID, g.Payload.Side()}
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+		}
+		buckets[k] = append(buckets[k], g)
+	}
+	for _, k := range order {
+		bucket := buckets[k]
+		d := core.SideDistAt(dists, k.op, k.side)
+		switch d.Dist {
+		case core.DistKeyed, core.DistMulticast:
+			payloads := make([]*mop.StatePayload, len(bucket))
+			for i, g := range bucket {
+				payloads[i] = g.Payload
+			}
+			merged := mop.MergePayloads(payloads)
+			if merged.Len() == 0 {
+				continue
+			}
+			rr := make(map[int64]int)
+			parts := merged.SplitBy(n, func(key int64) int {
+				owners := part.Owners(key, n)
+				i := rr[key]
+				rr[key] = i + 1
+				return owners[i%len(owners)]
+			})
+			for ni, pl := range parts {
+				if pl.Len() == 0 {
+					continue
+				}
+				if err := regs[ni].Import(k.op, pl, false); err != nil {
+					return fmt.Errorf("rumor: restoring operator %d state on shard %d: %w", k.op, ni, err)
+				}
+			}
+		case core.DistReplicated:
+			// Every old replica checkpointed an identical copy; replicate
+			// the first onto every new replica and drop the rest.
+			src := bucket[0].Payload
+			for i := range regs {
+				if err := regs[i].Import(k.op, src, true); err != nil {
+					return fmt.Errorf("rumor: restoring operator %d state on shard %d: %w", k.op, i, err)
+				}
+			}
+			for _, g := range bucket {
+				g.Payload.Discard()
+			}
+		default:
+			for _, g := range bucket {
+				if err := regs[g.Shard%n].Import(k.op, g.Payload, false); err != nil {
+					return fmt.Errorf("rumor: restoring operator %d state on shard %d: %w", k.op, g.Shard%n, err)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // RoutingVersion returns the routing-table version currently in effect

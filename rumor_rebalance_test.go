@@ -478,4 +478,3 @@ func TestConcurrentPushRebalanceChurn(t *testing.T) {
 		t.Fatal("no results under concurrent churn and rebalance")
 	}
 }
-
