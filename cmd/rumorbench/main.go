@@ -16,6 +16,8 @@
 //	                                    # recovery pause vs window size
 //	rumorbench -fig cluster -shards 4   # local vs networked (pipe) shard
 //	                                    # deployment: wire-protocol overhead
+//	rumorbench -fig obs                 # telemetry overhead: metrics
+//	                                    # disabled vs enabled, ns + allocs
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, rebalance, recover, cluster, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, rebalance, recover, cluster, obs, or all")
 	tuples := flag.Int("tuples", 20000, "input events per S/T measurement")
 	rounds := flag.Int("rounds", 2000, "workload-3 rounds per measurement")
 	trace := flag.Int("trace", 240, "perfmon trace length in seconds (figure 11)")
@@ -44,6 +46,15 @@ func main() {
 		Seed:         *seed,
 	}
 
+	if *fig == "obs" {
+		rows, err := cfg.Obs()
+		bench.FprintObs(os.Stdout, rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumorbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "churn" {
 		rows, err := cfg.Churn(*shards)
 		bench.FprintChurn(os.Stdout, rows)

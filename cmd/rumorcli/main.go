@@ -23,10 +23,16 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	rumor "repro"
+	"repro/obshttp"
 )
+
+// pushFunc injects one tuple; the metrics path wraps it in a mutex so a
+// concurrent scrape never races the single-threaded System.
+type pushFunc func(stream string, ts int64, vals ...int64) error
 
 func main() {
 	script := flag.String("script", "", "CQL script file (required)")
@@ -37,6 +43,7 @@ func main() {
 	channels := flag.Bool("channels", true, "enable channel-based m-rules")
 	verbose := flag.Bool("v", false, "print every result tuple")
 	dot := flag.Bool("dot", false, "print the optimized plan in Graphviz dot format and exit")
+	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace, /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	if *script == "" {
@@ -67,13 +74,36 @@ func main() {
 	fmt.Printf("plan: %d queries, %d m-ops implementing %d operators, %d channels\n",
 		info.Queries, info.MOps, info.Operators, info.Channels)
 
+	push := pushFunc(sys.Push)
+	if *metrics != "" {
+		rumor.EnableMetrics(true)
+		// System is single-threaded; serialize the scrape against pushes.
+		// Unmetered runs keep the direct push path and pay nothing.
+		var mu sync.Mutex
+		push = func(stream string, ts int64, vals ...int64) error {
+			mu.Lock()
+			defer mu.Unlock()
+			return sys.Push(stream, ts, vals...)
+		}
+		srv, err := obshttp.Start(*metrics, func() (*rumor.Metrics, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return sys.Metrics(), nil
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rumorcli: metrics on http://%s/metrics\n", srv.Addr())
+	}
+
 	start := time.Now()
 	n := 0
 	switch {
 	case *gen > 0:
-		n = generate(sys, string(src), *gen, *domain, *seed)
+		n = generate(push, string(src), *gen, *domain, *seed)
 	case *events != "":
-		n = feedCSV(sys, *events)
+		n = feedCSV(push, *events)
 	default:
 		fmt.Fprintln(os.Stderr, "rumorcli: provide -events or -gen")
 		os.Exit(2)
@@ -88,7 +118,7 @@ func main() {
 // generate feeds random interleaved tuples to every stream declared in the
 // script (re-parsed here only for its stream list — the System does not
 // expose the catalog).
-func generate(sys *rumor.System, src string, perStream, domain int, seed int64) int {
+func generate(push pushFunc, src string, perStream, domain int, seed int64) int {
 	streams := declaredStreams(src)
 	sort.Slice(streams, func(i, j int) bool { return streams[i].name < streams[j].name })
 	r := rand.New(rand.NewSource(seed))
@@ -100,7 +130,7 @@ func generate(sys *rumor.System, src string, perStream, domain int, seed int64) 
 			for j := range vals {
 				vals[j] = int64(r.Intn(domain))
 			}
-			if err := sys.Push(s.name, ts, vals...); err != nil {
+			if err := push(s.name, ts, vals...); err != nil {
 				fail(err)
 			}
 			ts++
@@ -145,7 +175,7 @@ func declaredStreams(src string) []streamDecl {
 }
 
 // feedCSV pushes stream,ts,v1,v2,... lines.
-func feedCSV(sys *rumor.System, path string) int {
+func feedCSV(push pushFunc, path string) int {
 	var in *os.File
 	if path == "-" {
 		in = os.Stdin
@@ -183,7 +213,7 @@ func feedCSV(sys *rumor.System, path string) int {
 			}
 			vals[i] = v
 		}
-		if err := sys.Push(strings.TrimSpace(parts[0]), ts, vals...); err != nil {
+		if err := push(strings.TrimSpace(parts[0]), ts, vals...); err != nil {
 			fail(fmt.Errorf("line %d: %v", line, err))
 		}
 		n++

@@ -22,10 +22,12 @@ import (
 	"os"
 
 	rumor "repro"
+	"repro/obshttp"
 )
 
 func main() {
 	listen := flag.String("listen", ":7071", "TCP address to accept the coordinator on")
+	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace, /debug/pprof (empty = disabled)")
 	quiet := flag.Bool("q", false, "suppress startup log line")
 	flag.Parse()
 
@@ -34,10 +36,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rumornode: %v\n", err)
 		os.Exit(1)
 	}
+	worker := rumor.NewShardWorker()
+	if *metrics != "" {
+		rumor.EnableMetrics(true)
+		srv, err := obshttp.Start(*metrics, func() (*rumor.Metrics, error) {
+			return worker.Metrics(), nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rumornode: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "rumornode: metrics on http://%s/metrics\n", srv.Addr())
+		}
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "rumornode: serving one shard on %s\n", lis.Addr())
 	}
-	if err := rumor.ServeShard(lis); err != nil {
+	if err := worker.Serve(lis); err != nil {
 		fmt.Fprintf(os.Stderr, "rumornode: %v\n", err)
 		os.Exit(1)
 	}

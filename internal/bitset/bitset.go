@@ -87,6 +87,12 @@ func Singleton(i int) *Set {
 // inline reports whether the set content lives in the inline word.
 func (s *Set) inline() bool { return s.spill == nil }
 
+// Spilled reports whether the set has outgrown the inline word and spilled
+// to a heap-allocated word slice — the membership-word spill signal the
+// telemetry layer and the adaptive optimizer track (wide channels are a
+// hint to split or re-channelize).
+func (s *Set) Spilled() bool { return s != nil && s.spill != nil }
+
 // view returns the set's backing words without allocating: inline sets are
 // materialized into the caller-provided scratch word.
 func (s *Set) view(scratch *[1]uint64) []uint64 {

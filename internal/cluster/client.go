@@ -6,9 +6,11 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mop"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -124,6 +126,47 @@ type Client struct {
 
 	stopHB chan struct{}
 	hbDone chan struct{}
+
+	// Link telemetry (atomics: read by Health without the locks). rttNS is
+	// the last heartbeat round-trip; hbOK counts successful probes; dials
+	// counts dial attempts (the first successful connect included, so
+	// redials = dials - 1 once up).
+	rttNS atomic.Int64
+	hbOK  atomic.Int64
+	dials atomic.Int64
+}
+
+// Health is a point-in-time link-health snapshot: the per-worker state
+// the coordinator surfaces in WorkerHealth and the cluster_link_* metric
+// gauges. Previously the RTT and redial counts were computed inside the
+// client and dropped; now they are retained here.
+type Health struct {
+	BootID     int64 // last-observed worker boot ID (0 = never connected)
+	Epoch      int64 // deployment epoch presented at the handshake
+	Down       bool  // transient outage, redialing
+	Dead       bool  // declared lost (terminal)
+	LastRTTNS  int64 // most recent heartbeat round-trip, 0 before any probe
+	Heartbeats int64 // successful idle-link probes
+	Redials    int64 // dial attempts beyond the initial connect
+}
+
+// Health returns the link-health snapshot. Safe at any time — it takes no
+// RPC and never blocks on an outage.
+func (c *Client) Health() Health {
+	c.mu.Lock()
+	h := Health{
+		BootID: c.bootID,
+		Epoch:  c.cfg.Epoch,
+		Down:   c.down,
+		Dead:   c.deadErr != nil,
+	}
+	c.mu.Unlock()
+	h.LastRTTNS = c.rttNS.Load()
+	h.Heartbeats = c.hbOK.Load()
+	if d := c.dials.Load(); d > 1 {
+		h.Redials = d - 1
+	}
+	return h
 }
 
 // Dial connects to a worker and performs the initial handshake, building
@@ -302,8 +345,15 @@ func (c *Client) ensureConn() (*transport.Conn, error) {
 			c.down = false
 			c.downSince = time.Time{}
 			c.mu.Unlock()
-			if wasDown && c.cfg.OnDown != nil {
-				c.cfg.OnDown(false)
+			if wasDown {
+				var outage time.Duration
+				if !attemptStart.IsZero() {
+					outage = time.Since(attemptStart)
+				}
+				obs.RecordEvent(obs.EvLinkUp, fmt.Sprintf("shard %d reconnected", c.cfg.ShardIdx), outage)
+				if c.cfg.OnDown != nil {
+					c.cfg.OnDown(false)
+				}
 			}
 			return conn, nil
 		}
@@ -326,6 +376,7 @@ func (c *Client) ensureConn() (*transport.Conn, error) {
 
 // dialOnce opens one connection and runs the handshake, deadline-bound.
 func (c *Client) dialOnce(resume bool) (*transport.Conn, *helloAck, error) {
+	c.dials.Add(1)
 	nc, err := c.cfg.Dial()
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: dial: %v", ErrUnreachable, err)
@@ -387,8 +438,11 @@ func (c *Client) noteFailure(err error) {
 		c.downSince = time.Now()
 	}
 	c.mu.Unlock()
-	if !wasDown && c.cfg.OnDown != nil {
-		c.cfg.OnDown(true)
+	if !wasDown {
+		obs.RecordEvent(obs.EvLinkDown, fmt.Sprintf("shard %d: %v", c.cfg.ShardIdx, err), 0)
+		if c.cfg.OnDown != nil {
+			c.cfg.OnDown(true)
+		}
 	}
 }
 
@@ -399,6 +453,7 @@ func (c *Client) declareDead(err error) {
 	c.mu.Lock()
 	if c.deadErr == nil {
 		c.deadErr = err
+		obs.RecordEvent(obs.EvDeadDeclare, fmt.Sprintf("shard %d: %v", c.cfg.ShardIdx, err), 0)
 	}
 	if c.conn != nil {
 		c.conn.Close()
@@ -528,7 +583,8 @@ func (c *Client) probe() {
 	if err != nil {
 		return
 	}
-	conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+	start := time.Now()
+	conn.SetDeadline(start.Add(c.cfg.CallTimeout))
 	if err := conn.WriteFrame(frameHeartbeat, nil); err != nil {
 		c.noteFailure(err)
 		return
@@ -540,6 +596,10 @@ func (c *Client) probe() {
 			return
 		}
 		if typ == frameHeartbeatAck {
+			// The probe's write→ack round-trip is the link RTT (plus worker
+			// turnaround, which is a frame echo — negligible).
+			c.rttNS.Store(time.Since(start).Nanoseconds())
+			c.hbOK.Add(1)
 			conn.SetDeadline(time.Time{})
 			return
 		}
@@ -565,6 +625,19 @@ func (c *Client) Drain() (counts []int64, total int64, firstErr string, err erro
 		return nil, 0, "", err
 	}
 	return decodeDrainReply(reply)
+}
+
+// Stats pulls the worker's telemetry snapshot: the worker's own counters
+// (batches applied, dedup skips, reply-cache hits) plus its replica
+// engine's counters, captured serialized with batch replay so the engine
+// numbers are consistent. The coordinator merges the snapshot into its
+// own (counters sum, gauges max, histograms add).
+func (c *Client) Stats() (*obs.Snapshot, error) {
+	reply, err := c.call(opStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeStatsReply(reply)
 }
 
 // ApplyDelta ships the post-mutation plan snapshot, the delta, and the

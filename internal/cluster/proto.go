@@ -39,6 +39,7 @@ import (
 	"sort"
 
 	"repro/internal/mop"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -67,6 +68,7 @@ const (
 	opImport      byte = 5 // state import into one group
 	opHistogram   byte = 6 // keyed-state histogram of one group side
 	opResetCounts byte = 7 // zero the per-query result counters
+	opStats       byte = 8 // pull the worker's telemetry snapshot
 )
 
 // Entry is one routed tuple of a WAL batch: the coordinator-assigned
@@ -661,4 +663,149 @@ func decodeHistReply(p []byte) (map[int64]int64, error) {
 
 func sortInt64s(s []int64) {
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// stats reply body: {1*: counter{1: name, 2: value}, 2*: gauge{1: name,
+// 2: value}, 3*: hist{1: name, 2: count, 3: sum, 4: buckets}}. Series are
+// emitted in sorted-name order so retried calls served from the reply
+// cache are byte-identical to a fresh encode.
+func encodeStatsReply(s *obs.Snapshot) []byte {
+	var b wire.Buffer
+	for _, name := range sortedKeys(s.Counters) {
+		name := name
+		b.PutMsgField(1, func(sub *wire.Buffer) {
+			sub.PutStringField(1, name)
+			sub.PutVarintField(2, s.Counters[name])
+		})
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		name := name
+		b.PutMsgField(2, func(sub *wire.Buffer) {
+			sub.PutStringField(1, name)
+			sub.PutVarintField(2, s.Gauges[name])
+		})
+	}
+	hnames := make([]string, 0, len(s.Hists))
+	for name := range s.Hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Hists[name]
+		name := name
+		b.PutMsgField(3, func(sub *wire.Buffer) {
+			sub.PutStringField(1, name)
+			sub.PutVarintField(2, h.Count)
+			sub.PutVarintField(3, h.Sum)
+			sub.PutInt64sField(4, h.Buckets[:])
+		})
+	}
+	return b.Bytes()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func decodeStatsReply(p []byte) (*obs.Snapshot, error) {
+	s := obs.NewSnapshot()
+	r := wire.NewReader(p)
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return nil, ferr
+		}
+		switch field {
+		case 1, 2:
+			sub, err := r.Msg()
+			if err != nil {
+				return nil, err
+			}
+			name, v, err := decodeNameValue(sub)
+			if err != nil {
+				return nil, err
+			}
+			if field == 1 {
+				s.AddCounter(name, v)
+			} else {
+				s.SetGauge(name, v)
+			}
+		case 3:
+			sub, err := r.Msg()
+			if err != nil {
+				return nil, err
+			}
+			name, d, err := decodeHist(sub)
+			if err != nil {
+				return nil, err
+			}
+			s.AddHist(name, d)
+		default:
+			if err := r.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func decodeNameValue(r *wire.Reader) (name string, v int64, err error) {
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return "", 0, ferr
+		}
+		switch field {
+		case 1:
+			name, err = r.String()
+		case 2:
+			v, err = r.Varint()
+		default:
+			err = r.Skip(wt)
+		}
+		if err != nil {
+			return "", 0, err
+		}
+	}
+	return name, v, nil
+}
+
+func decodeHist(r *wire.Reader) (name string, d obs.HistData, err error) {
+	var buckets []int64
+	for !r.Done() {
+		field, wt, ferr := r.Field()
+		if ferr != nil {
+			return "", d, ferr
+		}
+		switch field {
+		case 1:
+			name, err = r.String()
+		case 2:
+			d.Count, err = r.Varint()
+		case 3:
+			d.Sum, err = r.Varint()
+		case 4:
+			buckets, err = r.Int64s()
+		default:
+			err = r.Skip(wt)
+		}
+		if err != nil {
+			return "", d, err
+		}
+	}
+	// A peer with a different bucket count still merges: extra buckets
+	// collapse into the last one, missing buckets stay zero.
+	for i, v := range buckets {
+		if i < obs.NumBuckets {
+			d.Buckets[i] += v
+		} else {
+			d.Buckets[obs.NumBuckets-1] += v
+		}
+	}
+	return name, d, nil
 }

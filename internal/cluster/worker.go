@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -32,18 +34,50 @@ type WorkerConfig struct {
 // One Serve instance hosts exactly one shard replica; run one per process
 // (cmd/rumornode) or several on distinct listeners for in-process tests.
 func Serve(lis net.Listener, cfg WorkerConfig) error {
-	st := &workerState{cfg: cfg, bootID: randomID()}
+	return NewWorker(cfg).Serve(lis)
+}
+
+// Worker is an addressable shard-worker instance: Serve in one goroutine,
+// Metrics from any other (the exposition endpoint of cmd/rumornode).
+type Worker struct {
+	st *workerState
+}
+
+// NewWorker creates a worker with a fresh boot ID; call Serve to run it.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{st: &workerState{cfg: cfg, bootID: randomID()}}
+}
+
+// Serve accepts and serves coordinator connections until a Shutdown frame
+// or a listener error — the loop documented on the package-level Serve.
+func (w *Worker) Serve(lis net.Listener) error {
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
 			return err
 		}
-		stop := st.serveConn(conn, cfg)
+		stop := w.st.serveConn(conn, w.st.cfg)
 		conn.Close()
 		if stop {
 			return nil
 		}
 	}
+}
+
+// BootID returns the worker's boot identity (stable for the process life).
+func (w *Worker) BootID() int64 { return w.st.bootID }
+
+// Metrics snapshots the counters that are safe to read concurrently with
+// a live serving loop: the worker-level atomics (batches/entries applied,
+// dedup skips, reply-cache hits) plus the boot ID. Engine-level detail is
+// deliberately absent — it flows through the stats RPC, which the serving
+// loop executes serialized with batch replay. A scrape therefore never
+// races the engine.
+func (w *Worker) Metrics() *obs.Snapshot {
+	s := obs.NewSnapshot()
+	w.st.countersInto(s)
+	s.SetGauge("worker_boot_id", w.st.bootID)
+	return s
 }
 
 func randomID() int64 {
@@ -87,6 +121,22 @@ type workerState struct {
 	// replay scratch
 	ts   []int64
 	vals [][]int64
+
+	// Telemetry. Atomics because Worker.Metrics reads them from an
+	// arbitrary goroutine while serveConn is live; everything else in this
+	// struct is owned by the serving goroutine.
+	batchesApplied  atomic.Int64
+	entriesReplayed atomic.Int64
+	dedupSkips      atomic.Int64
+	replyCacheHits  atomic.Int64
+}
+
+// countersInto folds the worker-level atomics into s.
+func (st *workerState) countersInto(s *obs.Snapshot) {
+	s.AddCounter("worker_batches_applied_total", st.batchesApplied.Load())
+	s.AddCounter("worker_entries_replayed_total", st.entriesReplayed.Load())
+	s.AddCounter("worker_batches_deduped_total", st.dedupSkips.Load())
+	s.AddCounter("worker_reply_cache_hits_total", st.replyCacheHits.Load())
 }
 
 func (st *workerState) logf(format string, args ...any) {
@@ -147,12 +197,14 @@ func (st *workerState) serveConn(conn net.Conn, cfg WorkerConfig) bool {
 			if callID == st.lastCallID && st.lastReply != nil {
 				// Retried call: the previous execution's reply was lost in
 				// flight; re-send it without re-executing.
+				st.replyCacheHits.Add(1)
 				if err := fc.WriteFrame(frameReply, st.lastReply); err != nil {
 					return false
 				}
 				continue
 			}
 			if callID < st.lastCallID {
+				st.dedupSkips.Add(1)
 				continue // stale duplicate of an already-superseded call
 			}
 			respBody, callErr := st.handle(op, body)
@@ -248,6 +300,10 @@ func (st *workerState) handle(op byte, body []byte) ([]byte, error) {
 			}
 			st.replay(entries)
 			st.lastApplied = seq
+			st.batchesApplied.Add(1)
+			st.entriesReplayed.Add(int64(len(entries)))
+		} else {
+			st.dedupSkips.Add(1)
 		}
 		var b wire.Buffer
 		b.PutVarintField(1, st.lastApplied)
@@ -334,6 +390,15 @@ func (st *workerState) handle(op byte, body []byte) ([]byte, error) {
 	case opResetCounts:
 		st.eng.ResetCounts()
 		return nil, nil
+	case opStats:
+		// Runs on the serving goroutine, serialized with batch replay, so
+		// reading the engine's plain counters here is race-free. The boot
+		// ID is deliberately absent: the coordinator max-merges gauges
+		// across shards, which would garble per-shard identities.
+		s := obs.NewSnapshot()
+		st.countersInto(s)
+		st.eng.MetricsInto(s)
+		return encodeStatsReply(s), nil
 	}
 	return nil, fmt.Errorf("unknown opcode %d", op)
 }

@@ -762,6 +762,13 @@ type Stats struct {
 	// LiveSlots/TotalSlots ≥ 1/2 in steady state.
 	LiveSlots  int
 	TotalSlots int
+	// ChannelWords is the membership storage width summed over channel
+	// edges: ceil(TotalSlots/64) per channel. SpilledChannels counts
+	// channels wider than one inline word — memberships on them live on
+	// the heap and every Test costs a bounds-checked slice access, the
+	// plan-level view of the engine_member_spills_total runtime counter.
+	ChannelWords    int
+	SpilledChannels int
 }
 
 // Stats returns summary counts for the plan.
@@ -779,6 +786,11 @@ func (p *Physical) Stats() Stats {
 		if e.IsChannel() {
 			st.LiveSlots += live
 			st.TotalSlots += len(e.Streams)
+			words := (len(e.Streams) + 63) / 64
+			st.ChannelWords += words
+			if words > 1 {
+				st.SpilledChannels++
+			}
 		}
 	}
 	return st

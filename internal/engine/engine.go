@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/mop"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -38,7 +40,15 @@ type runtimeNode struct {
 	uses      []mop.PortUse // input port → how delivered tuples are used
 	processed int64         // tuples delivered to this m-op
 	emitted   int64         // tuples produced by this m-op
+	// busyNS is a sampled estimate of time spent in this m-op's Process:
+	// while telemetry is enabled, every busySample-th delivery is timed and
+	// scaled up. Sampling keeps the clock off the per-tuple path.
+	busyNS int64
 }
+
+// busyMask selects one delivery in 1024 for busy-time sampling; the
+// measured duration is scaled by the same factor.
+const busyMask = 1<<10 - 1
 
 // sink records that a stream on an edge is the output of some queries.
 type sink struct {
@@ -115,6 +125,16 @@ type Engine struct {
 	pool *stream.Pool
 
 	queue []queued
+
+	// Telemetry. obsOn caches obs.Enabled() — refreshed once per drain, so
+	// the per-tuple cost of disabled telemetry inside the delivery loop is
+	// a predicted branch on a plain bool. The counters are plain fields:
+	// the engine is single-threaded per shard, and they are folded into a
+	// Snapshot only at quiesce barriers (MetricsInto).
+	obsOn         bool
+	delivered     int64 // tuples delivered (edge traversals drained)
+	memberSpills  int64 // delivered channel tuples whose membership spilled past one word
+	replayedItems int64 // stored items replayed under new members on live re-merge
 }
 
 type queued struct {
@@ -331,7 +351,7 @@ func (e *Engine) ApplyDelta(d *core.Delta) error {
 			return fmt.Errorf("engine: node %d: %w", id, err)
 		}
 		if old := counters[rn.id]; old != nil {
-			rn.processed, rn.emitted = old.processed, old.emitted
+			rn.processed, rn.emitted, rn.busyNS = old.processed, old.emitted, old.busyNS
 		}
 		lowered[id] = rn
 		kept = append(kept, rn)
@@ -394,9 +414,13 @@ func (e *Engine) replayNewMembers(d *core.Delta, lowered map[int]*runtimeNode) e
 				if reg == nil {
 					reg = mop.NewStateRegistry([]mop.MOp{rn.m})
 				}
-				if _, err := reg.ReplayMember(o.ID, side, pos, keep); err != nil {
+				cnt, err := reg.ReplayMember(o.ID, side, pos, keep)
+				if err != nil {
 					return fmt.Errorf("engine: replay op %d: %w", o.ID, err)
 				}
+				// Replays happen at churn rate, not tuple rate: count the
+				// replayed window size unconditionally.
+				e.replayedItems += int64(cnt)
 			}
 		}
 	}
@@ -522,9 +546,16 @@ func (e *Engine) enqueue(edge *core.Edge, t *stream.Tuple) {
 // array is reused across calls; references are released in one bulk clear
 // after the loop instead of a per-element store.
 func (e *Engine) drain() {
+	e.obsOn = obs.Enabled()
 	for i := 0; i < len(e.queue); i++ {
 		q := e.queue[i]
 		e.deliver(q.edge, q.t)
+	}
+	if e.obsOn {
+		// The loop ran to quiescence, so the final queue length is the
+		// number of edge traversals drained — counted here in bulk, not
+		// per delivery.
+		e.delivered += int64(len(e.queue))
 	}
 	clear(e.queue)
 	e.queue = e.queue[:0]
@@ -532,6 +563,9 @@ func (e *Engine) drain() {
 
 func (e *Engine) deliver(edge *core.Edge, t *stream.Tuple) {
 	r := &e.routes[edge.ID]
+	if e.obsOn && t.Member != nil && t.Member.Spilled() {
+		e.memberSpills++
+	}
 	if t.Owned && r.clearsOwned {
 		t.Owned = false
 	}
@@ -550,7 +584,13 @@ func (e *Engine) deliver(edge *core.Edge, t *stream.Tuple) {
 	for _, c := range r.consumers {
 		n := c.node
 		n.processed++
-		n.m.Process(c.port, t, n.emit)
+		if e.obsOn && n.processed&busyMask == 0 {
+			t0 := time.Now()
+			n.m.Process(c.port, t, n.emit)
+			n.busyNS += time.Since(t0).Nanoseconds() * (busyMask + 1)
+		} else {
+			n.m.Process(c.port, t, n.emit)
+		}
 	}
 	// An Owned tuple was emitted exactly once with exclusive content; once
 	// its only delivery retained nothing and no result callback saw it, it
@@ -599,15 +639,40 @@ type NodeStats struct {
 	NodeID    int
 	Processed int64
 	Emitted   int64
+	// BusyNS is a sampled estimate of wall time spent inside the m-op
+	// (every 1024th delivery is timed and scaled up); it is 0 unless
+	// telemetry was enabled while the node ran. This is the measured
+	// per-op busy signal the adaptive re-optimizer consumes.
+	BusyNS int64
 }
 
 // NodeStats returns per-node counters sorted by node ID.
 func (e *Engine) NodeStats() []NodeStats {
 	out := make([]NodeStats, 0, len(e.nodes))
 	for _, n := range e.nodes {
-		out = append(out, NodeStats{NodeID: n.id, Processed: n.processed, Emitted: n.emitted})
+		out = append(out, NodeStats{NodeID: n.id, Processed: n.processed, Emitted: n.emitted, BusyNS: n.busyNS})
 	}
 	return out
+}
+
+// MetricsInto folds the engine's runtime counters into a snapshot. The
+// engine must be quiescent (the caller holds whatever barrier serializes
+// pushes — the shard batch barrier, the worker RPC loop, or a
+// single-threaded embedder).
+func (e *Engine) MetricsInto(s *obs.Snapshot) {
+	var processed, emitted, busy int64
+	for _, n := range e.nodes {
+		processed += n.processed
+		emitted += n.emitted
+		busy += n.busyNS
+	}
+	s.AddCounter("engine_op_processed_total", processed)
+	s.AddCounter("engine_op_emitted_total", emitted)
+	s.AddCounter("engine_op_busy_ns_total", busy)
+	s.AddCounter("engine_tuples_delivered_total", e.delivered)
+	s.AddCounter("engine_member_spills_total", e.memberSpills)
+	s.AddCounter("engine_replay_items_total", e.replayedItems)
+	s.AddCounter("engine_results_total", e.TotalResults())
 }
 
 // ResultCount returns the number of result tuples produced for a query.

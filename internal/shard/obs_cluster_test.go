@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Worker telemetry must survive a link redial: the worker process keeps
+// its replica — and its counters — across coordinator reconnects, so
+// every counter observed before a cut is a floor for the same counter
+// after the heal, and the link health reports at least one redial. A
+// reset worker would instead restart its counters from zero (and change
+// boot ID, which is a different failure the dead-declare path owns).
+func TestClusterMetricsSurviveRedial(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable(true)
+	defer obs.Enable(prev)
+
+	catalog, qs, events := tortureWorkload(t, "w2")
+	h := &clusterHarness{}
+	ref, sh := buildClusterPair(t, catalog, qs, false, 2, h, Config{}, nil)
+	defer sh.Close()
+
+	third := len(events) / 3
+	pushAll(t, ref, sh, events[:third])
+	if err := sh.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := sh.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Counters["worker_batches_applied_total"] == 0 {
+		t.Fatal("no worker batches applied before the cut")
+	}
+
+	// Sever link 1 and immediately reopen the gate: the next replay
+	// attempt fails on the closed conn and the client redials.
+	h.cut(1)
+	h.heal(1)
+
+	pushAll(t, ref, sh, events[third:])
+	checkClusterEquivalence(t, ref, sh, qs)
+
+	after, err := sh.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"worker_batches_applied_total",
+		"worker_entries_replayed_total",
+		`shard_tuples_total{shard="0"}`,
+		`shard_tuples_total{shard="1"}`,
+	} {
+		if after.Counters[name] < before.Counters[name] {
+			t.Errorf("%s went backwards across redial: %d -> %d",
+				name, before.Counters[name], after.Counters[name])
+		}
+	}
+	if after.Counters["worker_batches_applied_total"] <= before.Counters["worker_batches_applied_total"] {
+		t.Error("worker_batches_applied_total did not advance after the heal")
+	}
+	if got := sh.WorkerHealth()[1].Redials; got == 0 {
+		t.Error("link 1 reports no redials after cut+heal")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultpoint"
 	"repro/internal/mop"
+	"repro/internal/obs"
 )
 
 // ErrPartialMigration reports a state migration that failed mid-flight and
@@ -91,6 +92,9 @@ func (e *Engine) Rebalance(part *core.PartitionPlan) (RebalanceStats, error) {
 	if part.Table != nil {
 		st.Keys = len(part.Table.Moves)
 	}
+	obs.RecordEvent(obs.EvRebalance,
+		fmt.Sprintf("moved=%d dropped=%d keys=%d version=%d", st.Moved, st.Dropped, st.Keys, st.Version),
+		st.Pause)
 	return st, nil
 }
 

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mop"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -183,6 +184,12 @@ func (e *Engine) RecoverShard() (RecoverStats, error) {
 	st.Shards = len(e.workers)
 	st.Version = newPart.RoutingVersion()
 	st.Pause = time.Since(start)
+	if st.Replayed > 0 {
+		obs.RecordEvent(obs.EvWALReplay, fmt.Sprintf("shard=%d entries=%d", dead, st.Replayed), 0)
+	}
+	obs.RecordEvent(obs.EvShardRecover,
+		fmt.Sprintf("dead=%d replayed=%d moved=%d shards=%d", dead, st.Replayed, st.Moved, st.Shards),
+		st.Pause)
 	return st, nil
 }
 

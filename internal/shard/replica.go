@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mop"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -101,6 +102,12 @@ type replica interface {
 	// localEngine returns the in-process engine, nil for remote replicas
 	// (result callbacks cannot be wired across processes).
 	localEngine() *engine.Engine
+	// metricsInto folds the replica's engine-level telemetry into a
+	// snapshot: directly for local replicas, via the stats RPC for remote
+	// ones. Must run at a barrier (the replica quiescent).
+	metricsInto(s *obs.Snapshot) error
+	// health returns link health for remote replicas, nil for local ones.
+	health() *cluster.Health
 }
 
 // deltaShipment carries one live delta to the replicas: the decoded form
@@ -182,6 +189,11 @@ func (r *localReplica) revive() error               { return nil }
 func (r *localReplica) setIdx(i int)                { r.idx = i }
 func (r *localReplica) close(bool)                  {}
 func (r *localReplica) localEngine() *engine.Engine { return r.eng }
+func (r *localReplica) metricsInto(s *obs.Snapshot) error {
+	r.eng.MetricsInto(s)
+	return nil
+}
+func (r *localReplica) health() *cluster.Health { return nil }
 
 // ---------------------------------------------------------------------
 // Remote replica.
@@ -325,6 +337,23 @@ func (r *remoteReplica) close(shutdown bool) {
 }
 
 func (r *remoteReplica) localEngine() *engine.Engine { return nil }
+
+func (r *remoteReplica) metricsInto(s *obs.Snapshot) error {
+	ws, err := r.cli.Stats()
+	if err != nil {
+		if remoteFatal(err) {
+			return fmt.Errorf("shard %d: %v: %w", r.idx, err, ErrShardDead)
+		}
+		return fmt.Errorf("shard %d: %w", r.idx, err)
+	}
+	s.Merge(ws)
+	return nil
+}
+
+func (r *remoteReplica) health() *cluster.Health {
+	h := r.cli.Health()
+	return &h
+}
 
 // ---------------------------------------------------------------------
 // Remote registry.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faultpoint"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
@@ -100,6 +102,15 @@ type worker struct {
 	tuples atomic.Int64 // entries replayed (written by the worker only)
 	busyNS atomic.Int64 // time spent replaying (written by the worker only)
 	err    error        // first replay error (written by the worker only)
+
+	// flush / ingest are per-worker telemetry histograms (batch flush
+	// latency in ns; entries per replayed batch). Self-gated atomics —
+	// observed by the worker goroutine, read at barriers without extra
+	// synchronization. queueHW is the batch-queue depth high-water,
+	// written and read under the router's mu.
+	flush   obs.Histogram
+	ingest  obs.Histogram
+	queueHW int
 
 	// completed is the highest WAL sequence fully replayed, published
 	// after each batch. Everything at or below it is prunable; everything
@@ -193,6 +204,14 @@ type Engine struct {
 	// Per-worker counters are NOT guarded: their values are stable (and
 	// meaningful) only after Drain, as documented.
 	statsMu sync.RWMutex
+
+	// Router telemetry, mu-guarded plain counters gated on obs.Enabled()
+	// at the recording sites; folded into a snapshot by Metrics.
+	mcHits     int64 // multicast tuples matched to ≥1 shard
+	mcDrops    int64 // multicast tuples no shard wanted (dropped at router)
+	walBatches int64 // batches staged into per-shard WALs
+	walEntries int64 // entries staged
+	walBytes   int64 // approximate bytes staged (entry header + values)
 }
 
 // New builds a sharded engine over the plan. The partition plan must come
@@ -440,7 +459,10 @@ func (w *worker) run() {
 		faultpoint.Maybe("shard.flush.replay")
 		start := time.Now()
 		err := w.rep.replayBatch(m.seq, m.entries)
-		w.busyNS.Add(time.Since(start).Nanoseconds())
+		elapsed := time.Since(start).Nanoseconds()
+		w.busyNS.Add(elapsed)
+		w.flush.Observe(elapsed)
+		w.ingest.Observe(int64(len(m.entries)))
 		if err != nil && errors.Is(err, ErrShardDead) {
 			// Fatal replica loss (a remote worker declared lost): exit
 			// without completing the batch — it stays in the WAL, and the
@@ -543,6 +565,15 @@ func (e *Engine) stageShard(shard int) {
 	e.pruneWAL(shard)
 	e.walSeq[shard]++
 	e.wal[shard] = append(e.wal[shard], walRec{seq: e.walSeq[shard], entries: b})
+	if obs.Enabled() {
+		e.walBatches++
+		e.walEntries += int64(len(b))
+		for i := range b {
+			// entry header (src, ts) + value words; close enough to track
+			// WAL growth and replay cost without serializing anything.
+			e.walBytes += 16 + 8*int64(len(b[i].vals))
+		}
+	}
 }
 
 // deliverWAL hands the shard's staged-but-unsent WAL records to the
@@ -578,6 +609,11 @@ func (e *Engine) deliverWAL(shard int, ingest bool) {
 			return // unreachable: leave staged, fail fast upstream
 		}
 		e.sent[shard] = rec.seq
+		if obs.Enabled() {
+			if d := len(w.ch); d > w.queueHW {
+				w.queueHW = d
+			}
+		}
 	}
 }
 
@@ -688,6 +724,13 @@ func (e *Engine) route(sr srcRoute, ts int64, vals []int64) {
 			v = vals[sr.attr]
 		}
 		mask |= sr.table[v]
+		if obs.Enabled() {
+			if mask == 0 {
+				e.mcDrops++
+			} else {
+				e.mcHits++
+			}
+		}
 		for mask != 0 {
 			i := bits.TrailingZeros64(mask)
 			mask &^= 1 << uint(i)
@@ -978,6 +1021,7 @@ func (e *Engine) ApplyDeltaRebalance(d *core.Delta, part *core.PartitionPlan, re
 }
 
 func (e *Engine) applyDelta(d *core.Delta, part *core.PartitionPlan, removed []int, rewire func(), rebalance bool) error {
+	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -1037,6 +1081,9 @@ func (e *Engine) applyDelta(d *core.Delta, part *core.PartitionPlan, removed []i
 	if rewire != nil {
 		rewire()
 	}
+	obs.RecordEvent(obs.EvDeltaApply,
+		fmt.Sprintf("shards=%d dirty=%d removed=%d rebalance=%v", len(e.workers), len(d.Dirty), len(removed), rebalance),
+		time.Since(start))
 	return nil
 }
 
@@ -1120,13 +1167,118 @@ type ShardStat struct {
 	Results int64 // results produced by the shard's engine
 }
 
-// ShardStats returns per-shard load counters. Tuples and BusyNS are always
-// safe to read (monotone atomics); Results is stable only after Drain (or
-// Close).
+// ShardStats returns per-shard load counters as one consistent snapshot:
+// it takes the ingestion lock and quiesces the live workers, so Tuples and
+// Results reflect exactly the pushes accepted before the call — no manual
+// Drain is needed. Concurrent pushers block for the (short) barrier.
+//
+// Remaining raciness: BusyNS (and the flush-latency histogram behind it)
+// is written by the worker goroutine around each batch without
+// synchronization beyond the barrier, so a batch whose replay straddles
+// the snapshot may land its busy time in the next read; the counter is
+// monotone and exact in total. Dead shards are skipped by the quiesce and
+// report their last-known counters.
 func (e *Engine) ShardStats() []ShardStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		// Quiesce errors (a sticky replay error on some shard) do not make
+		// the counters unreadable; the error surfaces on Drain/Close.
+		_ = e.quiesceLiveLocked()
+	}
 	out := make([]ShardStat, len(e.workers))
 	for i, w := range e.workers {
 		out[i] = ShardStat{Shard: i, Tuples: w.tuples.Load(), BusyNS: w.busyNS.Load(), Results: w.rep.totalResults()}
+	}
+	return out
+}
+
+// Metrics folds the router's and every replica's runtime counters into
+// one snapshot at a quiesce barrier: the router counters and per-shard
+// labeled gauges come from this process; each live replica contributes
+// its engine counters — locally by direct fold, remotely by pulling the
+// worker's snapshot over the stats RPC and merging it (counters sum,
+// gauges max, histograms add). Per-link health gauges for remote shards
+// ride along under cluster_link_*{shard="i"} names. Dead shards are
+// skipped (their last counters are gone with the replica); unreachable
+// shards make Metrics fail with the transport error.
+func (e *Engine) Metrics() (*obs.Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := obs.NewSnapshot()
+	if !e.closed {
+		_ = e.quiesceLiveLocked()
+	}
+	s.AddCounter("router_multicast_hits_total", e.mcHits)
+	s.AddCounter("router_multicast_drops_total", e.mcDrops)
+	s.AddCounter("router_wal_batches_total", e.walBatches)
+	s.AddCounter("router_wal_entries_total", e.walEntries)
+	s.AddCounter("router_wal_bytes_total", e.walBytes)
+	var firstErr error
+	for i, w := range e.workers {
+		label := fmt.Sprintf("{shard=%q}", strconv.Itoa(i))
+		s.AddCounter("shard_tuples_total"+label, w.tuples.Load())
+		s.AddCounter("shard_busy_ns_total"+label, w.busyNS.Load())
+		s.AddHist("shard_flush_ns", w.flush.Data())
+		s.AddHist("shard_ingest_batch", w.ingest.Data())
+		s.SetGauge("shard_queue_highwater"+label, int64(w.queueHW))
+		if e.dead[i] {
+			continue
+		}
+		if err := w.rep.metricsInto(s); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d metrics: %w", i, err)
+		}
+		if h := w.rep.health(); h != nil {
+			s.SetGauge("cluster_link_rtt_ns"+label, h.LastRTTNS)
+			s.SetGauge("cluster_link_heartbeats"+label, h.Heartbeats)
+			s.SetGauge("cluster_link_redials"+label, h.Redials)
+			s.SetGauge("cluster_link_boot_id"+label, h.BootID)
+			s.SetGauge("cluster_link_epoch"+label, h.Epoch)
+			down := int64(0)
+			if h.Down {
+				down = 1
+			}
+			s.SetGauge("cluster_link_down"+label, down)
+		}
+	}
+	return s, firstErr
+}
+
+// WorkerHealth reports per-shard replica liveness. Local (in-process)
+// replicas have Remote false and zero link fields; remote replicas carry
+// the link's last-observed boot ID + epoch, heartbeat RTT, and redial
+// counts. Safe to call at any time — it reads only atomics behind the
+// replica interface (no barrier, no RPC).
+type WorkerHealth struct {
+	Shard      int
+	Remote     bool
+	Dead       bool // declared dead (ErrShardDead territory)
+	Down       bool // transient outage, redialing
+	BootID     int64
+	Epoch      int64
+	LastRTTNS  int64
+	Heartbeats int64
+	Redials    int64
+}
+
+// WorkerHealth returns one entry per shard, in shard order.
+func (e *Engine) WorkerHealth() []WorkerHealth {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]WorkerHealth, len(e.workers))
+	for i, w := range e.workers {
+		wh := WorkerHealth{Shard: i, Dead: e.dead[i]}
+		if h := w.rep.health(); h != nil {
+			wh.Remote = true
+			wh.Down = h.Down
+			wh.Dead = wh.Dead || h.Dead
+			wh.BootID = h.BootID
+			wh.Epoch = h.Epoch
+			wh.LastRTTNS = h.LastRTTNS
+			wh.Heartbeats = h.Heartbeats
+			wh.Redials = h.Redials
+		}
+		out[i] = wh
 	}
 	return out
 }

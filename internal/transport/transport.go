@@ -29,8 +29,53 @@ import (
 	"fmt"
 	"hash/crc32"
 	"net"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// Process-global frame telemetry, counted at the Conn layer (WriteFrame /
+// ReadFrame) only — DecodeFrame is a pure function used by tests and
+// tooling and stays silent. Counting is gated on obs.Enabled so unmetered
+// runs pay a single predicted branch per frame; frames are rare relative
+// to tuples, so this stays far outside the hot-path budget.
+var (
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+	crcErrors  atomic.Int64
+)
+
+// Stats is a point-in-time copy of the process-wide transport counters.
+type Stats struct {
+	FramesSent, FramesRecv int64
+	BytesSent, BytesRecv   int64
+	CRCErrors              int64
+}
+
+// ReadStats snapshots the process-wide transport counters. Counters only
+// advance while telemetry is enabled (obs.Enable).
+func ReadStats() Stats {
+	return Stats{
+		FramesSent: framesSent.Load(),
+		FramesRecv: framesRecv.Load(),
+		BytesSent:  bytesSent.Load(),
+		BytesRecv:  bytesRecv.Load(),
+		CRCErrors:  crcErrors.Load(),
+	}
+}
+
+// MetricsInto folds the transport counters into s.
+func MetricsInto(s *obs.Snapshot) {
+	st := ReadStats()
+	s.AddCounter("transport_frames_sent_total", st.FramesSent)
+	s.AddCounter("transport_frames_recv_total", st.FramesRecv)
+	s.AddCounter("transport_bytes_sent_total", st.BytesSent)
+	s.AddCounter("transport_bytes_recv_total", st.BytesRecv)
+	s.AddCounter("transport_crc_errors_total", st.CRCErrors)
+}
 
 // DefaultMaxFrame bounds a frame (type + payload + crc) unless the caller
 // configures otherwise. State-migration payloads dominate frame sizes; 64
@@ -118,6 +163,10 @@ func (fc *Conn) WriteFrame(typ byte, payload []byte) error {
 	}
 	fc.wbuf = AppendFrame(fc.wbuf[:0], typ, payload)
 	_, err := fc.c.Write(fc.wbuf)
+	if err == nil && obs.Enabled() {
+		framesSent.Add(1)
+		bytesSent.Add(int64(len(fc.wbuf)))
+	}
 	return err
 }
 
@@ -146,7 +195,14 @@ func (fc *Conn) ReadFrame() (byte, []byte, error) {
 	}
 	crc := binary.BigEndian.Uint32(body[n-4:])
 	if crc32.ChecksumIEEE(body[:n-4]) != crc {
+		if obs.Enabled() {
+			crcErrors.Add(1)
+		}
 		return 0, nil, fmt.Errorf("%w: CRC mismatch", ErrCorruptFrame)
+	}
+	if obs.Enabled() {
+		framesRecv.Add(1)
+		bytesRecv.Add(int64(4 + n))
 	}
 	return body[0], body[1 : n-4], nil
 }

@@ -35,6 +35,7 @@ package rumor
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -102,6 +103,16 @@ type PlanInfo struct {
 	// stay bounded under sustained add/remove churn.
 	LiveSlots  int
 	TotalSlots int
+
+	// ChannelWords is the total membership words backing the channel
+	// edges; SpilledChannels counts channels whose membership no longer
+	// fits one inline word (each tuple on such a channel carries a heap
+	// bitset — engine_member_spills_total counts the per-tuple cost).
+	ChannelWords    int
+	SpilledChannels int
+	// MulticastKeys is the total number of distinct partner constants in
+	// the multicast routing tables (sharded systems only; 0 otherwise).
+	MulticastKeys int
 }
 
 // System is a RUMOR stream-processing instance.
@@ -272,6 +283,7 @@ func (s *System) AddQueryLive(name string, root *Logical) error {
 	if _, dup := s.byName[name]; dup {
 		return fmt.Errorf("rumor: query %q already registered", name)
 	}
+	start := time.Now()
 	q := core.NewQuery(name, root)
 	m := live.NewMaintainer(s.plan, s.ropts)
 	d, err := m.AddQuery(q)
@@ -285,6 +297,7 @@ func (s *System) AddQueryLive(name string, root *Logical) error {
 	s.byName[name] = q
 	delete(s.removed, name)
 	s.wireCallback()
+	noteLiveAdd(name, d, time.Since(start))
 	return s.logChurnAdd(name, root, d)
 }
 
@@ -309,6 +322,7 @@ func (s *System) RemoveQuery(name string) error {
 		s.queries = removeQueryFrom(s.queries, q)
 		return nil
 	}
+	start := time.Now()
 	final := s.eng.ResultCount(q.ID)
 	m := live.NewMaintainer(s.plan, s.ropts)
 	d, err := m.RemoveQuery(q.ID)
@@ -325,6 +339,7 @@ func (s *System) RemoveQuery(name string) error {
 	}
 	s.removed[name] = final
 	s.wireCallback()
+	noteLiveRemove(name, d, time.Since(start))
 	return s.logChurnRemove(name, d)
 }
 
@@ -444,13 +459,15 @@ func (s *System) PlanInfo() PlanInfo {
 		ops += len(n.Ops)
 	}
 	return PlanInfo{
-		Queries:    st.Queries,
-		MOps:       st.Nodes - sources,
-		Operators:  ops,
-		Channels:   st.Channels,
-		Streams:    st.Streams,
-		LiveSlots:  st.LiveSlots,
-		TotalSlots: st.TotalSlots,
+		Queries:         st.Queries,
+		MOps:            st.Nodes - sources,
+		Operators:       ops,
+		Channels:        st.Channels,
+		Streams:         st.Streams,
+		LiveSlots:       st.LiveSlots,
+		TotalSlots:      st.TotalSlots,
+		ChannelWords:    st.ChannelWords,
+		SpilledChannels: st.SpilledChannels,
 	}
 }
 

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faultpoint"
 	"repro/internal/mop"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/shard"
 	"repro/internal/wire"
@@ -103,6 +105,7 @@ func (s *System) Checkpoint(w io.Writer) error {
 	if err := faultpoint.Error("checkpoint.write"); err != nil {
 		return err
 	}
+	start := time.Now()
 	c := &wire.Checkpoint{
 		Shards:            1,
 		Channels:          s.ropts.Channels,
@@ -119,7 +122,11 @@ func (s *System) Checkpoint(w io.Writer) error {
 	if err := exportGroups(s.eng.StateRegistry(), 0, dists, &c.Groups); err != nil {
 		return err
 	}
-	return wire.WriteCheckpoint(w, c)
+	if err := wire.WriteCheckpoint(w, c); err != nil {
+		return err
+	}
+	obs.RecordEvent(obs.EvCheckpoint, fmt.Sprintf("shards=1 groups=%d", len(c.Groups)), time.Since(start))
+	return nil
 }
 
 // restoreSystem rebuilds the unsharded core of a checkpoint: catalog,
@@ -157,6 +164,7 @@ func restoreSystem(c *wire.Checkpoint) (*System, *core.Physical, error) {
 // the running system: same plan shape and IDs, same result counts, same
 // operator state. Sharded checkpoints must go through RestoreSharded.
 func Restore(r io.Reader) (*System, error) {
+	start := time.Now()
 	c, err := wire.ReadCheckpoint(r)
 	if err != nil {
 		return nil, err
@@ -200,6 +208,7 @@ func Restore(r io.Reader) (*System, error) {
 	eng.RestoreCounts(counts)
 	s.eng = eng
 	s.wireCallback()
+	obs.RecordEvent(obs.EvRestore, fmt.Sprintf("shards=1 groups=%d", len(c.Groups)), time.Since(start))
 	return s, nil
 }
 
@@ -218,6 +227,7 @@ func (s *ShardedSystem) Checkpoint(w io.Writer) error {
 	if err := faultpoint.Error("checkpoint.write"); err != nil {
 		return err
 	}
+	start := time.Now()
 	c := &wire.Checkpoint{
 		Shards:            s.sh.NumShards(),
 		Channels:          s.sys.ropts.Channels,
@@ -256,7 +266,12 @@ func (s *ShardedSystem) Checkpoint(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return wire.WriteCheckpoint(w, c)
+	if err := wire.WriteCheckpoint(w, c); err != nil {
+		return err
+	}
+	obs.RecordEvent(obs.EvCheckpoint,
+		fmt.Sprintf("shards=%d groups=%d", c.Shards, len(c.Groups)), time.Since(start))
+	return nil
 }
 
 // RestoreSharded reads a checkpoint written by (*ShardedSystem).Checkpoint
@@ -272,6 +287,7 @@ func (s *ShardedSystem) Checkpoint(w io.Writer) error {
 // restore as merged bases). Unsharded checkpoints restore too, as a
 // 1-shard system or redistributed across cfg.Shards.
 func RestoreSharded(r io.Reader, cfg ShardConfig) (*ShardedSystem, error) {
+	start := time.Now()
 	c, err := wire.ReadCheckpoint(r)
 	if err != nil {
 		return nil, err
@@ -354,6 +370,8 @@ func RestoreSharded(r io.Reader, cfg ShardConfig) (*ShardedSystem, error) {
 		}
 		ss.removed[fc.Name] = fc.Count
 	}
+	obs.RecordEvent(obs.EvRestore,
+		fmt.Sprintf("shards=%d from=%d groups=%d", shards, c.Shards, len(c.Groups)), time.Since(start))
 	return ss, nil
 }
 

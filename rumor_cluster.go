@@ -62,6 +62,31 @@ func ServeShard(lis net.Listener) error {
 	return cluster.Serve(lis, cluster.WorkerConfig{})
 }
 
+// ShardWorker is an addressable shard worker: like ServeShard, but the
+// handle exposes the worker's own telemetry while it serves, so a node
+// process (cmd/rumornode) can publish a metrics endpoint alongside the
+// protocol listener.
+type ShardWorker struct {
+	w *cluster.Worker
+}
+
+// NewShardWorker creates a shard worker; call Serve to run it.
+func NewShardWorker() *ShardWorker {
+	return &ShardWorker{w: cluster.NewWorker(cluster.WorkerConfig{})}
+}
+
+// Serve runs the worker on the listener exactly as ServeShard does.
+func (sw *ShardWorker) Serve(lis net.Listener) error { return sw.w.Serve(lis) }
+
+// Metrics snapshots the worker-side counters that are safe to read while
+// Serve runs: batches applied, entries replayed, dedup skips, reply-cache
+// hits, and the boot identity. Engine detail is reported through the
+// coordinator's ShardedSystem.Metrics instead (fetched at a quiesce
+// barrier over the stats RPC).
+func (sw *ShardWorker) Metrics() *Metrics {
+	return metricsFromSnapshot(sw.w.Metrics())
+}
+
 // ClusterNode names one remote shard worker. Either Addr (dialed over
 // TCP) or Dial (any net.Conn factory — in-process pipes in tests) must be
 // set; Dial wins when both are.

@@ -3,6 +3,7 @@ package rumor
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/live"
@@ -167,6 +168,7 @@ func (s *ShardedSystem) AddQueryLive(name string, root *Logical) error {
 	if dup {
 		return fmt.Errorf("rumor: query %q already registered", name)
 	}
+	start := time.Now()
 	q := core.NewQuery(name, root)
 	m := live.NewMaintainer(s.sys.plan, s.sys.ropts)
 	d, err := m.AddQuery(q)
@@ -204,6 +206,7 @@ func (s *ShardedSystem) AddQueryLive(name string, root *Logical) error {
 		return fmt.Errorf("rumor: %w", err)
 	}
 	s.part = part
+	noteLiveAdd(name, d, time.Since(start))
 	return s.sys.logChurnAdd(name, root, d)
 }
 
@@ -277,6 +280,7 @@ func (s *ShardedSystem) RemoveQuery(name string) error {
 	if !ok {
 		return fmt.Errorf("rumor: query %q not registered", name)
 	}
+	start := time.Now()
 	m := live.NewMaintainer(s.sys.plan, s.sys.ropts)
 	d, err := m.RemoveQuery(q.ID)
 	if err != nil {
@@ -307,6 +311,7 @@ func (s *ShardedSystem) RemoveQuery(name string) error {
 	}
 	s.removed[name] = s.sh.ResultCount(q.ID)
 	s.nameMu.Unlock()
+	noteLiveRemove(name, d, time.Since(start))
 	return s.sys.logChurnRemove(name, d)
 }
 
@@ -411,9 +416,16 @@ func (s *ShardedSystem) ShardStats() []ShardStat {
 	return out
 }
 
-// PlanInfo returns summary statistics of the optimized plan.
+// PlanInfo returns summary statistics of the optimized plan, including
+// the multicast routing-table width of the partition analysis.
 func (s *ShardedSystem) PlanInfo() PlanInfo {
-	return s.sys.PlanInfo()
+	info := s.sys.PlanInfo()
+	if s.part != nil {
+		for _, r := range s.part.Routes {
+			info.MulticastKeys += len(r.Table)
+		}
+	}
+	return info
 }
 
 // PlanString renders the optimized physical plan for inspection.
