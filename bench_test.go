@@ -107,6 +107,62 @@ func BenchmarkFig9aWorkload1RUMORBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkFig9aWorkload1RUMORColumns drives the same operating point
+// through the columnar ingest path: the trace is pre-transposed into
+// per-source column windows and pushed via PushColumns onto the
+// vectorized block path (timestamps are rewritten per iteration so the
+// windows keep sliding).
+func BenchmarkFig9aWorkload1RUMORColumns(b *testing.B) {
+	const rows = 256
+	p := workload.DefaultParams()
+	e := rumorEngine(b, p, p.Workload1(), false)
+	events := p.GenStreams(50000)
+	type win struct {
+		src  string
+		cols [][]int64
+	}
+	var wins []win
+	for off := 0; off+2*rows <= len(events); off += 2 * rows {
+		bySrc := map[string][][]int64{}
+		for _, ev := range events[off : off+2*rows] {
+			cols := bySrc[ev.Source]
+			if cols == nil {
+				cols = make([][]int64, p.NumAttrs)
+				bySrc[ev.Source] = cols
+			}
+			for a, v := range ev.Tuple.Vals {
+				cols[a] = append(cols[a], v) // outer slice is shared with the map value
+			}
+		}
+		for _, src := range []string{"S", "T"} {
+			if cols := bySrc[src]; cols != nil {
+				wins = append(wins, win{src: src, cols: cols})
+			}
+		}
+	}
+	ts := make([]int64, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i, w := 0, 0; i < b.N; w++ {
+		cur := wins[w%len(wins)]
+		n := min(len(cur.cols[0]), b.N-i)
+		for j := 0; j < n; j++ {
+			ts[j] = int64(i + j)
+		}
+		cols := cur.cols
+		if n < len(cols[0]) {
+			cols = make([][]int64, len(cur.cols))
+			for a := range cols {
+				cols[a] = cur.cols[a][:n]
+			}
+		}
+		if err := e.PushColumns(cur.src, ts[:n], cols); err != nil {
+			b.Fatal(err)
+		}
+		i += n
+	}
+}
+
 func BenchmarkFig9aWorkload1Cayuga(b *testing.B) {
 	p := workload.DefaultParams()
 	e := cayugaEngine(b, p, p.Workload1())

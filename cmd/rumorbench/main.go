@@ -18,6 +18,8 @@
 //	                                    # deployment: wire-protocol overhead
 //	rumorbench -fig obs                 # telemetry overhead: metrics
 //	                                    # disabled vs enabled, ns + allocs
+//	rumorbench -fig batch               # vectorized execution: scalar vs
+//	                                    # block path at sizes 1/16/64/256
 package main
 
 import (
@@ -29,11 +31,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, rebalance, recover, cluster, obs, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a..9d, 10a..10d, 11a, 11b, scale, churn, rebalance, recover, cluster, obs, batch, or all")
 	tuples := flag.Int("tuples", 20000, "input events per S/T measurement")
 	rounds := flag.Int("rounds", 2000, "workload-3 rounds per measurement")
 	trace := flag.Int("trace", 240, "perfmon trace length in seconds (figure 11)")
 	maxq := flag.Int("maxq", 10000, "cap for query-count sweeps")
+	passes := flag.Int("passes", 3, "interleaved A/B passes per figure point (best kept)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	shards := flag.Int("shards", 4, "max shard count for -fig scale (doubling from 1)")
 	flag.Parse()
@@ -43,9 +46,19 @@ func main() {
 		Rounds:       *rounds,
 		TraceSeconds: *trace,
 		MaxQueries:   *maxq,
+		Passes:       *passes,
 		Seed:         *seed,
 	}
 
+	if *fig == "batch" {
+		rows, err := cfg.Batch()
+		bench.FprintBatch(os.Stdout, rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumorbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "obs" {
 		rows, err := cfg.Obs()
 		bench.FprintObs(os.Stdout, rows)

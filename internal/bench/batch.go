@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Vectorized-execution figure: the same Workload 1 columnar feed measured
+// with the block path disabled (scalar per-tuple baseline) and enabled at
+// several block sizes, interleaved A/B over several rounds with the minimum
+// kept per mode. Both arms push the identical window-grouped column batches
+// through PushColumns — the scalar arm falls back to per-row injection in
+// the same order — so the comparison isolates the vectorized kernels from
+// any difference in feed shape. Result counts must agree exactly across
+// every mode; a mismatch fails the run.
+
+// batchWindow is the ingest window: events are grouped into windows of this
+// many, and within a window the S rows and then the T rows are pushed as
+// two column batches. Timestamps stay strictly increasing per source, and
+// every mode consumes the identical feed, so the grouping is a fixed
+// property of the figure, not a variable.
+const batchWindow = 512
+
+// BatchRow is one (query count, block size) cell of the sweep.
+type BatchRow struct {
+	Queries   int
+	BlockSize int     // -1 = scalar baseline
+	NSOp      float64 // ns per event (min over rounds)
+	AllocsOp  float64 // heap allocations per event (min over rounds)
+	Speedup   float64 // scalar NSOp / this NSOp
+	Results   int64   // total results produced (identical across modes)
+}
+
+// colPush is one precomputed PushColumns call of the columnar feed.
+type colPush struct {
+	source string
+	ts     []int64
+	cols   [][]int64
+}
+
+// buildColFeed groups events into windows and transposes each window's
+// per-source runs into column batches, preserving per-source timestamp
+// order. The feed is built once and shared read-only by every pass
+// (PushColumns borrows the slices only for the duration of the drain).
+func buildColFeed(events []workload.Event, window int) []colPush {
+	var feed []colPush
+	for off := 0; off < len(events); off += window {
+		end := min(off+window, len(events))
+		bySource := make(map[string][]int)
+		var order []string
+		for i := off; i < end; i++ {
+			src := events[i].Source
+			if _, ok := bySource[src]; !ok {
+				order = append(order, src)
+			}
+			bySource[src] = append(bySource[src], i)
+		}
+		for _, src := range order {
+			idx := bySource[src]
+			arity := len(events[idx[0]].Tuple.Vals)
+			cp := colPush{source: src, ts: make([]int64, len(idx)), cols: make([][]int64, arity)}
+			for a := range cp.cols {
+				cp.cols[a] = make([]int64, len(idx))
+			}
+			for row, i := range idx {
+				cp.ts[row] = events[i].Tuple.TS
+				for a, v := range events[i].Tuple.Vals {
+					cp.cols[a][row] = v
+				}
+			}
+			feed = append(feed, cp)
+		}
+	}
+	return feed
+}
+
+// batchPass builds a fresh Workload 1 engine at the given block size, feeds
+// the warm-up tenth of the columnar feed, and measures ns/event and
+// allocs/event over the rest. blockSize -1 is the scalar baseline.
+func (cfg Config) batchPass(queries, blockSize int, feed []colPush) (nsOp, allocsOp float64, results int64, err error) {
+	p := workload.DefaultParams()
+	p.Seed = cfg.Seed
+	p.NumQueries = queries
+	cqs, err := workload.ToRUMOR(p.Workload1())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	e, err := BuildRUMOR(p.Catalog(), cqs, false)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	e.SetBlockSize(blockSize)
+
+	warm := len(feed) / 10
+	measured := 0
+	for _, cp := range feed[:warm] {
+		if err := e.PushColumns(cp.source, cp.ts, cp.cols); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	for _, cp := range feed[warm:] {
+		measured += len(cp.ts)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for _, cp := range feed[warm:] {
+		if err := e.PushColumns(cp.source, cp.ts, cp.cols); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(measured)
+	return float64(elapsed.Nanoseconds()) / n, float64(after.Mallocs-before.Mallocs) / n, e.TotalResults(), nil
+}
+
+// BatchModes is the sweep: scalar baseline then increasing block sizes.
+var BatchModes = []int{-1, 1, 16, 64, 256}
+
+// Batch runs the vectorized-execution sweep: for each query count, five
+// interleaved rounds over every mode, keeping the fastest pass and lowest
+// allocation rate per mode. Every pass must produce the same result total;
+// a divergence is an equivalence bug, not noise, and aborts the sweep.
+func (cfg Config) Batch() ([]BatchRow, error) {
+	var rows []BatchRow
+	for _, q := range cfg.capSweep([]int{10, 100, 1000}) {
+		p := workload.DefaultParams()
+		p.Seed = cfg.Seed
+		p.NumQueries = q
+		events := p.GenStreams(cfg.Tuples)
+		feed := buildColFeed(events, batchWindow)
+
+		base := len(rows)
+		for _, bs := range BatchModes {
+			rows = append(rows, BatchRow{Queries: q, BlockSize: bs})
+		}
+		const rounds = 5
+		for r := 0; r < rounds; r++ {
+			for mi, bs := range BatchModes {
+				ns, allocs, results, err := cfg.batchPass(q, bs, feed)
+				if err != nil {
+					return rows, err
+				}
+				row := &rows[base+mi]
+				if row.NSOp == 0 || ns < row.NSOp {
+					row.NSOp = ns
+				}
+				if r == 0 || allocs < row.AllocsOp {
+					row.AllocsOp = allocs
+				}
+				if r == 0 && mi == 0 {
+					rows[base].Results = results
+				} else if results != rows[base].Results {
+					return rows, fmt.Errorf("bench: batch equivalence broken at %d queries: block size %d produced %d results, scalar produced %d",
+						q, bs, results, rows[base].Results)
+				}
+				row.Results = results
+			}
+		}
+		scalar := rows[base].NSOp
+		for mi := range BatchModes {
+			if rows[base+mi].NSOp > 0 {
+				rows[base+mi].Speedup = scalar / rows[base+mi].NSOp
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FprintBatch renders the vectorized-execution sweep as an aligned table.
+func FprintBatch(w io.Writer, rows []BatchRow) {
+	fmt.Fprintln(w, "Vectorized execution — Workload 1, scalar vs block path by block size")
+	fmt.Fprintf(w, "%-10s %-10s %12s %12s %9s %12s\n",
+		"#queries", "block", "ns/event", "alloc/event", "speedup", "results")
+	for _, r := range rows {
+		mode := fmt.Sprintf("%d", r.BlockSize)
+		if r.BlockSize < 0 {
+			mode = "scalar"
+		}
+		fmt.Fprintf(w, "%-10d %-10s %12.1f %12.3f %8.2fx %12d\n",
+			r.Queries, mode, r.NSOp, r.AllocsOp, r.Speedup, r.Results)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 70))
+}

@@ -24,11 +24,9 @@ func (cfg Config) fig9(vary func(x int, p *workload.Params), xs []int, fig, titl
 			return nil, err
 		}
 		events := p.GenStreams(cfg.Tuples)
-		a, err := rumorThroughput(p.Catalog(), cqs, events, false)
-		if err != nil {
-			return nil, err
-		}
-		b, err := cayugaThroughput(p, aqs, events)
+		a, b, err := cfg.measureAB(
+			func() (float64, error) { return rumorThroughput(p.Catalog(), cqs, events, false) },
+			func() (float64, error) { return cayugaThroughput(p, aqs, events) })
 		if err != nil {
 			return nil, err
 		}
@@ -75,11 +73,9 @@ func (cfg Config) Fig9d() (*Result, error) {
 			return nil, err
 		}
 		events := p.GenStreams(cfg.Tuples)
-		a, err := rumorThroughput(p.Catalog(), cqs, events, false)
-		if err != nil {
-			return nil, err
-		}
-		b, err := cayugaThroughput(p, aqs, events)
+		a, b, err := cfg.measureAB(
+			func() (float64, error) { return rumorThroughput(p.Catalog(), cqs, events, false) },
+			func() (float64, error) { return cayugaThroughput(p, aqs, events) })
 		if err != nil {
 			return nil, err
 		}
@@ -115,11 +111,9 @@ func (cfg Config) fig10ab(mu bool) (*Result, error) {
 			return nil, err
 		}
 		events := p.GenStreams(cfg.Tuples)
-		a, err := rumorThroughput(p.Catalog(), cqs, events, false)
-		if err != nil {
-			return nil, err
-		}
-		b, err := cayugaThroughput(p, aqs, events)
+		a, b, err := cfg.measureAB(
+			func() (float64, error) { return rumorThroughput(p.Catalog(), cqs, events, false) },
+			func() (float64, error) { return cayugaThroughput(p, aqs, events) })
 		if err != nil {
 			return nil, err
 		}
@@ -148,11 +142,9 @@ func (cfg Config) Fig10c() (*Result, error) {
 		p := workload.DefaultParams()
 		p.Seed = cfg.Seed
 		p.NumQueries = x
-		a, err := w3Throughput(p, min(k, x), cfg.Rounds, true)
-		if err != nil {
-			return nil, err
-		}
-		b, err := w3Throughput(p, min(k, x), cfg.Rounds, false)
+		a, b, err := cfg.measureAB(
+			func() (float64, error) { return w3Throughput(p, min(k, x), cfg.Rounds, true) },
+			func() (float64, error) { return w3Throughput(p, min(k, x), cfg.Rounds, false) })
 		if err != nil {
 			return nil, err
 		}
@@ -176,11 +168,9 @@ func (cfg Config) Fig10d() (*Result, error) {
 		p := workload.DefaultParams()
 		p.Seed = cfg.Seed
 		p.NumQueries = nq
-		a, err := w3Throughput(p, k, cfg.Rounds, true)
-		if err != nil {
-			return nil, err
-		}
-		b, err := w3Throughput(p, k, cfg.Rounds, false)
+		a, b, err := cfg.measureAB(
+			func() (float64, error) { return w3Throughput(p, k, cfg.Rounds, true) },
+			func() (float64, error) { return w3Throughput(p, k, cfg.Rounds, false) })
 		if err != nil {
 			return nil, err
 		}
@@ -192,24 +182,21 @@ func (cfg Config) Fig10d() (*Result, error) {
 // fig11 measures the hybrid workload over the D1-style trace.
 func (cfg Config) fig11(n int, sel float64) (withCh, withoutCh float64, err error) {
 	events := workload.D1(cfg.TraceSeconds).Events()
-	for _, channels := range []bool{true, false} {
+	pass := func(channels bool) (float64, error) {
 		qs := workload.DefaultHybrid(n, sel).Queries()
 		e, err := BuildRUMOR(workload.PerfCatalog(), qs, channels)
 		if err != nil {
-			return 0, 0, err
+			return 0, err
 		}
-		tps := throughput(events, func(ev workload.Event) {
+		return throughput(events, func(ev workload.Event) {
 			if err := e.Push(ev.Source, ev.Tuple); err != nil {
 				panic(err)
 			}
-		})
-		if channels {
-			withCh = tps
-		} else {
-			withoutCh = tps
-		}
+		}), nil
 	}
-	return withCh, withoutCh, nil
+	return cfg.measureAB(
+		func() (float64, error) { return pass(true) },
+		func() (float64, error) { return pass(false) })
 }
 
 // Fig11a: hybrid queries on the D1-style trace, sel = 0.5, varying the

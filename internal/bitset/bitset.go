@@ -87,6 +87,31 @@ func Singleton(i int) *Set {
 // inline reports whether the set content lives in the inline word.
 func (s *Set) inline() bool { return s.spill == nil }
 
+// FromWord returns a set whose bits 0..63 are the bits of w. It is the
+// inverse of InlineWord, used by the vectorized execution path to rebuild a
+// membership set from a block's packed membership-word column.
+func FromWord(w uint64) *Set { return &Set{word: w} }
+
+// InlineWord returns the set's content as a single 64-bit word. ok is false
+// when the set has spilled past the inline word (bits ≥ 64 may be set) —
+// the signal that a membership cannot ride in a block's one-word-per-row
+// membership column and the tuple must take the scalar path. A nil set is
+// the empty word.
+func (s *Set) InlineWord() (w uint64, ok bool) {
+	if s == nil {
+		return 0, true
+	}
+	if s.spill == nil {
+		return s.word, true
+	}
+	for i, sw := range s.spill {
+		if i > 0 && sw != 0 {
+			return 0, false
+		}
+	}
+	return s.spill[0], true
+}
+
 // Spilled reports whether the set has outgrown the inline word and spilled
 // to a heap-allocated word slice — the membership-word spill signal the
 // telemetry layer and the adaptive optimizer track (wide channels are a

@@ -769,6 +769,13 @@ type Stats struct {
 	// plan-level view of the engine_member_spills_total runtime counter.
 	ChannelWords    int
 	SpilledChannels int
+	// BlockEdges counts edges statically capable of carrying columnar
+	// blocks: every producer and every consumer is a source or selection
+	// (the vectorized m-op kinds) and the channel width fits one inline
+	// membership word. The engine additionally gates on per-instance
+	// predicate kernelizability at lowering, so this is an upper bound on
+	// the edges the block path actually uses.
+	BlockEdges int
 }
 
 // Stats returns summary counts for the plan.
@@ -791,6 +798,34 @@ func (p *Physical) Stats() Stats {
 			if words > 1 {
 				st.SpilledChannels++
 			}
+		}
+	}
+	capable := make(map[int]bool, len(p.Edges))
+	for _, e := range p.Edges {
+		ok := len(e.Streams) <= 64
+		for _, s := range e.Streams {
+			if s.Producer != nil && s.Producer.Def.Kind != KindSource && s.Producer.Def.Kind != KindSelect {
+				ok = false
+				break
+			}
+		}
+		capable[e.ID] = ok
+	}
+	for _, n := range p.Nodes {
+		if n.Kind == KindSource || n.Kind == KindSelect {
+			continue
+		}
+		for _, o := range n.Ops {
+			for _, in := range o.In {
+				if ed := p.streamEdge[in.ID]; ed != nil {
+					capable[ed.ID] = false
+				}
+			}
+		}
+	}
+	for _, ok := range capable {
+		if ok {
+			st.BlockEdges++
 		}
 	}
 	return st

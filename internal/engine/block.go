@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Block routing: the vectorized execution path. Ingest builds columnar
+// blocks instead of exploding batches into tuples; drain carries blocks
+// along edges whose consumer speaks BatchMOp (one dense-edge lookup per
+// block instead of per tuple); and at the boundary to scalar m-ops the
+// block→scalar adapter materializes pooled row tuples, so join/agg/seq see
+// exactly the tuples the scalar path would have delivered.
+
+// blockSizeScalar is the SetBlockSize argument that disables the
+// vectorized path entirely (every ingest call takes the scalar path).
+const blockSizeScalar = -1
+
+// pushBatchBlockMin is the minimum PushBatch length worth building blocks
+// for; shorter batches keep the scalar path, whose per-tuple cost beats
+// block setup at that size.
+const pushBatchBlockMin = 4
+
+// SetBlockSize sets the ingest block segmentation: batches are cut into
+// blocks of at most n rows. n == 0 restores the default
+// (stream.MaxBlockRows); n < 0 disables the vectorized path, forcing every
+// push through the scalar per-tuple path (the A/B baseline). The engine
+// must be quiescent.
+func (e *Engine) SetBlockSize(n int) {
+	if n < 0 {
+		e.blockRows = blockSizeScalar
+		return
+	}
+	e.blockRows = n
+}
+
+// blockSize returns the active ingest segmentation (0 when disabled).
+func (e *Engine) blockSize() int {
+	switch {
+	case e.blockRows == blockSizeScalar:
+		return 0
+	case e.blockRows == 0:
+		return stream.MaxBlockRows
+	default:
+		return e.blockRows
+	}
+}
+
+// BlocksProcessed returns the number of blocks delivered along
+// block-capable edges since the engine was built (ingest and m-op output
+// blocks alike).
+func (e *Engine) BlocksProcessed() int64 { return e.blocksProcessed }
+
+func (e *Engine) enqueueBlock(edge *core.Edge, b *stream.Block) {
+	e.qHasBlocks = true
+	e.queue = append(e.queue, queued{edge: edge, b: b})
+}
+
+// blockBatch builds ingest blocks for a PushBatch call when the vectorized
+// path applies, reporting whether it consumed the batch. Rows are copied
+// column-major into owned pooled blocks (PushColumns skips this copy).
+func (e *Engine) blockBatch(si sourceInfo, ts []int64, vals [][]int64) bool {
+	rows := e.blockSize()
+	if rows == 0 || len(ts) < pushBatchBlockMin {
+		return false
+	}
+	memberWord, inline := memberWordOf(si)
+	if !inline {
+		return false
+	}
+	arity := len(vals[0])
+	for _, row := range vals {
+		if len(row) != arity {
+			return false // ragged batch: columns cannot represent it
+		}
+	}
+	for off := 0; off < len(ts); off += rows {
+		n := min(rows, len(ts)-off)
+		b := e.bpool.Get(n, arity)
+		copy(b.TS, ts[off:off+n])
+		for i, row := range vals[off : off+n] {
+			for a, v := range row {
+				b.Cols[a][i] = v
+			}
+		}
+		b.SelAll()
+		fillMember(e.bpool, b, memberWord)
+		e.enqueueBlock(si.edge, b)
+	}
+	return true
+}
+
+// PushColumns injects a batch given column-major — ts[i] pairs with
+// cols[a][i] — and drains the plan. This is the zero-copy ingest entry:
+// the blocks borrow the caller's slices for the duration of the drain (the
+// engine copies at the block→scalar boundary and never retains them), so
+// the caller regains ownership when PushColumns returns. The ordering
+// caveats of PushBatch apply.
+//
+// When the vectorized path is off (SetBlockSize < 0) or the source's
+// channel membership has spilled past the inline word, the batch falls
+// back to equivalent per-row scalar injection.
+func (e *Engine) PushColumns(source string, ts []int64, cols [][]int64) error {
+	for a, col := range cols {
+		if len(col) != len(ts) {
+			return fmt.Errorf("engine: PushColumns length mismatch: %d timestamps, %d rows in column %d", len(ts), len(col), a)
+		}
+	}
+	si, ok := e.lookupSource(source)
+	if !ok {
+		return fmt.Errorf("engine: source %q not in plan", source)
+	}
+	rows := e.blockSize()
+	memberWord, inline := memberWordOf(si)
+	if rows == 0 || !inline {
+		for i := range ts {
+			t := &stream.Tuple{TS: ts[i], Vals: make([]int64, len(cols)), Member: si.member}
+			for a, col := range cols {
+				t.Vals[a] = col[i]
+			}
+			e.enqueue(si.edge, t)
+		}
+		e.drain()
+		return nil
+	}
+	for off := 0; off < len(ts); off += rows {
+		n := min(rows, len(ts)-off)
+		b := e.bpool.Wrap(ts, cols, off, n)
+		fillMember(e.bpool, b, memberWord)
+		e.enqueueBlock(si.edge, b)
+	}
+	e.drain()
+	return nil
+}
+
+// memberWordOf returns the source's channel membership as one inline word
+// (0 for a plain source edge); ok is false when it has spilled.
+func memberWordOf(si sourceInfo) (w uint64, ok bool) {
+	if si.member == nil {
+		return 0, true
+	}
+	return si.member.InlineWord()
+}
+
+// fillMember attaches the packed membership column for a channel-encoded
+// source: every ingest row carries the source's singleton word.
+func fillMember(bp *stream.BlockPool, b *stream.Block, word uint64) {
+	if word == 0 {
+		return
+	}
+	bp.GetMember(b)
+	for i := range b.Member {
+		b.Member[i] = word
+	}
+}
+
+// deliverBlock is the block counterpart of deliver: sinks are counted in
+// bulk, batch consumers get the whole block, and scalar consumers (or a
+// result callback) get materialized rows through the adapter.
+func (e *Engine) deliverBlock(edge *core.Edge, b *stream.Block) {
+	r := &e.routes[edge.ID]
+	e.blocksProcessed++
+	live := int64(b.SelCount())
+	rowSinks := r.hasSink && e.OnResult != nil
+	if r.hasSink && !rowSinks {
+		for i := range r.sinks {
+			s := &r.sinks[i]
+			cnt := live
+			if s.pos >= 0 {
+				cnt = 0
+				if b.Member != nil {
+					mask := uint64(1) << uint(s.pos)
+					for wi, w := range b.Sel {
+						base := wi << 6
+						for w != 0 {
+							bit := bits.TrailingZeros64(w)
+							w &^= 1 << uint(bit)
+							if b.Member[base+bit]&mask != 0 {
+								cnt++
+							}
+						}
+					}
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			for _, qid := range s.queries {
+				e.counts[qid] += cnt
+			}
+		}
+	}
+	for _, c := range r.batchConsumers {
+		n := c.node
+		n.processed += live
+		if e.obsOn {
+			t0 := time.Now()
+			n.bm.ProcessBlock(c.port, b, e.bpool, n.emitB)
+			n.busyNS += time.Since(t0).Nanoseconds()
+		} else {
+			n.bm.ProcessBlock(c.port, b, e.bpool, n.emitB)
+		}
+	}
+	if len(r.scalarConsumers) > 0 || rowSinks {
+		e.deliverBlockRows(r, b, rowSinks)
+	}
+}
+
+// deliverBlockRows is the block→scalar adapter: each live row becomes a
+// pooled tuple delivered to the edge's scalar consumers (and, when a
+// result callback is installed, to the sinks), mirroring deliver()'s
+// ownership and release discipline row by row.
+func (e *Engine) deliverBlockRows(r *edgeRoute, b *stream.Block, rowSinks bool) {
+	for wi, w := range b.Sel {
+		base := wi << 6
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << uint(bit)
+			i := base + bit
+			t := e.pool.Get(b.TS[i], len(b.Cols))
+			for a, col := range b.Cols {
+				t.Vals[a] = col[i]
+			}
+			if b.Member != nil {
+				t.Member = e.memberSet(b.Member[i])
+			}
+			t.Owned = !r.rowClearsOwned
+			if rowSinks {
+				for si := range r.sinks {
+					s := &r.sinks[si]
+					if s.pos >= 0 && !t.Member.Test(s.pos) {
+						continue
+					}
+					for _, qid := range s.queries {
+						e.counts[qid]++
+						e.OnResult(qid, t)
+					}
+				}
+			}
+			for _, c := range r.scalarConsumers {
+				n := c.node
+				n.processed++
+				if e.obsOn && n.processed&busyMask == 0 {
+					t0 := time.Now()
+					n.m.Process(c.port, t, n.emit)
+					n.busyNS += time.Since(t0).Nanoseconds() * (busyMask + 1)
+				} else {
+					n.m.Process(c.port, t, n.emit)
+				}
+			}
+			if t.Owned && r.rowReleasable && (!r.hasSink || e.OnResult == nil) {
+				e.pool.Put(t)
+			}
+		}
+	}
+}
+
+// memberSet interns the bitset.Set for one packed membership word. Stored
+// memberships must be shared read-only objects (the scalar path already
+// shares interned singletons across every ingest tuple), so the adapter
+// hands out one set per distinct word: singletons from the global interning
+// table, wider words from a per-engine cache with a last-word memo in
+// front, since consecutive rows of a block usually agree.
+func (e *Engine) memberSet(w uint64) *bitset.Set {
+	if w == 0 {
+		return nil
+	}
+	if w == e.lastMemberWord {
+		return e.lastMemberSet
+	}
+	var s *bitset.Set
+	if w&(w-1) == 0 {
+		s = bitset.Singleton(bits.TrailingZeros64(w))
+	} else if s = e.memberSets[w]; s == nil {
+		if e.memberSets == nil {
+			e.memberSets = make(map[uint64]*bitset.Set)
+		}
+		s = bitset.FromWord(w)
+		e.memberSets[w] = s
+	}
+	e.lastMemberWord, e.lastMemberSet = w, s
+	return s
+}

@@ -32,14 +32,20 @@ type portRef struct {
 }
 
 type runtimeNode struct {
-	id        int
-	m         mop.MOp
-	in        []*core.Edge  // input port → edge (consumer registration)
-	out       []*core.Edge  // output port → edge
-	emit      mop.Emit      // built once at lowering: enqueues on out[port]
-	uses      []mop.PortUse // input port → how delivered tuples are used
-	processed int64         // tuples delivered to this m-op
-	emitted   int64         // tuples produced by this m-op
+	id   int
+	m    mop.MOp
+	in   []*core.Edge  // input port → edge (consumer registration)
+	out  []*core.Edge  // output port → edge
+	emit mop.Emit      // built once at lowering: enqueues on out[port]
+	uses []mop.PortUse // input port → how delivered tuples are used
+	// bm is non-nil when the m-op takes the vectorized path (implements
+	// BatchMOp and reported BlockReady at lowering); emitB is its block
+	// emission closure. Edges into a bm node carry blocks, everything else
+	// goes through the block→scalar adapter (see block.go).
+	bm        mop.BatchMOp
+	emitB     mop.EmitBlock
+	processed int64 // tuples delivered to this m-op
+	emitted   int64 // tuples produced by this m-op
 	// busyNS is a sampled estimate of time spent in this m-op's Process:
 	// while telemetry is enabled, every busySample-th delivery is timed and
 	// scaled up. Sampling keeps the clock off the per-tuple path.
@@ -97,6 +103,17 @@ type edgeRoute struct {
 	// and must shed its Owned flag before the consumers run.
 	clearsOwned bool
 	hasSink     bool
+
+	// Block routing: consumers split by path. A block arriving on this
+	// edge is handed whole to each batch consumer and materialized into
+	// pooled row tuples once for the scalar consumers (the block→scalar
+	// adapter). rowReleasable/rowClearsOwned are the release analysis of
+	// deliver() restricted to the scalar consumers, applied to those
+	// materialized rows.
+	batchConsumers  []portRef
+	scalarConsumers []portRef
+	rowReleasable   bool
+	rowClearsOwned  bool
 }
 
 // Engine is an executable instance of a physical plan.
@@ -125,6 +142,24 @@ type Engine struct {
 	pool *stream.Pool
 
 	queue []queued
+	// qHasBlocks notes that the current drain carried at least one block,
+	// switching the end-of-drain accounting to the per-entry walk that
+	// recycles blocks; pure scalar drains keep their bulk path.
+	qHasBlocks bool
+
+	// Vectorized-path state. bpool recycles block headers and columns;
+	// blockRows is the ingest segmentation (0 = stream.MaxBlockRows,
+	// blockSizeScalar = vectorization disabled). memberSets interns the
+	// multi-bit membership sets the block→scalar adapter attaches to
+	// materialized rows (single bits use bitset.Singleton), with a
+	// last-word memo in front since consecutive rows of a channel block
+	// usually share a membership word.
+	bpool           *stream.BlockPool
+	blockRows       int
+	memberSets      map[uint64]*bitset.Set
+	lastMemberWord  uint64
+	lastMemberSet   *bitset.Set
+	blocksProcessed int64 // blocks delivered along block-capable edges
 
 	// Telemetry. obsOn caches obs.Enabled() — refreshed once per drain, so
 	// the per-tuple cost of disabled telemetry inside the delivery loop is
@@ -140,6 +175,7 @@ type Engine struct {
 type queued struct {
 	edge *core.Edge
 	t    *stream.Tuple
+	b    *stream.Block // non-nil for a block delivery (t is then nil)
 }
 
 // New lowers the plan. The plan must not be mutated afterwards. Lowering
@@ -150,7 +186,7 @@ func New(p *core.Physical) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: invalid plan: %w", err)
 	}
-	e := &Engine{plan: p, pool: stream.NewPool()}
+	e := &Engine{plan: p, pool: stream.NewPool(), bpool: stream.NewBlockPool()}
 	for _, n := range p.Nodes {
 		if n.Kind == core.KindSource {
 			continue // sources are injected directly onto their edges
@@ -177,6 +213,13 @@ func (e *Engine) lowerNode(n *core.Node) (*runtimeNode, error) {
 	rn.emit = func(outPort int, out *stream.Tuple) {
 		rn.emitted++
 		e.enqueue(rn.out[outPort], out)
+	}
+	if bm, ok := low.MOp.(mop.BatchMOp); ok && bm.BlockReady() {
+		rn.bm = bm
+		rn.emitB = func(outPort int, b *stream.Block) {
+			rn.emitted += int64(b.SelCount())
+			e.enqueueBlock(rn.out[outPort], b)
+		}
 	}
 	return rn, nil
 }
@@ -210,6 +253,11 @@ func (e *Engine) rebuildRoutes() {
 		for port, in := range rn.in {
 			r := &e.routes[in.ID]
 			r.consumers = append(r.consumers, portRef{node: rn, port: port})
+			if rn.bm != nil {
+				r.batchConsumers = append(r.batchConsumers, portRef{node: rn, port: port})
+			} else {
+				r.scalarConsumers = append(r.scalarConsumers, portRef{node: rn, port: port})
+			}
 		}
 	}
 	// Source edges, indexed by every source name they carry, with the
@@ -280,6 +328,27 @@ func (e *Engine) rebuildRoutes() {
 		}
 		if forwarders > 1 || (forwarders == 1 && r.hasSink) {
 			r.clearsOwned = true
+		}
+		// Same analysis restricted to the scalar consumers: it governs the
+		// pooled row tuples the block→scalar adapter materializes.
+		r.rowReleasable = true
+		rowForwarders := 0
+		for _, c := range r.scalarConsumers {
+			use := mop.PortStores
+			if c.port < len(c.node.uses) {
+				use = c.node.uses[c.port]
+			}
+			switch use {
+			case mop.PortStores:
+				r.rowClearsOwned = true
+				r.rowReleasable = false
+			case mop.PortForwards:
+				rowForwarders++
+				r.rowReleasable = false
+			}
+		}
+		if rowForwarders > 1 || (rowForwarders == 1 && r.hasSink) {
+			r.rowClearsOwned = true
 		}
 	}
 }
@@ -527,6 +596,10 @@ func (e *Engine) PushBatch(source string, ts []int64, vals [][]int64) error {
 	if !ok {
 		return fmt.Errorf("engine: source %q not in plan", source)
 	}
+	if e.blockBatch(si, ts, vals) {
+		e.drain()
+		return nil
+	}
 	for i := range ts {
 		// Built directly rather than via the tuple pool: batch tuples flow
 		// into the DAG (where stateful m-ops may retain them), so they are
@@ -549,13 +622,36 @@ func (e *Engine) drain() {
 	e.obsOn = obs.Enabled()
 	for i := 0; i < len(e.queue); i++ {
 		q := e.queue[i]
-		e.deliver(q.edge, q.t)
+		if q.b != nil {
+			e.deliverBlock(q.edge, q.b)
+		} else {
+			e.deliver(q.edge, q.t)
+		}
 	}
-	if e.obsOn {
-		// The loop ran to quiescence, so the final queue length is the
-		// number of edge traversals drained — counted here in bulk, not
-		// per delivery.
-		e.delivered += int64(len(e.queue))
+	if !e.qHasBlocks {
+		if e.obsOn {
+			// The loop ran to quiescence, so the final queue length is the
+			// number of edge traversals drained — counted here in bulk, not
+			// per delivery.
+			e.delivered += int64(len(e.queue))
+		}
+	} else {
+		// Blocks are transient within one drain: with every delivery done,
+		// no m-op can still read them, so the whole drain's blocks recycle
+		// in one pass (each block sits in the queue exactly once).
+		var delivered int64
+		for i := range e.queue {
+			if b := e.queue[i].b; b != nil {
+				delivered += int64(b.SelCount())
+				e.bpool.Put(b)
+			} else {
+				delivered++
+			}
+		}
+		if e.obsOn {
+			e.delivered += delivered
+		}
+		e.qHasBlocks = false
 	}
 	clear(e.queue)
 	e.queue = e.queue[:0]

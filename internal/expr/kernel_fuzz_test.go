@@ -1,0 +1,110 @@
+package expr
+
+import (
+	"testing"
+)
+
+// predDecoder builds a bounded columnar predicate tree from a fuzz byte
+// stream: each byte consumed picks a node kind or a parameter, so any input
+// decodes to some valid Columnar predicate over nAttrs attributes.
+type predDecoder struct {
+	data  []byte
+	pos   int
+	attrs int
+}
+
+func (d *predDecoder) next() byte {
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *predDecoder) pred(depth int) Pred {
+	k := d.next()
+	if depth >= 3 {
+		k %= 4 // leaves only
+	}
+	switch k % 7 {
+	case 0:
+		return ConstCmp{Attr: int(d.next()) % d.attrs, Op: CmpOp(d.next() % 6), C: int64(d.next() % 8)}
+	case 1:
+		return AttrCmp{A: int(d.next()) % d.attrs, Op: CmpOp(d.next() % 6), B: int(d.next()) % d.attrs}
+	case 2:
+		return True{}
+	case 3:
+		return False{}
+	case 4:
+		n := 2 + int(d.next()%2)
+		parts := make([]Pred, n)
+		for i := range parts {
+			parts[i] = d.pred(depth + 1)
+		}
+		return And{Parts: parts}
+	case 5:
+		n := 2 + int(d.next()%2)
+		parts := make([]Pred, n)
+		for i := range parts {
+			parts[i] = d.pred(depth + 1)
+		}
+		return Or{Parts: parts}
+	default:
+		return Not{P: d.pred(depth + 1)}
+	}
+}
+
+// FuzzFilterSel cross-checks the fused selection-bitmap kernel against the
+// per-row reference: after FilterSel, bit i must be set iff it was set in
+// the input selection and EvalAt holds at row i, and every bit past the row
+// count must remain zero.
+func FuzzFilterSel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{4, 0, 0, 1, 3, 1, 0, 2, 1, 255, 128, 64, 32, 16})
+	f.Add([]byte{6, 5, 0, 0, 0, 5, 1, 1, 1, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &predDecoder{data: data, attrs: 1}
+		rows := 1 + int(d.next())%200
+		d.attrs = 1 + int(d.next())%4
+		p := d.pred(0)
+		if !Columnar(p) {
+			t.Fatalf("decoder produced non-columnar predicate %q", p.Key())
+		}
+		cols := make([][]int64, d.attrs)
+		for a := range cols {
+			cols[a] = make([]int64, rows)
+			for i := range cols[a] {
+				cols[a][i] = int64(d.next() % 8)
+			}
+		}
+		words := (rows + 63) / 64
+		orig := make([]uint64, words)
+		for wi := range orig {
+			for b := 0; b < 8; b++ {
+				orig[wi] |= uint64(d.next()) << uint(8*b)
+			}
+		}
+		if tail := rows & 63; tail != 0 {
+			orig[words-1] &= (uint64(1) << uint(tail)) - 1 // precondition: tail bits zero
+		}
+		sel := make([]uint64, words)
+		copy(sel, orig)
+
+		FilterSel(p, cols, sel)
+
+		for i := 0; i < rows; i++ {
+			in := orig[i>>6]&(1<<uint(i&63)) != 0
+			got := sel[i>>6]&(1<<uint(i&63)) != 0
+			want := in && EvalAt(p, cols, i)
+			if got != want {
+				t.Fatalf("pred %q row %d (rows=%d): FilterSel=%v, reference=%v", p.Key(), i, rows, got, want)
+			}
+		}
+		if tail := rows & 63; tail != 0 {
+			if extra := sel[words-1] &^ ((uint64(1) << uint(tail)) - 1); extra != 0 {
+				t.Fatalf("pred %q: tail bits past row %d set: %#x", p.Key(), rows, extra)
+			}
+		}
+	})
+}

@@ -40,6 +40,28 @@ type MOp interface {
 	Process(port int, t *stream.Tuple, emit Emit)
 }
 
+// EmitBlock delivers an output block on the m-op's output port. The block
+// is transient: the engine recycles it (and its input) when the current
+// drain reaches quiescence, so m-ops must never retain block references.
+type EmitBlock func(outPort int, b *stream.Block)
+
+// BatchMOp is implemented by m-ops that can additionally consume columnar
+// blocks (the vectorized execution path). ProcessBlock consumes the live
+// rows of one block arriving on the given input port and emits any output
+// blocks via emit, allocating block capacity only from bp. The observable
+// behaviour must equal calling Process once per live row in row order.
+//
+// BlockReady reports whether this lowered instance can actually take the
+// block path: implementations answer false when some operator needs the
+// scalar representation (non-kernelizable predicate, membership position
+// beyond the inline word, ...). The engine asks once at route-build time;
+// a false answer keeps every edge into this m-op on the scalar path.
+type BatchMOp interface {
+	MOp
+	BlockReady() bool
+	ProcessBlock(port int, b *stream.Block, bp *stream.BlockPool, emit EmitBlock)
+}
+
 // PortUse classifies what an m-op does with tuples delivered on one input
 // port; the engine's release analysis uses it to decide where an Owned
 // tuple's life ends.

@@ -53,6 +53,15 @@ type SelectMOp struct {
 	// single-forward calls can pass tuple ownership through to the
 	// downstream edge instead of pinning the tuple.
 	tgScratch []target
+
+	// Vectorized path (select_block.go). vec is decided once at lowering
+	// time: every group predicate kernelizable and every membership
+	// position within the inline word. outChan marks channel output ports;
+	// blkOuts and selScratch are per-ProcessBlock scratch.
+	vec        bool
+	outChan    []bool
+	blkOuts    []*stream.Block
+	selScratch []uint64
 }
 
 func newSelectMOp(p *core.Physical, n *core.Node, pm *portMap, tp *stream.Pool) (*SelectMOp, error) {
@@ -109,6 +118,34 @@ func newSelectMOp(p *core.Physical, n *core.Node, pm *portMap, tp *stream.Pool) 
 	for p := range m.ports {
 		for i := range m.ports[p].indexed {
 			m.ports[p].indexed[i].byConst.seal()
+		}
+	}
+	// Decide block-readiness (see select_block.go): every residual must be
+	// a kernelizable predicate, every membership position must fit the
+	// inline word (blocks pack memberships one word per row), and no two
+	// operators may share a plain output port (a block cannot represent the
+	// duplicate emission the scalar path would produce there).
+	m.vec = true
+	m.outChan = make([]bool, len(pm.outEdges))
+	m.blkOuts = make([]*stream.Block, len(pm.outEdges))
+	plainSeen := make([]bool, len(pm.outEdges))
+	for _, k := range order {
+		g := groups[k]
+		if g.residual && !expr.Columnar(g.pred) {
+			m.vec = false
+		}
+		for _, o := range g.ops {
+			if o.inPos >= 64 || o.tg.pos >= 64 {
+				m.vec = false
+			}
+			if o.tg.pos >= 0 {
+				m.outChan[o.tg.port] = true
+			} else {
+				if plainSeen[o.tg.port] {
+					m.vec = false
+				}
+				plainSeen[o.tg.port] = true
+			}
 		}
 	}
 	return m, nil

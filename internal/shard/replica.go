@@ -151,11 +151,23 @@ type localReplica struct {
 
 func (r *localReplica) replayBatch(_ int64, entries []entry) error {
 	var first error
+	fail := func(err error) {
+		if err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", r.idx, err)
+		}
+	}
 	i := 0
 	for i < len(entries) {
+		// Columnar runs feed the engine's block path directly, one run per
+		// call (the run already is a maximal same-source batch).
+		if run := entries[i].run; run != nil {
+			fail(r.eng.PushColumns(r.e.srcNames[entries[i].src], run.ts, run.cols))
+			i++
+			continue
+		}
 		src := entries[i].src
 		j := i + 1
-		for j < len(entries) && entries[j].src == src {
+		for j < len(entries) && entries[j].src == src && entries[j].run == nil {
 			j++
 		}
 		r.ts = r.ts[:0]
@@ -164,9 +176,7 @@ func (r *localReplica) replayBatch(_ int64, entries []entry) error {
 			r.ts = append(r.ts, entries[k].ts)
 			r.vals = append(r.vals, entries[k].vals)
 		}
-		if err := r.eng.PushBatch(r.e.srcNames[src], r.ts, r.vals); err != nil && first == nil {
-			first = fmt.Errorf("shard %d: %w", r.idx, err)
-		}
+		fail(r.eng.PushBatch(r.e.srcNames[src], r.ts, r.vals))
 		i = j
 	}
 	clear(r.vals)
@@ -231,8 +241,20 @@ func remoteFatal(err error) bool {
 }
 
 func (r *remoteReplica) replayBatch(seq int64, entries []entry) error {
+	// Columnar runs flatten to wire rows: the wire protocol (and the
+	// remote worker's replay loop) stays row-oriented and unchanged.
 	r.buf = r.buf[:0]
 	for _, en := range entries {
+		if run := en.run; run != nil {
+			for i, ts := range run.ts {
+				vals := make([]int64, len(run.cols))
+				for a, col := range run.cols {
+					vals[a] = col[i]
+				}
+				r.buf = append(r.buf, cluster.Entry{Src: en.src, TS: ts, Vals: vals})
+			}
+			continue
+		}
 		r.buf = append(r.buf, cluster.Entry{Src: en.src, TS: en.ts, Vals: en.vals})
 	}
 	err := r.cli.Replay(seq, r.buf)

@@ -67,11 +67,43 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// entry is one routed tuple awaiting replay on a shard.
+// entry is one routed item awaiting replay on a shard: a single tuple
+// (vals), or — on the columnar ingest path — a whole run of same-source
+// rows carried column-major (run != nil; ts then holds the run's first
+// timestamp and vals is nil). Carrying runs as single entries is what lets
+// the ingest queues, WAL, and worker loop amortize per-block: a PushColumns
+// batch costs one queue element and one WAL record slot per shard instead
+// of one per row.
 type entry struct {
 	src  int32
 	ts   int64
 	vals []int64
+	run  *colRun
+}
+
+// colRun is a column-major run of rows for one source: ts[i] pairs with
+// cols[a][i]. The shard engine owns the slices once routed (the caller
+// handed them over at PushColumns).
+type colRun struct {
+	ts   []int64
+	cols [][]int64
+}
+
+// rows returns the number of rows an entry stands for.
+func (en *entry) rows() int {
+	if en.run != nil {
+		return len(en.run.ts)
+	}
+	return 1
+}
+
+// entriesRows counts the rows across a batch of entries.
+func entriesRows(es []entry) int64 {
+	var n int64
+	for i := range es {
+		n += int64(es[i].rows())
+	}
+	return n
 }
 
 // msg is one queue element: a batch of entries, or a drain marker.
@@ -169,6 +201,10 @@ type Engine struct {
 	dead    []bool
 	numDead int
 
+	// pendingRows[i] is the row count of pending[i] (a columnar run entry
+	// stands for many rows); batch flushing triggers on rows, not entries.
+	pendingRows []int
+
 	// numUnreach counts remote replicas currently unreachable (transient
 	// outages). It is an atomic, not mu-guarded state: the OnDown callback
 	// that maintains it can fire from a worker goroutine's replayBatch
@@ -230,17 +266,18 @@ func build(p *core.Physical, part *core.PartitionPlan, cfg Config, nodes []clust
 		part = core.AnalyzePartition(p)
 	}
 	e := &Engine{
-		plan:     p,
-		part:     part,
-		cfg:      cfg,
-		srcs:     make(map[string]srcRoute),
-		pending:  make([][]entry, cfg.Shards),
-		base:     make(map[int]int64),
-		busyBase: make([]int64, cfg.Shards),
-		wal:      make([][]walRec, cfg.Shards),
-		walSeq:   make([]int64, cfg.Shards),
-		sent:     make([]int64, cfg.Shards),
-		dead:     make([]bool, cfg.Shards),
+		plan:        p,
+		part:        part,
+		cfg:         cfg,
+		srcs:        make(map[string]srcRoute),
+		pending:     make([][]entry, cfg.Shards),
+		pendingRows: make([]int, cfg.Shards),
+		base:        make(map[int]int64),
+		busyBase:    make([]int64, cfg.Shards),
+		wal:         make([][]walRec, cfg.Shards),
+		walSeq:      make([]int64, cfg.Shards),
+		sent:        make([]int64, cfg.Shards),
+		dead:        make([]bool, cfg.Shards),
 	}
 	e.batchPool.New = func() any { s := make([]entry, 0, cfg.BatchSize); return &s }
 	// Source routes (and the source-name table the handshake ships) must
@@ -462,7 +499,7 @@ func (w *worker) run() {
 		elapsed := time.Since(start).Nanoseconds()
 		w.busyNS.Add(elapsed)
 		w.flush.Observe(elapsed)
-		w.ingest.Observe(int64(len(m.entries)))
+		w.ingest.Observe(entriesRows(m.entries))
 		if err != nil && errors.Is(err, ErrShardDead) {
 			// Fatal replica loss (a remote worker declared lost): exit
 			// without completing the batch — it stays in the WAL, and the
@@ -477,7 +514,7 @@ func (w *worker) run() {
 		if err != nil && w.err == nil {
 			w.err = err // sticky application replay error
 		}
-		w.tuples.Add(int64(len(m.entries)))
+		w.tuples.Add(entriesRows(m.entries))
 		w.completed.Store(m.seq)
 	}
 }
@@ -535,11 +572,12 @@ func (e *Engine) shardOf(sr srcRoute, vals []int64) int {
 }
 
 // append adds one entry to a shard's pending buffer, handing the buffer to
-// the worker when full. Called with mu held; the queue send may block for
-// backpressure.
+// the worker when its row count fills a batch. Called with mu held; the
+// queue send may block for backpressure.
 func (e *Engine) append(shard int, en entry) {
 	e.pending[shard] = append(e.pending[shard], en)
-	if len(e.pending[shard]) >= e.cfg.BatchSize {
+	e.pendingRows[shard] += en.rows()
+	if e.pendingRows[shard] >= e.cfg.BatchSize {
 		e.stageShard(shard)
 		e.deliverWAL(shard, true)
 	}
@@ -562,16 +600,21 @@ func (e *Engine) stageShard(shard int) {
 	}
 	b := e.pending[shard]
 	e.pending[shard] = e.takeBatch()
+	e.pendingRows[shard] = 0
 	e.pruneWAL(shard)
 	e.walSeq[shard]++
 	e.wal[shard] = append(e.wal[shard], walRec{seq: e.walSeq[shard], entries: b})
 	if obs.Enabled() {
 		e.walBatches++
-		e.walEntries += int64(len(b))
+		e.walEntries += entriesRows(b)
 		for i := range b {
 			// entry header (src, ts) + value words; close enough to track
 			// WAL growth and replay cost without serializing anything.
-			e.walBytes += 16 + 8*int64(len(b[i].vals))
+			if r := b[i].run; r != nil {
+				e.walBytes += int64(len(r.ts)) * (16 + 8*int64(len(r.cols)))
+			} else {
+				e.walBytes += 16 + 8*int64(len(b[i].vals))
+			}
 		}
 	}
 }
@@ -769,6 +812,166 @@ func (e *Engine) PushBatch(source string, ts []int64, vals [][]int64) error {
 		e.route(sr, ts[i], vals[i])
 	}
 	return nil
+}
+
+// PushColumns injects a batch given column-major — ts[i] pairs with
+// cols[a][i] — keeping it columnar end-to-end: a broadcast source costs
+// one run entry per shard (sharing the slices), a partitioned source
+// scatters rows into per-shard runs, and the runs travel through the WAL
+// and worker queues as single entries until each replica engine feeds them
+// to its vectorized path. The engine takes ownership of ts and cols (they
+// stay referenced until the workers replay and the WAL prunes them). The
+// failure contract of Push applies.
+func (e *Engine) PushColumns(source string, ts []int64, cols [][]int64) error {
+	for a, col := range cols {
+		if len(col) != len(ts) {
+			return fmt.Errorf("shard: PushColumns length mismatch: %d timestamps, %d rows in column %d", len(ts), len(col), a)
+		}
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sr, ok := e.lookupRoute(source)
+	if !ok {
+		return fmt.Errorf("shard: source %q not in plan", source)
+	}
+	if e.closed {
+		return fmt.Errorf("shard: engine closed")
+	}
+	if e.numDead > 0 {
+		return e.deadErrLocked()
+	}
+	if e.numUnreach.Load() > 0 {
+		if err := e.unreachableErr(); err != nil {
+			return err
+		}
+	}
+	e.routeColumns(sr, ts, cols)
+	return nil
+}
+
+// routeColumns appends a column-major batch to its shard(s). Called with
+// mu held.
+func (e *Engine) routeColumns(sr srcRoute, ts []int64, cols [][]int64) {
+	if sr.mode == core.PartitionBroadcast || len(e.workers) == 1 {
+		// Every shard shares one run: rows are immutable throughout the
+		// engines, exactly like broadcast value slices.
+		run := &colRun{ts: ts, cols: cols}
+		for i := range e.workers {
+			e.append(i, entry{src: sr.id, ts: ts[0], run: run})
+		}
+		return
+	}
+	// Scatter rows into per-shard runs. Each shard gets a fresh run (no
+	// sharing — its slices are owned by that shard's WAL record alone).
+	runs := make([]*colRun, len(e.workers))
+	addRow := func(shard, row int) {
+		r := runs[shard]
+		if r == nil {
+			r = &colRun{cols: make([][]int64, len(cols))}
+			runs[shard] = r
+		}
+		r.ts = append(r.ts, ts[row])
+		for a := range cols {
+			r.cols[a] = append(r.cols[a], cols[a][row])
+		}
+	}
+	obsOn := obs.Enabled()
+	for row := range ts {
+		switch sr.mode {
+		case core.PartitionMulticast:
+			mask := sr.alwaysMask
+			var v int64
+			if sr.attr < len(cols) {
+				v = cols[sr.attr][row]
+			}
+			mask |= sr.table[v]
+			if obsOn {
+				if mask == 0 {
+					e.mcDrops++
+				} else {
+					e.mcHits++
+				}
+			}
+			for mask != 0 {
+				i := bits.TrailingZeros64(mask)
+				mask &^= 1 << uint(i)
+				addRow(i, row)
+			}
+		default:
+			addRow(e.shardOfAt(sr, cols, row), row)
+		}
+	}
+	for i, r := range runs {
+		if r != nil {
+			e.append(i, entry{src: sr.id, ts: r.ts[0], run: r})
+		}
+	}
+}
+
+// shardOfAt mirrors shardOf for one row of a column-major batch.
+func (e *Engine) shardOfAt(sr srcRoute, cols [][]int64, row int) int {
+	n := len(e.workers)
+	if n == 1 {
+		return 0
+	}
+	switch sr.mode {
+	case core.PartitionHash:
+		var v int64
+		if sr.attr < len(cols) {
+			v = cols[sr.attr][row]
+		}
+		if owners := e.part.Moved(v); owners != nil {
+			if len(owners) == 1 {
+				return owners[0]
+			}
+			e.rr++
+			return owners[e.rr%uint64(len(owners))]
+		}
+		return core.ShardOfKey(v, n)
+	default: // round-robin
+		e.rr++
+		return int(e.rr % uint64(n))
+	}
+}
+
+// SetBlockSize sets the ingest block segmentation on every in-process
+// replica engine (see engine.Engine.SetBlockSize: 0 restores the default,
+// n < 0 disables the vectorized path). The change lands behind a quiesce
+// barrier so no replica is mid-drain. Remote replicas keep their own
+// default — the wire protocol is row-oriented either way.
+func (e *Engine) SetBlockSize(n int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("shard: engine closed")
+	}
+	if err := e.quiesceLocked(); err != nil {
+		return err
+	}
+	for _, w := range e.workers {
+		if eng := w.rep.localEngine(); eng != nil {
+			eng.SetBlockSize(n)
+		}
+	}
+	return nil
+}
+
+// BlocksProcessed sums the columnar blocks delivered by the in-process
+// replica engines (see engine.Engine.BlocksProcessed). Meaningful after a
+// Drain, like the per-worker counters; remote replicas report 0 here.
+func (e *Engine) BlocksProcessed() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var n int64
+	for _, w := range e.workers {
+		if eng := w.rep.localEngine(); eng != nil {
+			n += eng.BlocksProcessed()
+		}
+	}
+	return n
 }
 
 // Drain flushes all pending buffers and blocks until every worker has

@@ -113,6 +113,14 @@ type PlanInfo struct {
 	// MulticastKeys is the total number of distinct partner constants in
 	// the multicast routing tables (sharded systems only; 0 otherwise).
 	MulticastKeys int
+
+	// BlockEdges counts plan edges statically capable of carrying
+	// columnar blocks (producer and all consumers vectorize, membership
+	// fits one word); BlocksProcessed is the number of blocks the engine
+	// has actually delivered along such edges — 0 when every push took
+	// the scalar path.
+	BlockEdges      int
+	BlocksProcessed int64
 }
 
 // System is a RUMOR stream-processing instance.
@@ -395,6 +403,31 @@ func (s *System) PushBatch(streamName string, ts []int64, vals [][]int64) error 
 	return s.eng.PushBatch(streamName, ts, vals)
 }
 
+// PushColumns injects a batch given column-major: ts[i] pairs with
+// cols[a][i] (one slice per attribute). This is the zero-copy entry to the
+// vectorized execution path — the engine wraps the slices into blocks for
+// the duration of the drain and returns ownership to the caller, never
+// exploding the batch into per-row tuples. The ordering caveats of
+// PushBatch apply.
+func (s *System) PushColumns(streamName string, ts []int64, cols [][]int64) error {
+	if s.eng == nil {
+		return fmt.Errorf("rumor: call Optimize before PushColumns")
+	}
+	return s.eng.PushColumns(streamName, ts, cols)
+}
+
+// SetBlockSize tunes the vectorized ingest path: batches are segmented
+// into columnar blocks of at most n rows (0 restores the default, n < 0
+// disables vectorization entirely, forcing the scalar per-tuple path).
+// Call between pushes, not concurrently with them.
+func (s *System) SetBlockSize(n int) error {
+	if s.eng == nil {
+		return fmt.Errorf("rumor: call Optimize before SetBlockSize")
+	}
+	s.eng.SetBlockSize(n)
+	return nil
+}
+
 // PushShared injects one channel tuple that belongs to all the named
 // sharable source streams at once (they must have been encoded into the
 // same channel by optimization).
@@ -458,7 +491,7 @@ func (s *System) PlanInfo() PlanInfo {
 		}
 		ops += len(n.Ops)
 	}
-	return PlanInfo{
+	info := PlanInfo{
 		Queries:         st.Queries,
 		MOps:            st.Nodes - sources,
 		Operators:       ops,
@@ -468,7 +501,12 @@ func (s *System) PlanInfo() PlanInfo {
 		TotalSlots:      st.TotalSlots,
 		ChannelWords:    st.ChannelWords,
 		SpilledChannels: st.SpilledChannels,
+		BlockEdges:      st.BlockEdges,
 	}
+	if s.eng != nil {
+		info.BlocksProcessed = s.eng.BlocksProcessed()
+	}
+	return info
 }
 
 // PlanString renders the optimized physical plan for inspection.

@@ -1,0 +1,314 @@
+package rumor_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	rumor "repro"
+	"repro/internal/workload"
+)
+
+// Block-vs-scalar equivalence at the system level: the identical columnar
+// feed must produce identical per-query result counts whether the block
+// path is disabled (scalar baseline), enabled at any block size, and
+// whether the plan runs single-threaded or sharded — including under live
+// query churn (ApplyDelta barriers between in-flight blocks) and across a
+// checkpoint/restore taken while column runs are still queued.
+
+// colPusher is the columnar ingest surface shared by System and
+// ShardedSystem.
+type colPusher interface {
+	PushColumns(streamName string, ts []int64, cols [][]int64) error
+	SetBlockSize(n int) error
+}
+
+// pushWindows drives events window by window: within each window the
+// per-source runs are transposed into one PushColumns call each, preserving
+// per-source timestamp order. Every engine under comparison gets this exact
+// feed, so grouping is part of the input, not of the system under test.
+func pushWindows(t *testing.T, sys colPusher, events []workload.Event, window int) {
+	t.Helper()
+	for off := 0; off < len(events); off += window {
+		end := min(off+window, len(events))
+		pushWindow(t, sys, events[off:end])
+	}
+}
+
+func pushWindow(t *testing.T, sys colPusher, events []workload.Event) {
+	t.Helper()
+	bySource := map[string][]int{}
+	var order []string
+	for i, ev := range events {
+		if bySource[ev.Source] == nil {
+			order = append(order, ev.Source)
+		}
+		bySource[ev.Source] = append(bySource[ev.Source], i)
+	}
+	for _, src := range order {
+		idx := bySource[src]
+		arity := len(events[idx[0]].Tuple.Vals)
+		ts := make([]int64, len(idx))
+		cols := make([][]int64, arity)
+		for a := range cols {
+			cols[a] = make([]int64, len(idx))
+		}
+		for row, i := range idx {
+			ts[row] = events[i].Tuple.TS
+			for a, v := range events[i].Tuple.Vals {
+				cols[a][row] = v
+			}
+		}
+		if err := sys.PushColumns(src, ts, cols); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBlockShardedEquivalenceMatrix: Workloads 1–3 × shards 1/2/4 ×
+// channels on/off × block sizes. The reference is a single-threaded System
+// with the block path disabled, fed the identical columnar windows.
+func TestBlockShardedEquivalenceMatrix(t *testing.T) {
+	for _, wl := range []string{"w1", "w2", "w3"} {
+		for _, channels := range []bool{false, true} {
+			catalog, qs, events := churnWorkload(t, wl, 30, 3600, 2)
+
+			ref := rumor.New()
+			declareAll(t, ref, catalog)
+			for _, q := range qs {
+				if err := ref.AddQuery(q.Name, q.Root); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ref.Optimize(rumor.Options{Channels: channels}); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.SetBlockSize(-1); err != nil {
+				t.Fatal(err)
+			}
+			pushWindows(t, ref, events, 100)
+			if ref.TotalResults() == 0 {
+				t.Fatalf("%s channels=%v: no results; matrix is vacuous", wl, channels)
+			}
+
+			for _, shards := range []int{1, 2, 4} {
+				for _, bs := range []int{1, 64, 256} {
+					t.Run(fmt.Sprintf("%s/channels=%v/shards=%d/block=%d", wl, channels, shards, bs), func(t *testing.T) {
+						sys := rumor.NewSharded(rumor.ShardConfig{Shards: shards, BatchSize: 16})
+						defer sys.Close()
+						declareAll(t, sys, catalog)
+						for _, q := range qs {
+							if err := sys.AddQuery(q.Name, q.Root); err != nil {
+								t.Fatal(err)
+							}
+						}
+						if err := sys.Optimize(rumor.Options{Channels: channels}); err != nil {
+							t.Fatal(err)
+						}
+						if err := sys.SetBlockSize(bs); err != nil {
+							t.Fatal(err)
+						}
+						pushWindows(t, sys, events, 100)
+						if err := sys.Drain(); err != nil {
+							t.Fatal(err)
+						}
+						for _, q := range qs {
+							if got, want := sys.ResultCount(q.Name), ref.ResultCount(q.Name); got != want {
+								t.Fatalf("query %s: %d results, scalar reference %d", q.Name, got, want)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestBlockChurnEquivalence interleaves live query add/remove (ApplyDelta
+// barriers) with columnar pushes on the block path, on both the System and
+// a sharded deployment. Survivor counts must match a from-scratch scalar
+// run that planned only the survivors.
+func TestBlockChurnEquivalence(t *testing.T) {
+	catalog, surv, events := churnWorkload(t, "w2", 30, 4200, 1)
+	_, trans, _ := churnWorkload(t, "w2", 30, 0, 99)
+
+	ref := rumor.New()
+	declareAll(t, ref, catalog)
+	for _, q := range surv {
+		if err := ref.AddQuery(q.Name, q.Root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Optimize(rumor.Options{Channels: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetBlockSize(-1); err != nil {
+		t.Fatal(err)
+	}
+	pushWindows(t, ref, events, 100)
+	if ref.TotalResults() == 0 {
+		t.Fatal("no results; churn equivalence is vacuous")
+	}
+
+	run := func(t *testing.T, sys churnSys, cp colPusher, drain func()) {
+		declareAll(t, sys, catalog)
+		for _, q := range surv {
+			if err := sys.AddQuery(q.Name, q.Root); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Optimize(rumor.Options{Channels: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.SetBlockSize(256); err != nil {
+			t.Fatal(err)
+		}
+		// One transient joins or leaves at every window boundary: blocks
+		// queued before and after each ApplyDelta barrier.
+		churnOps, next := 0, 0
+		var active []string
+		const window = 100
+		for off := 0; off < len(events); off += window {
+			end := min(off+window, len(events))
+			pushWindow(t, cp, events[off:end])
+			q := trans[(off/window)%len(trans)]
+			name := fmt.Sprintf("bt_%d", off/window)
+			if err := sys.AddQueryLive(name, q.Root); err != nil {
+				t.Fatal(err)
+			}
+			active = append(active, name)
+			churnOps++
+			if len(active)-next > 2 {
+				if err := sys.RemoveQuery(active[next]); err != nil {
+					t.Fatal(err)
+				}
+				next++
+				churnOps++
+			}
+		}
+		for ; next < len(active); next++ {
+			if err := sys.RemoveQuery(active[next]); err != nil {
+				t.Fatal(err)
+			}
+			churnOps++
+		}
+		drain()
+		if churnOps < 40 {
+			t.Fatalf("only %d churn ops, want ≥ 40", churnOps)
+		}
+		for _, q := range surv {
+			if got, want := sys.ResultCount(q.Name), ref.ResultCount(q.Name); got != want {
+				t.Fatalf("query %s: churned block run %d results, scalar reference %d", q.Name, got, want)
+			}
+		}
+	}
+
+	t.Run("system", func(t *testing.T) {
+		s := rumor.New()
+		run(t, s, s, func() {})
+	})
+	t.Run("sharded", func(t *testing.T) {
+		s := rumor.NewSharded(rumor.ShardConfig{Shards: 2, BatchSize: 16})
+		defer s.Close()
+		run(t, s, s, func() {
+			if err := s.Drain(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}
+
+// TestCheckpointRestoreBlocksInFlight checkpoints mid-feed on the block
+// path — on the sharded system without draining first, so column runs are
+// still queued in worker batches — restores, and requires the continued
+// runs to match the uninterrupted original exactly.
+func TestCheckpointRestoreBlocksInFlight(t *testing.T) {
+	catalog, qs, events := churnWorkload(t, "w2", 24, 4000, 5)
+	half := len(events) / 2
+
+	t.Run("system", func(t *testing.T) {
+		sys := rumor.New()
+		declareAll(t, sys, catalog)
+		for _, q := range qs {
+			if err := sys.AddQuery(q.Name, q.Root); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Optimize(rumor.Options{Channels: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetBlockSize(64); err != nil {
+			t.Fatal(err)
+		}
+		pushWindows(t, sys, events[:half], 100)
+		var buf bytes.Buffer
+		if err := sys.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		res, err := rumor.Restore(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.SetBlockSize(64); err != nil {
+			t.Fatal(err)
+		}
+		pushWindows(t, sys, events[half:], 100)
+		pushWindows(t, res, events[half:], 100)
+		if sys.TotalResults() == 0 {
+			t.Fatal("no results; restore equivalence is vacuous")
+		}
+		for _, q := range qs {
+			if got, want := res.ResultCount(q.Name), sys.ResultCount(q.Name); got != want {
+				t.Fatalf("query %s: restored %d results, original %d", q.Name, got, want)
+			}
+		}
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		sys := rumor.NewSharded(rumor.ShardConfig{Shards: 2, BatchSize: 64})
+		defer sys.Close()
+		declareAll(t, sys, catalog)
+		for _, q := range qs {
+			if err := sys.AddQuery(q.Name, q.Root); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.Optimize(rumor.Options{Channels: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetBlockSize(64); err != nil {
+			t.Fatal(err)
+		}
+		// No Drain before Checkpoint: pending batches still hold column
+		// runs when the checkpoint quiesces the workers.
+		pushWindows(t, sys, events[:half], 100)
+		var buf bytes.Buffer
+		if err := sys.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		res, err := rumor.RestoreSharded(bytes.NewReader(buf.Bytes()), rumor.ShardConfig{BatchSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		if err := res.SetBlockSize(64); err != nil {
+			t.Fatal(err)
+		}
+		pushWindows(t, sys, events[half:], 100)
+		pushWindows(t, res, events[half:], 100)
+		if err := sys.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if sys.TotalResults() == 0 {
+			t.Fatal("no results; restore equivalence is vacuous")
+		}
+		for _, q := range qs {
+			if got, want := res.ResultCount(q.Name), sys.ResultCount(q.Name); got != want {
+				t.Fatalf("query %s: restored %d results, original %d", q.Name, got, want)
+			}
+		}
+	})
+}

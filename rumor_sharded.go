@@ -336,6 +336,27 @@ func (s *ShardedSystem) PushBatch(streamName string, ts []int64, vals [][]int64)
 	return s.sh.PushBatch(streamName, ts, vals)
 }
 
+// PushColumns injects a batch given column-major — ts[i] pairs with
+// cols[a][i] — keeping it columnar through the router, the per-shard WAL,
+// and the worker queues until each replica engine's vectorized path. The
+// system takes ownership of ts and cols.
+func (s *ShardedSystem) PushColumns(streamName string, ts []int64, cols [][]int64) error {
+	if s.sh == nil {
+		return fmt.Errorf("rumor: call Optimize before PushColumns")
+	}
+	return s.sh.PushColumns(streamName, ts, cols)
+}
+
+// SetBlockSize tunes the vectorized ingest path of every in-process shard
+// replica (see System.SetBlockSize; n < 0 disables vectorization). The
+// change lands behind a quiesce barrier.
+func (s *ShardedSystem) SetBlockSize(n int) error {
+	if s.sh == nil {
+		return fmt.Errorf("rumor: call Optimize before SetBlockSize")
+	}
+	return s.sh.SetBlockSize(n)
+}
+
 // Drain blocks until every shard has processed all tuples pushed so far.
 // Result counts are stable afterwards (until the next Push).
 func (s *ShardedSystem) Drain() error {
@@ -424,6 +445,9 @@ func (s *ShardedSystem) PlanInfo() PlanInfo {
 		for _, r := range s.part.Routes {
 			info.MulticastKeys += len(r.Table)
 		}
+	}
+	if s.sh != nil {
+		info.BlocksProcessed = s.sh.BlocksProcessed()
 	}
 	return info
 }
