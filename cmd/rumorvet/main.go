@@ -1,0 +1,159 @@
+// Command rumorvet runs the repro/internal/analysis suite: static checks
+// for the runtime's pooled-ownership, allocation-free, atomic-field,
+// lock-discipline, wire-tag, and dropped-error invariants.
+//
+// Two modes:
+//
+//	go vet -vettool=$(pwd)/bin/rumorvet ./...   # unitchecker protocol
+//	rumorvet [-json] [-<analyzer>] [patterns]   # standalone, defaults ./...
+//
+// In both modes the exit status is 0 when clean, 1 on an internal error,
+// and 2 when findings were reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rumorvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	versionFlag := fs.String("V", "", "print version and exit (the go command probes with -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit (go vet probes this)")
+	jsonFlag := fs.Bool("json", false, "emit findings as JSON on stdout instead of text on stderr")
+
+	all := analysis.Analyzers()
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		enabled[a.Name] = fs.Bool(a.Name, false, "run only the "+a.Name+" analyzer: "+a.Doc)
+	}
+
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	switch {
+	case *versionFlag != "":
+		return printVersion(stdout, stderr)
+	case *flagsFlag:
+		return printFlags(fs, stdout, stderr)
+	}
+
+	// If any per-analyzer flag is set, restrict the suite to those.
+	selected := all
+	if anySelected(enabled) {
+		selected = selected[:0:0]
+		for _, a := range all {
+			if *enabled[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		// go vet unitchecker invocation: rumorvet <flags> <objdir>/vet.cfg.
+		return analysis.RunUnit(rest[0], selected, stderr)
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(".", selected, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+		return 1
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func anySelected(enabled map[string]*bool) bool {
+	for _, v := range enabled {
+		if *v {
+			return true
+		}
+	}
+	return false
+}
+
+// printVersion implements -V=full: the go command caches vet results keyed
+// on this line, so it must change whenever the tool's behavior does — a
+// content hash of the executable delivers exactly that.
+func printVersion(stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rumorvet version sha256:%x\n", h.Sum(nil)[:12])
+	return 0
+}
+
+// printFlags implements -flags: go vet asks the tool which flags it accepts
+// before forwarding any, expecting a JSON array of {Name, Bool, Usage}.
+func printFlags(fs *flag.FlagSet, stdout, stderr io.Writer) int {
+	type jsonFlagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var descs []jsonFlagDesc
+	fs.VisitAll(func(f *flag.Flag) {
+		if f.Name == "flags" || f.Name == "V" {
+			return
+		}
+		b, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		descs = append(descs, jsonFlagDesc{
+			Name:  f.Name,
+			Bool:  isBool && b.IsBoolFlag(),
+			Usage: f.Usage,
+		})
+	})
+	data, err := json.MarshalIndent(descs, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, string(data))
+	return 0
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+// One analysistest-style suite per analyzer: each drives its analyzer over
+// a testdata package of seeded violations and asserts the findings line up
+// with the fixture's // want comments — no misses, no extras.
+
+func TestPoolOwn(t *testing.T)     { runTestdata(t, PoolOwn, "poolown") }
+func TestNoAlloc(t *testing.T)     { runTestdata(t, NoAlloc, "noalloc") }
+func TestAtomicField(t *testing.T) { runTestdata(t, AtomicField, "atomicfield") }
+func TestLockedCall(t *testing.T)  { runTestdata(t, LockedCall, "lockedcall") }
+func TestWireCase(t *testing.T)    { runTestdata(t, WireCase, "wirecase") }
+func TestErrClose(t *testing.T)    { runTestdata(t, ErrClose, "errclose") }
+
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName of an unknown analyzer should be nil")
+	}
+}

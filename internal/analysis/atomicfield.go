@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields: a field
+// whose address is passed to a sync/atomic function anywhere in the package
+// participates in lock-free concurrent access, so every other access to
+// that field must also go through sync/atomic — a plain read races with
+// the atomic writers, and a plain write can be lost entirely. (Fields of
+// the atomic.Int64-style wrapper types are safe by construction; this
+// check covers the pointer-based sync/atomic API, the shape the obs
+// registry and shard counters migrated away from and must not regress to.)
+//
+// The check is package-local, matching how the runtime declares its
+// counters. Initialization inside a composite literal is exempt (the
+// struct is unshared while being built); anything else needs an explicit
+// //rumor:allow atomicfield waiver.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "reports non-atomic accesses to struct fields that are accessed via " +
+		"sync/atomic elsewhere in the package",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: fields used atomically, with one representative position.
+	atomicFields := make(map[*types.Var]token.Pos)
+	for _, file := range pass.SrcFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fv := addressedField(pass, arg); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must be atomic.
+	for _, file := range pass.SrcFiles() {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldVar(pass, sel)
+			if fv == nil {
+				return true
+			}
+			atomicPos, tracked := atomicFields[fv]
+			if !tracked || accessIsAtomic(pass, stack) || inCompositeLit(stack) {
+				return true
+			}
+			rel := pass.Fset.Position(atomicPos)
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic (line %d) but accessed non-atomically here", fv.Name(), rel.Line)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call is atomic.XxxInt64(...) etc.
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// addressedField unwraps &x.f and returns f's field variable.
+func addressedField(pass *Pass, arg ast.Expr) *types.Var {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := un.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldVar(pass, sel)
+}
+
+// fieldVar resolves a selector to a struct field variable, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// accessIsAtomic reports whether the selector under the stack is the
+// &-operand of a sync/atomic call argument.
+func accessIsAtomic(pass *Pass, stack []ast.Node) bool {
+	// stack is outermost-first; look for ... CallExpr(atomic) > UnaryExpr(&).
+	for i := len(stack) - 1; i >= 0; i-- {
+		un, ok := stack[i].(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		if i > 0 {
+			if call, ok := stack[i-1].(*ast.CallExpr); ok && isSyncAtomicCall(pass, call) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inCompositeLit reports whether the access is a composite-literal key
+// position (S{field: v}) — initialization before the value is shared.
+func inCompositeLit(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.CompositeLit); ok {
+			return true
+		}
+	}
+	return false
+}

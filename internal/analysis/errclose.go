@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrClose forbids silently dropped error results on resource-lifecycle
+// calls: a bare `conn.Close()` / `w.Write(...)` / `f.Flush()` expression
+// statement discards an error the compiler never mentions. On teardown
+// paths where the error is genuinely uninteresting the fix is an explicit
+// `_ = conn.Close()` — the discard stays visible and the typed-error
+// contract of the transport/cluster layers (ErrShardUnreachable and
+// friends travel through returned errors) cannot be eaten by accident.
+// Deferred calls are exempt (the idiomatic `defer f.Close()` has no error
+// path to return through).
+var ErrClose = &Analyzer{
+	Name: "errclose",
+	Doc: "reports Close/Write/Flush/Sync/WriteFrame calls whose error result " +
+		"is silently discarded by an expression statement",
+	Run: runErrClose,
+}
+
+// errCloseMethods are the method names whose dropped errors this check
+// cares about: resource teardown and write paths.
+var errCloseMethods = map[string]bool{
+	"Close":      true,
+	"Write":      true,
+	"Flush":      true,
+	"Sync":       true,
+	"WriteFrame": true,
+}
+
+func runErrClose(pass *Pass) error {
+	for _, file := range pass.SrcFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !errCloseMethods[sel.Sel.Name] {
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s.%s ignored; handle it or write `_ = ...` to discard explicitly", types.ExprString(sel.X), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	sigT := pass.Info.Types[call.Fun].Type
+	if sigT == nil {
+		return false
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		named, ok := results.At(i).Type().(*types.Named)
+		if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

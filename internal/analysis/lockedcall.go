@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockedCall enforces the runtime's ...Locked naming convention: a function
+// or method whose name ends in "Locked" documents that its caller holds the
+// corresponding mutex. A call site therefore must sit either (a) inside
+// another ...Locked function (the obligation propagates outward), (b)
+// inside a function annotated //rumor:holdslock (held by contract — e.g. a
+// callback the engine invokes under its own lock), or (c) after a
+// mu.Lock()/mu.RLock() on the same path with no intervening unlock.
+//
+// The path analysis is lexical and branch-scoped: locks and unlocks inside
+// an if/for/switch body stay local to that body, a deferred Unlock never
+// releases (it runs at exit), and a closure inherits the held set at its
+// definition point (the runtime's closures run synchronously under the
+// lock where they are built).
+var LockedCall = &Analyzer{
+	Name: "lockedcall",
+	Doc: "reports calls to ...Locked functions from contexts that provably do " +
+		"not hold a mutex on the calling path",
+	Run: runLockedCall,
+}
+
+func runLockedCall(pass *Pass) error {
+	for _, file := range pass.SrcFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") || pass.FuncHas(fn, "holdslock") {
+				continue // lock held by the caller's contract for the whole body
+			}
+			lw := &lockWalker{pass: pass, fn: fn}
+			lw.walkList(fn.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+func copyHeld(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *lockWalker) walkList(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		w.walkList(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.scanSimple(st.Cond, held)
+		w.walkStmt(st.Body, copyHeld(held))
+		if st.Else != nil {
+			w.walkStmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.scanSimple(st.Cond, held)
+		}
+		inner := copyHeld(held)
+		w.walkStmt(st.Body, inner)
+		if st.Post != nil {
+			w.walkStmt(st.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.scanSimple(st.X, held)
+		w.walkStmt(st.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.scanSimple(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			w.walkStmt(c, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		for _, c := range st.Body.List {
+			w.walkStmt(c, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			w.walkStmt(c, copyHeld(held))
+		}
+	case *ast.CaseClause:
+		w.walkList(st.Body, held)
+	case *ast.CommClause:
+		if st.Comm != nil {
+			w.walkStmt(st.Comm, held)
+		}
+		w.walkList(st.Body, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at exit, not here; a deferred call to
+		// a ...Locked function still needs the lock at exit — treat it as
+		// a call at this point (conservative).
+		w.checkCalls(st.Call, held)
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.walkFuncLit(fl, held)
+		}
+	default:
+		w.scanSimple(s, held)
+	}
+}
+
+// scanSimple handles a non-control statement (or expression): it processes
+// lock/unlock transitions and checks ...Locked calls in traversal order,
+// descending into closures with a copy of the current held set.
+func (w *lockWalker) scanSimple(n ast.Node, held map[string]bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch e := c.(type) {
+		case *ast.FuncLit:
+			w.walkFuncLit(e, held)
+			return false
+		case *ast.DeferStmt:
+			w.checkCalls(e.Call, held)
+			return false
+		case *ast.CallExpr:
+			w.handleCall(e, held)
+		}
+		return true
+	})
+}
+
+// walkFuncLit analyzes a closure body with the held set inherited from its
+// definition point.
+func (w *lockWalker) walkFuncLit(fl *ast.FuncLit, held map[string]bool) {
+	w.walkList(fl.Body.List, copyHeld(held))
+}
+
+// handleCall updates the held set for Lock/Unlock and checks Locked calls.
+func (w *lockWalker) handleCall(call *ast.CallExpr, held map[string]bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isMutexMethod(w.pass, sel) {
+		key := types.ExprString(sel.X)
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			held[key] = true
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return
+	}
+	w.checkCalls(call, held)
+}
+
+// checkCalls flags call if its callee name ends in Locked and no mutex is
+// held here.
+func (w *lockWalker) checkCalls(call *ast.CallExpr, held map[string]bool) {
+	name := calleeName(call)
+	if name == "" || !strings.HasSuffix(name, "Locked") {
+		return
+	}
+	if len(held) > 0 {
+		return
+	}
+	w.pass.Reportf(call.Pos(), "%s calls %s without holding a mutex on the path (callers of ...Locked functions must hold the lock, be ...Locked themselves, or be annotated //rumor:holdslock)", w.fn.Name.Name, name)
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isMutexMethod reports whether sel is a Lock/Unlock/RLock/RUnlock selector
+// on a sync.Mutex, sync.RWMutex, or sync.Locker value.
+func isMutexMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return false
+	}
+	t := pass.Info.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	return namedType(t, "sync", "Mutex") || namedType(t, "sync", "RWMutex") || namedType(t, "sync", "Locker")
+}

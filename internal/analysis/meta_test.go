@@ -1,0 +1,23 @@
+package analysis
+
+import "testing"
+
+// TestRepoClean is the meta-suite: the full rumorvet analyzer set must run
+// clean over the whole repository. Any finding here is either a real
+// invariant violation to fix or a deliberate exception to waive with an
+// explicit //rumor:allow — never to ignore.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo analysis compiles every package; skipped in -short")
+	}
+	diags, err := Run(moduleRoot(t), Analyzers(), "./...")
+	if err != nil {
+		t.Fatalf("running rumorvet over ./...: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("rumorvet reported %d findings on the repository; fix them or add //rumor:allow waivers", len(diags))
+	}
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc enforces the //rumor:noalloc annotation on the runtime's
+// per-event hot-path functions: the PR 1/9 allocation-free contract that
+// the AllocsPerRun benchmark guards check dynamically is checked here
+// construct-by-construct at vet time. The check is intra-procedural —
+// callees are not followed (the benchmarks remain the whole-path guard) —
+// and allows amortized growth: an allocating construct inside an if whose
+// condition compares cap() or len() is the pool-grow slow path, which the
+// steady state never takes.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "reports allocating constructs (composite literals, make/new, append, " +
+		"closures, go statements, string concatenation/conversion, interface " +
+		"boxing) inside functions annotated //rumor:noalloc",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, file := range pass.SrcFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.FuncHas(fn, "noalloc") {
+				continue
+			}
+			checkNoAlloc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
+	inspectStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "%s is //rumor:noalloc but defines a closure (captured variables allocate)", fn.Name.Name)
+			return false // the closure's own body is the closure's problem
+		case *ast.GoStmt:
+			pass.Reportf(e.Pos(), "%s is //rumor:noalloc but starts a goroutine (allocates a stack)", fn.Name.Name)
+		case *ast.CompositeLit:
+			pass.Reportf(e.Pos(), "%s is //rumor:noalloc but builds a composite literal", fn.Name.Name)
+		case *ast.BinaryExpr:
+			if e.Op.String() == "+" && isStringType(pass, e) {
+				pass.Reportf(e.Pos(), "%s is //rumor:noalloc but concatenates strings", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, fn, e, stack)
+		}
+		return true
+	})
+}
+
+func isStringType(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func checkNoAllocCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	// Builtins: make/new/append allocate unless on a guarded growth path.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new", "append":
+				if !growthGuarded(stack) {
+					pass.Reportf(call.Pos(), "%s is //rumor:noalloc but calls %s outside a cap/len-guarded growth path", fn.Name.Name, id.Name)
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if len(call.Args) != 1 {
+			return
+		}
+		argT := pass.Info.Types[call.Args[0]].Type
+		if argT == nil {
+			return
+		}
+		switch {
+		case isStringByteConversion(target, argT):
+			pass.Reportf(call.Pos(), "%s is //rumor:noalloc but converts between string and byte/rune slice (copies)", fn.Name.Name)
+		case types.IsInterface(target.Underlying()) && !types.IsInterface(argT.Underlying()) && !pointerShaped(argT):
+			pass.Reportf(call.Pos(), "%s is //rumor:noalloc but boxes a %s into an interface", fn.Name.Name, argT.String())
+		}
+		return
+	}
+
+	// Ordinary calls: a concrete non-pointer-shaped argument passed to an
+	// interface parameter is boxed.
+	sigT := pass.Info.Types[call.Fun].Type
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			paramT = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramT = params.At(i).Type()
+		default:
+			continue
+		}
+		argT := pass.Info.Types[arg].Type
+		if argT == nil {
+			continue
+		}
+		if basic, ok := argT.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+			continue
+		}
+		if types.IsInterface(paramT.Underlying()) && !types.IsInterface(argT.Underlying()) && !pointerShaped(argT) {
+			pass.Reportf(arg.Pos(), "%s is //rumor:noalloc but boxes a %s into an interface argument", fn.Name.Name, argT.String())
+		}
+	}
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without allocating.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringByteConversion(target, arg types.Type) bool {
+	return (isStringKind(target) && isByteOrRuneSlice(arg)) ||
+		(isStringKind(arg) && isByteOrRuneSlice(target))
+}
+
+func isStringKind(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Kind() == types.Byte || basic.Kind() == types.Uint8 ||
+		basic.Kind() == types.Rune || basic.Kind() == types.Int32
+}
+
+// growthGuarded reports whether the node (whose ancestor stack is given)
+// sits under an if statement whose condition inspects cap() or len() in a
+// comparison — the canonical amortized pool-grow shape:
+//
+//	if cap(buf) < n { buf = make(...) } else { buf = buf[:n] }
+func growthGuarded(stack []ast.Node) bool {
+	for _, anc := range stack {
+		ifStmt, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		check := func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					guarded = true
+					return false
+				}
+			}
+			return true
+		}
+		ast.Inspect(ifStmt.Cond, check)
+		if ifStmt.Init != nil {
+			ast.Inspect(ifStmt.Init, check)
+		}
+		if guarded {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Package atomicfield is a rumorvet fixture: every // want comment marks a
+// seeded mixed atomic/non-atomic field access.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.hits, 1) // ok: the atomic side
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.hits) // ok
+}
+
+func (c *counter) racyRead() int64 {
+	return c.hits // want "accessed non-atomically"
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want "accessed non-atomically"
+}
+
+func (c *counter) missesOK() int64 {
+	c.misses++ // ok: misses is never touched atomically
+	return c.misses
+}
+
+func newCounter() *counter {
+	return &counter{} // ok: construction
+}
+
+func (c *counter) waived() int64 {
+	//rumor:allow atomicfield
+	return c.hits // ok: explicitly waived
+}

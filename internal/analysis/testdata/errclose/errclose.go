@@ -1,0 +1,62 @@
+// Package errclose is a rumorvet fixture: every // want comment marks a
+// seeded silently-dropped error on a resource-lifecycle call.
+package errclose
+
+import (
+	"bytes"
+	"os"
+)
+
+type conn struct{}
+
+func (c *conn) Close() error                { return nil }
+func (c *conn) Write(p []byte) (int, error) { return len(p), nil }
+func (c *conn) Flush() error                { return nil }
+
+func teardown(c *conn) {
+	c.Close() // want "error result of c.Close ignored"
+}
+
+func send(c *conn, p []byte) {
+	c.Write(p) // want "error result of c.Write ignored"
+}
+
+func flushed(c *conn) {
+	c.Flush() // want "error result of c.Flush ignored"
+}
+
+func explicit(c *conn) {
+	_ = c.Close() // ok: visible discard
+}
+
+func handled(c *conn) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferred(c *conn) {
+	defer c.Close() // ok: deferred teardown has no error path
+}
+
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func noError(q quiet) {
+	q.Close() // ok: no error result to drop
+}
+
+func buffered() {
+	var buf bytes.Buffer
+	buf.Write([]byte("x")) // want "error result of buf.Write ignored"
+}
+
+func synced(f *os.File) {
+	f.Sync() // want "error result of f.Sync ignored"
+}
+
+func waived(c *conn) {
+	c.Close() //rumor:allow errclose
+}

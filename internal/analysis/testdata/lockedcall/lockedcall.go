@@ -1,0 +1,58 @@
+// Package lockedcall is a rumorvet fixture: every // want comment marks a
+// seeded call to a ...Locked function without the lock held.
+package lockedcall
+
+import "sync"
+
+type table struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+func (t *table) getLocked(k string) int { return t.vals[k] }
+
+func (t *table) Get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.getLocked(k) // ok: lock held on this path
+}
+
+func (t *table) Racy(k string) int {
+	return t.getLocked(k) // want "without holding a mutex"
+}
+
+func (t *table) unlockThenCall(k string) int {
+	t.mu.Lock()
+	t.mu.Unlock()
+	return t.getLocked(k) // want "without holding a mutex"
+}
+
+func (t *table) flushLocked() {
+	_ = t.getLocked("x") // ok: obligation propagates to our caller
+}
+
+//rumor:holdslock
+func (t *table) callback(k string) int {
+	return t.getLocked(k) // ok: held by contract
+}
+
+func (t *table) branchLocal(cond bool, k string) int {
+	if cond {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.getLocked(k) // ok: lock held in this branch
+	}
+	return t.getLocked(k) // want "without holding a mutex"
+}
+
+func (t *table) closureUnderLock(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := func() int { return t.getLocked(k) } // ok: inherits the held set
+	return f()
+}
+
+func (t *table) waived(k string) int {
+	//rumor:allow lockedcall
+	return t.getLocked(k) // ok: explicitly waived
+}

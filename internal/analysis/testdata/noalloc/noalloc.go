@@ -1,0 +1,83 @@
+// Package noalloc is a rumorvet fixture: every // want comment marks a
+// seeded violation of the //rumor:noalloc contract.
+package noalloc
+
+type point struct{ X, Y int }
+
+func helper() {}
+
+func sink(v any) { _ = v }
+
+//rumor:noalloc
+func sumSquares(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x * x
+	}
+	return s // ok: pure arithmetic
+}
+
+//rumor:noalloc
+func buildsSlice(n int) []int64 {
+	return make([]int64, n) // want "calls make outside"
+}
+
+//rumor:noalloc
+func amortizedGrow(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		buf = make([]int64, n) // ok: cap-guarded growth path
+	}
+	return buf[:n]
+}
+
+//rumor:noalloc
+func amortizedGrowInit(buf []int64) []int64 {
+	if k := len(buf); k == 0 {
+		buf = append(buf, 1) // ok: len-guarded growth path
+	}
+	return buf
+}
+
+//rumor:noalloc
+func closes(x int) func() int {
+	return func() int { return x } // want "defines a closure"
+}
+
+//rumor:noalloc
+func spawns() {
+	go helper() // want "starts a goroutine"
+}
+
+//rumor:noalloc
+func composite() point {
+	return point{1, 2} // want "composite literal"
+}
+
+//rumor:noalloc
+func concat(a, b string) string {
+	return a + b // want "concatenates strings"
+}
+
+//rumor:noalloc
+func stringify(b []byte) string {
+	return string(b) // want "converts between string"
+}
+
+//rumor:noalloc
+func boxes(x int64) any {
+	return any(x) // want "boxes a int64 into an interface"
+}
+
+//rumor:noalloc
+func boxArg(x int64) {
+	sink(x) // want "boxes a int64 into an interface argument"
+}
+
+//rumor:noalloc
+func pointerOK(p *point) any {
+	return any(p) // ok: pointer-shaped, no boxing allocation
+}
+
+func unannotated() []int64 {
+	return make([]int64, 8) // ok: not annotated
+}

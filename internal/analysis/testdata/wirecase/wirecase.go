@@ -1,0 +1,44 @@
+// Package wirecase is a rumorvet fixture: the //rumor:wiretags const group
+// below seeds one tag missing its decode case, one missing its encode use,
+// and one never used at all.
+package wirecase
+
+// Frame type tags of the toy codec.
+//
+//rumor:wiretags
+const (
+	tagData byte = iota + 1
+	tagAck
+	tagNack    // want "never appears as a switch case"
+	tagPing    // want "only appears in switch cases"
+	tagJunk    // want "never used"
+	tagVersion //rumor:notag — compared, never switched on
+)
+
+func encode(kind byte, payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+1)
+	switch kind {
+	case tagData:
+		out = append(out, tagData)
+	case tagAck:
+		out = append(out, tagAck)
+	}
+	_ = tagNack // encode side exists, decode case still missing
+	if kind == tagVersion {
+		return nil
+	}
+	return append(out, payload...)
+}
+
+func decode(b []byte) byte {
+	switch b[0] {
+	case tagData, tagAck:
+		return b[0]
+	case tagPing:
+		return 0
+	}
+	return 0
+}
+
+var _ = encode
+var _ = decode

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+)
+
+// go vet -vettool protocol: for each package, the go command writes a JSON
+// config describing the package (sources, import map, export-data files)
+// and invokes the tool as `rumorvet <flags> <objdir>/vet.cfg`. The tool
+// type-checks the sources against the export data, runs its analyzers,
+// prints findings to stderr (non-zero exit), and writes the VetxOutput
+// facts file the go command caches between runs. rumorvet produces no
+// cross-package facts, so dependency passes (VetxOnly) short-circuit to an
+// empty facts file. The config shape mirrors cmd/go/internal/work's
+// vetConfig.
+
+// UnitConfig is the JSON vet config the go command hands a vettool.
+type UnitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// noFacts is the placeholder facts payload: rumorvet's analyzers are all
+// package-local, so the vetx file exists only to let the go command cache
+// the (empty) result of dependency passes.
+const noFacts = "rumorvet.nofacts/v1\n"
+
+// RunUnit executes one unitchecker invocation for the config file at
+// cfgPath with the given analyzers. It returns the process exit code:
+// 0 clean, 1 hard error (written to stderr), 2 findings reported.
+func RunUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	cfg, err := readUnitConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: no facts to compute, just satisfy the cache.
+		if err := os.WriteFile(cfg.VetxOutput, []byte(noFacts), 0666); err != nil {
+			fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+	files, pkg, info, err := typeCheck(fset, cfg.ImportPath, cfg.GoVersion, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte(noFacts), 0666); err != nil {
+			fmt.Fprintf(stderr, "rumorvet: %v\n", err)
+			return 1
+		}
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+func readUnitConfig(path string) (*UnitConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WireCase enforces encode/decode symmetry on the runtime's wire-tag
+// constants (frame types, call opcodes, payload kinds, plan-node type
+// tags). A const group annotated //rumor:wiretags declares "every constant
+// here is a wire discriminant": each one must appear at least once as a
+// switch case (the decode side dispatches on the tag) and at least once
+// outside a case label (the encode side writes the tag). Adding a tag and
+// forgetting either switch — the bug class the PR 6 fuzz targets can only
+// find once the missing kind actually crosses the wire — fails vet
+// immediately. A single constant can opt out with //rumor:notag (e.g. a
+// version sentinel that is compared, never switched on).
+var WireCase = &Analyzer{
+	Name: "wirecase",
+	Doc: "reports //rumor:wiretags constants missing from a decode switch case " +
+		"or never used on the encode side",
+	Run: runWireCase,
+}
+
+func runWireCase(pass *Pass) error {
+	type tagConst struct {
+		obj  types.Object
+		decl *ast.ValueSpec
+	}
+	var tags []tagConst
+	for _, file := range pass.SrcFiles() {
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || !hasDirective(gen.Doc, "wiretags") {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || hasDirective(vs.Doc, "notag") || hasDirective(vs.Comment, "notag") {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					tags = append(tags, tagConst{obj: obj, decl: vs})
+				}
+			}
+		}
+	}
+	if len(tags) == 0 {
+		return nil
+	}
+
+	caseUse := make(map[types.Object]bool)
+	plainUse := make(map[types.Object]bool)
+	tracked := make(map[types.Object]bool, len(tags))
+	for _, t := range tags {
+		tracked[t.obj] = true
+	}
+
+	for _, file := range pass.SrcFiles() {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || !tracked[obj] {
+				return true
+			}
+			if inCaseClause(id, stack) {
+				caseUse[obj] = true
+			} else {
+				plainUse[obj] = true
+			}
+			return true
+		})
+	}
+
+	for _, t := range tags {
+		switch {
+		case !caseUse[t.obj] && !plainUse[t.obj]:
+			pass.Reportf(t.obj.Pos(), "wire tag %s is declared but never used: both encode and decode sides are missing", t.obj.Name())
+		case !caseUse[t.obj]:
+			pass.Reportf(t.obj.Pos(), "wire tag %s never appears as a switch case: the decode side does not handle it", t.obj.Name())
+		case !plainUse[t.obj]:
+			pass.Reportf(t.obj.Pos(), "wire tag %s only appears in switch cases: the encode side never writes it", t.obj.Name())
+		}
+	}
+	return nil
+}
+
+// inCaseClause reports whether the identifier is (part of) a case-clause
+// label expression.
+func inCaseClause(id *ast.Ident, stack []ast.Node) bool {
+	// Find the nearest CaseClause ancestor, then check the ident sits in
+	// its List (not its Body).
+	for i := len(stack) - 1; i >= 0; i-- {
+		cc, ok := stack[i].(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if e.Pos() <= id.Pos() && id.Pos() <= e.End() {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

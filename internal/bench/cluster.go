@@ -76,13 +76,13 @@ func clusterRun(cfg Config, n int, networked bool) (ClusterRow, error) {
 		sys = rumor.NewSharded(rumor.ShardConfig{Shards: n, BatchSize: 256})
 		for name, decl := range p.Catalog() {
 			if err := sys.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
-				sys.Close()
+				_ = sys.Close()
 				return row, err
 			}
 		}
 		for _, q := range cqs {
 			if err := sys.AddQuery(q.Name, q.Root); err != nil {
-				sys.Close()
+				_ = sys.Close()
 				return row, err
 			}
 		}
@@ -96,7 +96,7 @@ func clusterRun(cfg Config, n int, networked bool) (ClusterRow, error) {
 		}
 		defer func() {
 			for _, lis := range listeners {
-				lis.Close()
+				_ = lis.Close()
 			}
 		}()
 		err = sys.DialCluster(rumor.Options{}, rumor.ClusterConfig{
@@ -106,7 +106,7 @@ func clusterRun(cfg Config, n int, networked bool) (ClusterRow, error) {
 			Seed:              cfg.Seed,
 		})
 		if err != nil {
-			sys.Close()
+			_ = sys.Close()
 			return row, err
 		}
 	} else {

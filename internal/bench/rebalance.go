@@ -79,7 +79,7 @@ func (cfg Config) Rebalance(shardCounts []int) ([]RebalanceRow, error) {
 			return rows, err
 		}
 		row, err := rebalanceRun(e, events, n)
-		e.Close()
+		_ = e.Close()
 		if err != nil {
 			return rows, fmt.Errorf("shards=%d: %w", n, err)
 		}

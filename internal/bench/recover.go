@@ -68,18 +68,18 @@ func buildShardedSystem(p workload.Params, cqs []*core.Query, n int) (*rumor.Sha
 	sys := rumor.NewSharded(rumor.ShardConfig{Shards: n, BatchSize: 256})
 	for name, decl := range p.Catalog() {
 		if err := sys.DeclareStream(name, decl.Label, decl.Schema.Attrs...); err != nil {
-			sys.Close()
+			_ = sys.Close()
 			return nil, err
 		}
 	}
 	for _, q := range cqs {
 		if err := sys.AddQuery(q.Name, q.Root); err != nil {
-			sys.Close()
+			_ = sys.Close()
 			return nil, err
 		}
 	}
 	if err := sys.Optimize(rumor.Options{}); err != nil {
-		sys.Close()
+		_ = sys.Close()
 		return nil, err
 	}
 	return sys, nil
@@ -129,7 +129,7 @@ func recoverRun(cfg Config, window, n int) (RecoverRow, error) {
 		return row, err
 	}
 	row.RestoreMS = float64(time.Since(t0)) / float64(time.Millisecond)
-	res.Close()
+	_ = res.Close()
 
 	// (c) Kill + RecoverShard on a second half of the stream.
 	defer faultpoint.Reset()

@@ -239,7 +239,7 @@ func (c *Client) Close() error {
 	close(c.stopHB)
 	<-c.hbDone
 	if conn != nil {
-		conn.Close()
+		_ = conn.Close()
 	}
 	return nil
 }
@@ -252,7 +252,7 @@ func (c *Client) Shutdown() error {
 	c.mu.Unlock()
 	if conn != nil {
 		conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
-		conn.WriteFrame(frameShutdown, nil)
+		_ = conn.WriteFrame(frameShutdown, nil)
 	}
 	return c.Close()
 }
@@ -282,7 +282,7 @@ func (c *Client) Revive(fresh bool) error {
 	c.down = false
 	c.downSince = time.Time{}
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close()
 		c.conn = nil
 	}
 	c.mu.Unlock()
@@ -327,7 +327,7 @@ func (c *Client) ensureConn() (*transport.Conn, error) {
 		if err == nil && resume && ack.BootID != prevBoot {
 			// The process behind the address restarted: its replica state
 			// is gone, so resuming is impossible. Terminal.
-			conn.Close()
+			_ = conn.Close()
 			err = fmt.Errorf("%w: worker restarted (boot %d -> %d), replica state lost",
 				ErrWorkerLost, prevBoot, ack.BootID)
 		}
@@ -335,7 +335,7 @@ func (c *Client) ensureConn() (*transport.Conn, error) {
 			c.mu.Lock()
 			if c.closed {
 				c.mu.Unlock()
-				conn.Close()
+				_ = conn.Close()
 				return nil, ErrClosed
 			}
 			c.conn = conn
@@ -393,13 +393,13 @@ func (c *Client) dialOnce(resume bool) (*transport.Conn, *helloAck, error) {
 		PlanBytes:  c.cfg.PlanBytes,
 	}
 	if err := conn.WriteFrame(frameHello, encodeHello(h)); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, nil, fmt.Errorf("%w: sending hello: %v", ErrUnreachable, err)
 	}
 	for {
 		typ, payload, err := conn.ReadFrame()
 		if err != nil {
-			conn.Close()
+			_ = conn.Close()
 			return nil, nil, fmt.Errorf("%w: awaiting hello ack: %v", ErrUnreachable, err)
 		}
 		if typ != frameHelloAck {
@@ -407,15 +407,15 @@ func (c *Client) dialOnce(resume bool) (*transport.Conn, *helloAck, error) {
 		}
 		ack, err := decodeHelloAck(payload)
 		if err != nil {
-			conn.Close()
+			_ = conn.Close()
 			return nil, nil, fmt.Errorf("%w: decoding hello ack: %v", ErrUnreachable, err)
 		}
 		if ack.Err != "" {
-			conn.Close()
+			_ = conn.Close()
 			return nil, nil, fmt.Errorf("%w: %s", ErrBadHandshake, ack.Err)
 		}
 		if ack.Proto != ProtoVersion {
-			conn.Close()
+			_ = conn.Close()
 			return nil, nil, fmt.Errorf("%w: worker protocol %d, client speaks %d",
 				ErrBadHandshake, ack.Proto, ProtoVersion)
 		}
@@ -429,7 +429,7 @@ func (c *Client) dialOnce(resume bool) (*transport.Conn, *helloAck, error) {
 func (c *Client) noteFailure(err error) {
 	c.mu.Lock()
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close()
 		c.conn = nil
 	}
 	wasDown := c.down
@@ -456,7 +456,7 @@ func (c *Client) declareDead(err error) {
 		obs.RecordEvent(obs.EvDeadDeclare, fmt.Sprintf("shard %d: %v", c.cfg.ShardIdx, err), 0)
 	}
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close()
 		c.conn = nil
 	}
 	wasDown := c.down

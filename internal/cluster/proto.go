@@ -49,9 +49,11 @@ import (
 const ProtoVersion = 1
 
 // Frame types.
+//
+//rumor:wiretags
 const (
-	frameHello        byte = 1
-	frameHelloAck     byte = 2
+	frameHello        byte = 1 //rumor:notag — handshake preamble, matched by equality
+	frameHelloAck     byte = 2 //rumor:notag — handshake preamble, matched by equality
 	frameCall         byte = 3
 	frameReply        byte = 4
 	frameHeartbeat    byte = 5
@@ -60,6 +62,8 @@ const (
 )
 
 // Call opcodes.
+//
+//rumor:wiretags
 const (
 	opBatch       byte = 1 // replay one WAL batch (dedup by seq)
 	opDrain       byte = 2 // quiesce: counts snapshot + sticky replay error

@@ -57,7 +57,7 @@ func (w *Worker) Serve(lis net.Listener) error {
 			return err
 		}
 		stop := w.st.serveConn(conn, w.st.cfg)
-		conn.Close()
+		_ = conn.Close()
 		if stop {
 			return nil
 		}

@@ -151,7 +151,7 @@ func (f *faultConn) Write(p []byte) (int, error) {
 		time.Sleep(d)
 		return f.Conn.Write(p)
 	case NetSever:
-		f.Conn.Close()
+		_ = f.Conn.Close()
 		return 0, fmt.Errorf("faultpoint: link %s severed at write %d", f.link, r.Write)
 	}
 	return f.Conn.Write(p)

@@ -279,6 +279,8 @@ func (g *aggGroup) combine(pos int, gk []byte) (int64, bool) {
 }
 
 // Process implements MOp.
+//
+//rumor:owner — builds pooled output tuples and marks them engine-releasable.
 func (m *AggMOp) Process(port int, t *stream.Tuple, emit Emit) {
 	for _, g := range m.ports[port] {
 		g.expire(t.TS)
@@ -671,6 +673,8 @@ func (g *aggGroup) discardState() {}
 // operator, so each output carries its own interned singleton membership).
 // Each output is freshly built and emitted exactly once, so it stays
 // engine-releasable.
+//
+//rumor:owner
 func (g *aggGroup) emitOne(o selOp, t *stream.Tuple, av int64, emit Emit) {
 	out := g.outTuple(t, av)
 	if o.tg.pos >= 0 {

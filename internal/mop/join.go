@@ -206,6 +206,8 @@ func newJoinMOp(p *core.Physical, n *core.Node, pm *portMap, tp *stream.Pool) (*
 }
 
 // Process implements MOp.
+//
+//rumor:owner — builds pooled output tuples and marks them engine-releasable.
 func (m *JoinMOp) Process(port int, t *stream.Tuple, emit Emit) {
 	for _, pg := range m.portGroups[port] {
 		g := pg.g

@@ -275,6 +275,8 @@ func (c *chanEmitter) add(tg target) {
 // caller built for this flush and emitted nowhere else; with a single
 // accumulated port the membership is then attached to base directly and
 // the emission is releasable by the engine.
+//
+//rumor:owner
 func (c *chanEmitter) flush(base *stream.Tuple, emit Emit, baseExclusive bool) {
 	if len(c.touched) == 0 {
 		return

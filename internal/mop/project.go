@@ -47,6 +47,8 @@ func newProjectMOp(p *core.Physical, n *core.Node, pm *portMap, tp *stream.Pool)
 }
 
 // Process implements MOp.
+//
+//rumor:owner — builds pooled output tuples and marks them engine-releasable.
 func (m *ProjectMOp) Process(port int, t *stream.Tuple, emit Emit) {
 	for _, g := range m.ports[port] {
 		var out *stream.Tuple

@@ -151,6 +151,10 @@ func (r *Remap) visit(h stateHolder, side int) bool {
 // groupKind tags the payload representation of a state group.
 type groupKind uint8
 
+// State-payload kind tags (wire-stable through mop/wire.go's WireKind*
+// aliases).
+//
+//rumor:wiretags
 const (
 	kindAggState groupKind = iota
 	kindJoinState

@@ -496,6 +496,8 @@ func (g *stateGroup) rebind(inst *seqInst, t *stream.Tuple) {
 // window covers the instance age and whose memberships include the pair.
 // Plain targets are collected first so the shared output tuple can be
 // marked engine-releasable when it is emitted exactly once.
+//
+//rumor:owner
 func (g *stateGroup) emitMatch(inst *seqInst, t *stream.Tuple, ce *chanEmitter, emit Emit) {
 	age := t.TS - inst.start.TS
 	tgs := g.tgScratch[:0]

@@ -198,7 +198,10 @@ func (e *Engine) RecoverShard() (RecoverStats, error) {
 // re-hashes keyed sides over the survivor count. Unlike a same-count
 // rebalance there is no rollback: the failure mode it would protect
 // against (a half-moved store) is indistinguishable from the crash being
-// recovered, and the caller falls back to checkpoint restore.
+// recovered, and the caller falls back to checkpoint restore. Called with
+// mu held.
+//
+//rumor:holdslock
 func (e *Engine) migrateForRecovery(dead int, newPart *core.PartitionPlan, st *RecoverStats) error {
 	n := len(e.workers)
 	n2 := n - 1

@@ -352,10 +352,10 @@ func (r *remoteReplica) setIdx(i int) { r.idx = i }
 
 func (r *remoteReplica) close(shutdown bool) {
 	if shutdown {
-		r.cli.Shutdown()
+		_ = r.cli.Shutdown()
 		return
 	}
-	r.cli.Close()
+	_ = r.cli.Close()
 }
 
 func (r *remoteReplica) localEngine() *engine.Engine { return nil }

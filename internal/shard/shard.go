@@ -630,6 +630,8 @@ func (e *Engine) stageShard(shard int) {
 // A worker found dead (done closed while the router blocked on its
 // queue) is marked; its records stay in the WAL for recovery. Called
 // with mu held.
+//
+//rumor:holdslock
 func (e *Engine) deliverWAL(shard int, ingest bool) {
 	if e.dead[shard] {
 		return // unacknowledged; replayed by RecoverShard

@@ -29,8 +29,8 @@ func (l *PipeListener) Dial() (net.Conn, error) {
 	case l.ch <- server:
 		return client, nil
 	case <-l.done:
-		client.Close()
-		server.Close()
+		_ = client.Close()
+		_ = server.Close()
 		return nil, fmt.Errorf("transport: pipe listener closed")
 	}
 }

@@ -17,6 +17,9 @@ import (
 // Unary predicates
 // ---------------------------------------------------------------------------
 
+// Unary predicate type tags.
+//
+//rumor:wiretags
 const (
 	predConstCmp = 1
 	predAttrCmp  = 2
@@ -163,6 +166,9 @@ func decodePred(p []byte, depth int) (expr.Pred, error) {
 // Binary predicates
 // ---------------------------------------------------------------------------
 
+// Binary predicate type tags.
+//
+//rumor:wiretags
 const (
 	pred2AttrCmp  = 1
 	pred2Left     = 2
@@ -329,6 +335,9 @@ func decodePred2(p []byte, depth int) (expr.Pred2, error) {
 // Schema-map expressions
 // ---------------------------------------------------------------------------
 
+// Schema-map expression type tags.
+//
+//rumor:wiretags
 const (
 	exprCol   = 1
 	exprLit   = 2

@@ -29,6 +29,8 @@ var ErrCorrupt = errors.New("wire: corrupt input")
 const maxDepth = 512
 
 // Wire types.
+//
+//rumor:wiretags
 const (
 	wtVarint = 0
 	wtBytes  = 2

@@ -346,7 +346,7 @@ func RestoreSharded(r io.Reader, cfg ShardConfig) (*ShardedSystem, error) {
 		return redistributeGroups(c, plan, part, regs)
 	})
 	if err != nil {
-		sh.Close()
+		_ = sh.Close()
 		return nil, err
 	}
 	base := make(map[int]int64, len(c.Counts))
